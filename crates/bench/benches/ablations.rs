@@ -1,0 +1,87 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! the K sweep of `Appro_Multi` (combination count vs time), the Steiner
+//! routine swap inside literal Algorithm 1, and the cost-mode overhead of
+//! `Online_CP`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfv_multicast::{appro_multi, appro_multi_with_steiner, SteinerRoutine};
+use nfv_online::{CostMode, OnlineAlgorithm, OnlineCp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim::waxman_sdn;
+use workload::RequestGenerator;
+
+fn bench_k_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_k_sweep");
+    group.sample_size(10);
+    let n = 150;
+    let sdn = waxman_sdn(n, 0);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut gen = RequestGenerator::new(n).with_dmax_ratio(0.15);
+    let requests = gen.generate_batch(8, &mut rng);
+    for k in 1..=4usize {
+        group.bench_with_input(BenchmarkId::new("appro_multi", k), &k, |b, &k| {
+            let mut i = 0;
+            b.iter(|| {
+                let req = &requests[i % requests.len()];
+                i += 1;
+                appro_multi(&sdn, req, k)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_steiner_routine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_steiner_routine");
+    group.sample_size(10);
+    let n = 50;
+    let sdn = waxman_sdn(n, 0);
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut gen = RequestGenerator::new(n).with_dmax_ratio(0.15);
+    let requests = gen.generate_batch(8, &mut rng);
+    for (label, routine) in [("kmb", SteinerRoutine::Kmb), ("sph", SteinerRoutine::Sph)] {
+        group.bench_function(BenchmarkId::new("literal_algorithm1", label), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let req = &requests[i % requests.len()];
+                i += 1;
+                appro_multi_with_steiner(&sdn, req, 2, routine)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_online_cost_mode");
+    group.sample_size(10);
+    let n = 100;
+    let sdn = waxman_sdn(n, 0);
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut gen = RequestGenerator::new(n);
+    let requests = gen.generate_batch(8, &mut rng);
+    for (label, mode) in [
+        ("exponential", CostMode::Exponential),
+        ("linear", CostMode::Linear),
+    ] {
+        group.bench_function(BenchmarkId::new("online_cp_admit", label), |b| {
+            let mut algo = OnlineCp::with_mode(mode);
+            let mut i = 0;
+            b.iter(|| {
+                let req = &requests[i % requests.len()];
+                i += 1;
+                algo.admit(&sdn, req)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_k_sweep,
+    bench_steiner_routine,
+    bench_cost_mode
+);
+criterion_main!(benches);

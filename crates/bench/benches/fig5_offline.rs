@@ -1,0 +1,51 @@
+//! Fig. 5(d–f) as a Criterion benchmark: per-request running time of
+//! `Appro_Multi` (K = 3) vs `Alg_One_Server` on GT-ITM/Waxman topologies
+//! of 50–250 switches, per `D_max/|V|` ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfv_multicast::{appro_multi, one_server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim::waxman_sdn;
+use workload::RequestGenerator;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_running_time");
+    group.sample_size(10);
+    for ratio in [0.1f64, 0.2] {
+        for n in [50usize, 150, 250] {
+            let sdn = waxman_sdn(n, 0);
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut gen = RequestGenerator::new(n).with_dmax_ratio(ratio);
+            let requests = gen.generate_batch(8, &mut rng);
+            group.bench_with_input(
+                BenchmarkId::new("appro_multi_k3", format!("r{ratio}_n{n}")),
+                &(&sdn, &requests),
+                |b, (sdn, requests)| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let req = &requests[i % requests.len()];
+                        i += 1;
+                        appro_multi(sdn, req, 3)
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("alg_one_server", format!("r{ratio}_n{n}")),
+                &(&sdn, &requests),
+                |b, (sdn, requests)| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let req = &requests[i % requests.len()];
+                        i += 1;
+                        one_server(sdn, req)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Fig. 6(c–d) as a Criterion benchmark: per-request running time of the
+//! offline algorithms on the real topologies (GÉANT, AS1755) across the
+//! `D_max/|V|` sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfv_multicast::{appro_multi, one_server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdn::Sdn;
+use sim::{geant_sdn, isp_sdn};
+use workload::RequestGenerator;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_running_time");
+    group.sample_size(10);
+    type SdnBuilderFn = fn(u64) -> Sdn;
+    let topologies: [(&str, SdnBuilderFn); 2] = [("geant", geant_sdn), ("as1755", isp_sdn)];
+    for (name, build) in topologies {
+        let sdn = build(0);
+        for ratio in [0.05f64, 0.2] {
+            let mut rng = StdRng::seed_from_u64(6);
+            let mut gen = RequestGenerator::new(sdn.node_count()).with_dmax_ratio(ratio);
+            let requests = gen.generate_batch(8, &mut rng);
+            group.bench_with_input(
+                BenchmarkId::new(format!("appro_multi_k3_{name}"), ratio),
+                &(&sdn, &requests),
+                |b, (sdn, requests)| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let req = &requests[i % requests.len()];
+                        i += 1;
+                        appro_multi(sdn, req, 3)
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("alg_one_server_{name}"), ratio),
+                &(&sdn, &requests),
+                |b, (sdn, requests)| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let req = &requests[i % requests.len()];
+                        i += 1;
+                        one_server(sdn, req)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

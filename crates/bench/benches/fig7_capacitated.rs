@@ -1,0 +1,64 @@
+//! Fig. 7(b) as a Criterion benchmark: per-request running time of
+//! `Appro_Multi_Cap`, both on a fresh network and on one already at
+//! ~50 % load (where the residual filtering actually removes links).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfv_multicast::appro_multi_cap;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdn::Sdn;
+use sim::waxman_sdn;
+use workload::RequestGenerator;
+
+/// Drives the network to roughly 50 % mean link utilization by admitting
+/// requests sequentially.
+fn preload(sdn: &mut Sdn, n: usize) {
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut gen = RequestGenerator::new(n).with_dmax_ratio(0.2);
+    for _ in 0..200 {
+        let req = gen.generate(&mut rng);
+        if let Some(tree) = appro_multi_cap(sdn, &req, 3).into_tree() {
+            sdn.allocate(&tree.allocation(&req)).expect("admitted fits");
+        }
+        let mean: f64 = sdn
+            .graph()
+            .edges()
+            .map(|e| sdn.bandwidth_utilization(e.id))
+            .sum::<f64>()
+            / sdn.link_count() as f64;
+        if mean > 0.5 {
+            break;
+        }
+    }
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_running_time");
+    group.sample_size(10);
+    for n in [50usize, 150, 250] {
+        let fresh = waxman_sdn(n, 0);
+        let mut loaded = waxman_sdn(n, 0);
+        preload(&mut loaded, n);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut gen = RequestGenerator::new(n).with_dmax_ratio(0.2);
+        let requests = gen.generate_batch(8, &mut rng);
+        for (label, sdn) in [("fresh", &fresh), ("loaded", &loaded)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("appro_multi_cap_{label}"), n),
+                &(sdn, &requests),
+                |b, (sdn, requests)| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let req = &requests[i % requests.len()];
+                        i += 1;
+                        appro_multi_cap(sdn, req, 3)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

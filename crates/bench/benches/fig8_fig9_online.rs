@@ -1,0 +1,86 @@
+//! Figs. 8–9 as Criterion benchmarks: the per-request admission decision
+//! of `Online_CP` vs `SP`, on synthetic (Fig. 8) and real (Fig. 9)
+//! topologies, measured on a half-loaded network — the regime where both
+//! algorithms do their real work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfv_online::{run_online, OnlineAlgorithm, OnlineCp, ShortestPathBaseline};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdn::Sdn;
+use sim::{geant_sdn, isp_sdn, waxman_sdn};
+use workload::RequestGenerator;
+
+/// Admits ~half of a 300-request sequence to produce a realistic mid-run
+/// network state.
+fn preload(sdn: &mut Sdn) {
+    let mut rng = StdRng::seed_from_u64(88);
+    let mut gen = RequestGenerator::new(sdn.node_count());
+    let requests = gen.generate_batch(150, &mut rng);
+    let _ = run_online(sdn, &mut OnlineCp::new(), &requests);
+}
+
+fn bench_admission<A: OnlineAlgorithm>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    label: &str,
+    param: &str,
+    sdn: &Sdn,
+    mut algo: A,
+) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut gen = RequestGenerator::new(sdn.node_count());
+    let requests = gen.generate_batch(8, &mut rng);
+    group.bench_with_input(
+        BenchmarkId::new(label, param),
+        &(sdn, &requests),
+        |b, (sdn, requests)| {
+            let mut i = 0;
+            b.iter(|| {
+                let req = &requests[i % requests.len()];
+                i += 1;
+                algo.admit(sdn, req)
+            });
+        },
+    );
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_admission_time");
+    group.sample_size(10);
+    for n in [50usize, 150, 250] {
+        let mut sdn = waxman_sdn(n, 0);
+        preload(&mut sdn);
+        bench_admission(
+            &mut group,
+            "online_cp",
+            &n.to_string(),
+            &sdn,
+            OnlineCp::new(),
+        );
+        bench_admission(
+            &mut group,
+            "sp",
+            &n.to_string(),
+            &sdn,
+            ShortestPathBaseline::new(),
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_admission_time");
+    group.sample_size(10);
+    type SdnBuilderFn = fn(u64) -> Sdn;
+    let topologies: [(&str, SdnBuilderFn); 2] = [("geant", geant_sdn), ("as1755", isp_sdn)];
+    for (name, build) in topologies {
+        let mut sdn = build(0);
+        preload(&mut sdn);
+        bench_admission(&mut group, "online_cp", name, &sdn, OnlineCp::new());
+        bench_admission(&mut group, "sp", name, &sdn, ShortestPathBaseline::new());
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8, bench_fig9);
+criterion_main!(benches);

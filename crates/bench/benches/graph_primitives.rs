@@ -1,0 +1,41 @@
+//! Micro-benchmarks for the graph substrate: the inner loops every
+//! higher-level algorithm is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netgraph::{bellman_ford, dijkstra, kruskal, prim, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use topology::Waxman;
+
+fn bench_shortest_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shortest_paths");
+    for n in [50usize, 150, 250] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let (g, _) = Waxman::new(n).generate(&mut rng);
+        group.bench_with_input(BenchmarkId::new("dijkstra", n), &g, |b, g| {
+            b.iter(|| dijkstra(g, NodeId::new(0)));
+        });
+        group.bench_with_input(BenchmarkId::new("bellman_ford", n), &g, |b, g| {
+            b.iter(|| bellman_ford(g, NodeId::new(0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mst");
+    for n in [50usize, 150, 250] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let (g, _) = Waxman::new(n).generate(&mut rng);
+        group.bench_with_input(BenchmarkId::new("kruskal", n), &g, |b, g| {
+            b.iter(|| kruskal(g));
+        });
+        group.bench_with_input(BenchmarkId::new("prim", n), &g, |b, g| {
+            b.iter(|| prim(g));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shortest_paths, bench_mst);
+criterion_main!(benches);

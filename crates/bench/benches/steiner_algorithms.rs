@@ -1,0 +1,60 @@
+//! Steiner tree routines: KMB and SPH across graph sizes and terminal
+//! counts, plus the Dreyfus–Wagner oracle on small instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netgraph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use steiner::{dreyfus_wagner, kmb, sph};
+use topology::Waxman;
+
+fn terminals(n: usize, count: usize) -> Vec<NodeId> {
+    (0..count).map(|i| NodeId::new((i * n) / count)).collect()
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steiner_heuristics");
+    for n in [50usize, 150, 250] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let (g, _) = Waxman::new(n).generate(&mut rng);
+        for t in [5usize, 15] {
+            let terms = terminals(n, t);
+            group.bench_with_input(
+                BenchmarkId::new("kmb", format!("n{n}_t{t}")),
+                &(&g, &terms),
+                |b, (g, terms)| {
+                    b.iter(|| kmb(g, terms).expect("connected"));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("sph", format!("n{n}_t{t}")),
+                &(&g, &terms),
+                |b, (g, terms)| {
+                    b.iter(|| sph(g, terms).expect("connected"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steiner_exact");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(99);
+    let (g, _) = Waxman::new(30).generate(&mut rng);
+    for t in [4usize, 6, 8] {
+        let terms = terminals(30, t);
+        group.bench_with_input(
+            BenchmarkId::new("dreyfus_wagner", t),
+            &(&g, &terms),
+            |b, (g, terms)| {
+                b.iter(|| dreyfus_wagner(g, terms).expect("connected"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics, bench_exact);
+criterion_main!(benches);

@@ -1,0 +1,600 @@
+//! `Appro_Multi` (Algorithm 1): the 2K-approximation for NFV-enabled
+//! multicasting without resource capacity constraints.
+//!
+//! Two implementations with identical semantics:
+//!
+//! * [`appro_multi_with_steiner`] — the *literal* transcription of
+//!   Algorithm 1: for every server combination, materialize the auxiliary
+//!   graph and run the chosen Steiner routine over it. Easy to audit
+//!   against the paper; `O(C(|V_S|, ≤K))` full KMB runs.
+//! * [`appro_multi`] — the production path: shortest-path trees from the
+//!   source and every destination are computed **once per request** and
+//!   shared across all combinations; each combination then reduces to a
+//!   metric-closure MST over `|D_k| + 1` points plus a small expansion
+//!   subgraph. Orders of magnitude faster on the paper's 250-node
+//!   networks. The only semantic divergence from the literal version is
+//!   that the zero-cost rule for a direct `(s_k, v)` edge is not applied
+//!   (it would invalidate the shared distances); the unit tests pin the
+//!   two implementations against each other on instances where the rule
+//!   cannot fire, and bound their gap elsewhere.
+
+use crate::{combinations_up_to, AuxiliaryGraph, PseudoMulticastTree, ServerUse};
+use netgraph::{dijkstra, dijkstra_with_targets, kruskal, EdgeId, Graph, NodeId, ShortestPathTree};
+use sdn::{MulticastRequest, Sdn};
+use std::collections::HashMap;
+
+/// Which Steiner tree routine the literal implementation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SteinerRoutine {
+    /// Kou–Markowsky–Berman (the paper's choice \[12\]).
+    #[default]
+    Kmb,
+    /// Takahashi–Matsuyama shortest-path heuristic (ablation).
+    Sph,
+}
+
+/// Runs `Appro_Multi` with the optimized shared-SPT evaluation.
+///
+/// Returns the minimum-cost pseudo-multicast tree over all server
+/// combinations of size 1..=`k`, or `None` when no combination can reach
+/// every destination (disconnected network or no usable server).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn appro_multi(sdn: &Sdn, request: &MulticastRequest, k: usize) -> Option<PseudoMulticastTree> {
+    assert!(k >= 1, "at least one server is required (K >= 1)");
+    appro_multi_on(sdn, request, k, sdn.servers())
+}
+
+/// [`appro_multi`] restricted to an explicit candidate server set — the
+/// entry point `Appro_Multi_Cap` uses after filtering out saturated
+/// servers.
+#[must_use]
+pub fn appro_multi_on(
+    sdn: &Sdn,
+    request: &MulticastRequest,
+    k: usize,
+    servers: &[NodeId],
+) -> Option<PseudoMulticastTree> {
+    assert!(k >= 1, "at least one server is required (K >= 1)");
+    if servers.is_empty() {
+        return None;
+    }
+    let g = sdn.graph();
+    let b = request.bandwidth;
+    let demand = request.computing_demand();
+
+    // One SPT from the source (ingress paths / virtual weights)...
+    let spt_source = dijkstra(g, request.source);
+    // ...and one early-exit SPT per destination (reaching all servers, the
+    // source, and the other destinations).
+    let mut targets: Vec<NodeId> = request.destinations.clone();
+    targets.push(request.source);
+    targets.extend_from_slice(servers);
+    let spt_dests: Vec<ShortestPathTree> = request
+        .destinations
+        .iter()
+        .map(|&d| dijkstra_with_targets(g, d, &targets))
+        .collect();
+
+    // Virtual-edge weight per candidate server; unreachable servers drop.
+    let virt: Vec<(NodeId, f64)> = servers
+        .iter()
+        .filter_map(|&v| {
+            let dist = spt_source.distance(v)?;
+            let computing = sdn.unit_computing_cost(v)? * demand;
+            Some((v, dist * b + computing))
+        })
+        .collect();
+    if virt.is_empty() {
+        return None;
+    }
+
+    // Candidates are compared by their *pseudo-tree* cost (ingress union
+    // shared across servers), the physically carried traffic of Fig. 3.
+    let mut best: Option<PseudoMulticastTree> = None;
+    let indices: Vec<usize> = (0..virt.len()).collect();
+    for combo in combinations_up_to(&indices, k) {
+        let Some((_, tree)) = eval_combination(g, b, &virt, &combo, request, &spt_dests) else {
+            continue;
+        };
+        let pseudo = tree.into_pseudo(sdn, request, &virt, &spt_source, demand);
+        if best
+            .as_ref()
+            .is_none_or(|b| pseudo.total_cost() < b.total_cost())
+        {
+            best = Some(pseudo);
+        }
+    }
+    best
+}
+
+/// The pruned result of one combination evaluation, in terms of real SDN
+/// edges plus used servers.
+#[derive(Debug, Clone)]
+struct MiniTree {
+    distribution: Vec<EdgeId>,
+    used_servers: Vec<usize>, // indices into `virt`
+}
+
+impl MiniTree {
+    fn into_pseudo(
+        self,
+        sdn: &Sdn,
+        request: &MulticastRequest,
+        virt: &[(NodeId, f64)],
+        spt_source: &ShortestPathTree,
+        demand: f64,
+    ) -> PseudoMulticastTree {
+        let b = request.bandwidth;
+        let mut servers = Vec::new();
+        let mut computing_cost = 0.0;
+        for &vi in &self.used_servers {
+            let (v, _) = virt[vi];
+            let path = spt_source
+                .path_to(v)
+                .expect("virtual weight implies reachability");
+            let computing = sdn
+                .unit_computing_cost(v)
+                .expect("virt entries are servers")
+                * demand;
+            computing_cost += computing;
+            servers.push(ServerUse {
+                server: v,
+                ingress_edges: path.edges().to_vec(),
+                ingress_cost: path.cost() * b,
+                computing_cost: computing,
+            });
+        }
+        let mut pseudo = PseudoMulticastTree {
+            request: request.id,
+            source: request.source,
+            servers,
+            distribution_edges: self.distribution,
+            extra_traversals: Vec::new(),
+            bandwidth_cost: 0.0,
+            computing_cost,
+        };
+        // Bandwidth: the ingress *union* (shared trunk edges once) plus
+        // the distribution structure.
+        pseudo.bandwidth_cost = pseudo
+            .ingress_union()
+            .iter()
+            .chain(&pseudo.distribution_edges)
+            .map(|&e| sdn.unit_bandwidth_cost(e) * b)
+            .sum();
+        pseudo
+    }
+}
+
+/// How a closure edge between two destinations is realized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Realization {
+    Direct,
+    ViaVirtual,
+}
+
+/// Evaluates one server combination: KMB over the (implicit) auxiliary
+/// graph using the precomputed shortest-path trees. Returns the pruned
+/// tree cost and its composition.
+fn eval_combination(
+    g: &Graph,
+    b: f64,
+    virt: &[(NodeId, f64)],
+    combo: &[usize],
+    request: &MulticastRequest,
+    spt_dests: &[ShortestPathTree],
+) -> Option<(f64, MiniTree)> {
+    let dests = &request.destinations;
+    let t = dests.len() + 1; // virtual source + destinations
+
+    // Best server (and aux distance) for each destination.
+    let mut to_virtual: Vec<(f64, usize)> = Vec::with_capacity(dests.len());
+    for (di, _) in dests.iter().enumerate() {
+        let mut best: Option<(f64, usize)> = None;
+        for &vi in combo {
+            let (v, w) = virt[vi];
+            let Some(dv) = spt_dests[di].distance(v) else {
+                continue;
+            };
+            let cand = w + dv * b;
+            if best.is_none_or(|(bc, _)| cand < bc) {
+                best = Some((cand, vi));
+            }
+        }
+        to_virtual.push(best?); // any unreachable destination kills the combo
+    }
+
+    // Metric closure over {s'} ∪ D (node 0 = s').
+    let mut closure = Graph::with_nodes(t);
+    let mut realizations: HashMap<(usize, usize), Realization> = HashMap::new();
+    for (di, &(dcost, _)) in to_virtual.iter().enumerate() {
+        closure
+            .add_edge(NodeId::new(0), NodeId::new(di + 1), dcost)
+            .expect("finite closure weight");
+    }
+    for i in 0..dests.len() {
+        for j in (i + 1)..dests.len() {
+            let direct = spt_dests[i].distance(dests[j]).map(|d| d * b);
+            let via = to_virtual[i].0 + to_virtual[j].0;
+            let (w, real) = match direct {
+                Some(d) if d <= via => (d, Realization::Direct),
+                _ => (via, Realization::ViaVirtual),
+            };
+            closure
+                .add_edge(NodeId::new(i + 1), NodeId::new(j + 1), w)
+                .expect("finite closure weight");
+            realizations.insert((i, j), real);
+        }
+    }
+    let closure_mst = kruskal(&closure);
+    debug_assert!(closure_mst.is_spanning_tree());
+
+    // Expand closure MST edges into real edges + virtual edges.
+    let mut real_edges: Vec<EdgeId> = Vec::new();
+    let mut used_virtual: Vec<usize> = Vec::new();
+    let add_virtual_leg = |di: usize, real_edges: &mut Vec<EdgeId>, used: &mut Vec<usize>| {
+        let (_, vi) = to_virtual[di];
+        used.push(vi);
+        let path = spt_dests[di]
+            .path_to(virt[vi].0)
+            .expect("virtual leg implies reachability");
+        real_edges.extend(path.edges().iter().copied());
+    };
+    for &ce in &closure_mst.edges {
+        let er = closure.edge(ce);
+        let (a, c) = (er.u.index(), er.v.index());
+        let (a, c) = (a.min(c), a.max(c));
+        if a == 0 {
+            add_virtual_leg(c - 1, &mut real_edges, &mut used_virtual);
+        } else {
+            let (i, j) = (a - 1, c - 1);
+            match realizations[&(i, j)] {
+                Realization::Direct => {
+                    let path = spt_dests[i]
+                        .path_to(dests[j])
+                        .expect("direct realization implies reachability");
+                    real_edges.extend(path.edges().iter().copied());
+                }
+                Realization::ViaVirtual => {
+                    add_virtual_leg(i, &mut real_edges, &mut used_virtual);
+                    add_virtual_leg(j, &mut real_edges, &mut used_virtual);
+                }
+            }
+        }
+    }
+    real_edges.sort_unstable();
+    real_edges.dedup();
+    used_virtual.sort_unstable();
+    used_virtual.dedup();
+
+    // Mini auxiliary subgraph: interned nodes, real + virtual edges.
+    let mut mini = Graph::new();
+    let mut intern: HashMap<usize, NodeId> = HashMap::new(); // orig node idx -> mini
+    let node_of = |orig: NodeId, mini: &mut Graph, intern: &mut HashMap<usize, NodeId>| {
+        *intern
+            .entry(orig.index())
+            .or_insert_with(|| mini.add_node())
+    };
+    #[derive(Clone, Copy)]
+    enum Tag {
+        Real(EdgeId),
+        Virtual(usize),
+    }
+    let mut tags: Vec<Tag> = Vec::new();
+    for &e in &real_edges {
+        let er = g.edge(e);
+        let u = node_of(er.u, &mut mini, &mut intern);
+        let v = node_of(er.v, &mut mini, &mut intern);
+        mini.add_edge(u, v, er.weight * b).expect("valid mini edge");
+        tags.push(Tag::Real(e));
+    }
+    let s_prime = mini.add_node(); // virtual source, outside the intern map
+    for &vi in &used_virtual {
+        let (v, w) = virt[vi];
+        let vm = node_of(v, &mut mini, &mut intern);
+        mini.add_edge(s_prime, vm, w).expect("valid virtual edge");
+        tags.push(Tag::Virtual(vi));
+    }
+
+    // KMB steps 4-5: MST of the expansion subgraph, then prune.
+    let mst = kruskal(&mini);
+    let mut terminals: Vec<NodeId> = vec![s_prime];
+    for d in dests {
+        terminals.push(*intern.get(&d.index()).expect("destinations are on paths"));
+    }
+    let (kept, cost) = steiner::prune_non_terminal_leaves(&mini, &mst.edges, &terminals);
+
+    let mut distribution = Vec::new();
+    let mut used_servers = Vec::new();
+    for e in kept {
+        match tags[e.index()] {
+            Tag::Real(id) => distribution.push(id),
+            Tag::Virtual(vi) => used_servers.push(vi),
+        }
+    }
+    if used_servers.is_empty() {
+        // Degenerate: pruning removed every server leg (can only happen if
+        // no destination exists, which requests forbid).
+        return None;
+    }
+    Some((
+        cost,
+        MiniTree {
+            distribution,
+            used_servers,
+        },
+    ))
+}
+
+/// Runs the literal Algorithm 1: materialize `G_k^i` per combination and
+/// invoke the chosen Steiner routine.
+#[must_use]
+pub fn appro_multi_with_steiner(
+    sdn: &Sdn,
+    request: &MulticastRequest,
+    k: usize,
+    routine: SteinerRoutine,
+) -> Option<PseudoMulticastTree> {
+    assert!(k >= 1, "at least one server is required (K >= 1)");
+    let spt_source = dijkstra(sdn.graph(), request.source);
+    let mut best: Option<PseudoMulticastTree> = None;
+    for combo in combinations_up_to(sdn.servers(), k) {
+        let Some(aux) = AuxiliaryGraph::build_with_spt(sdn, request, &combo, &spt_source) else {
+            continue;
+        };
+        let terminals = aux.terminals(request);
+        let tree = match routine {
+            SteinerRoutine::Kmb => steiner::kmb(aux.graph(), &terminals),
+            SteinerRoutine::Sph => steiner::sph(aux.graph(), &terminals),
+        };
+        let Some(tree) = tree else { continue };
+        let pseudo = aux.steiner_to_pseudo(&tree);
+        if best
+            .as_ref()
+            .is_none_or(|b| pseudo.total_cost() < b.total_cost())
+        {
+            best = Some(pseudo);
+        }
+    }
+    best
+}
+
+/// The literal Algorithm 1 with the paper's KMB routine — the auditable
+/// reference for [`appro_multi`].
+#[must_use]
+pub fn appro_multi_reference(
+    sdn: &Sdn,
+    request: &MulticastRequest,
+    k: usize,
+) -> Option<PseudoMulticastTree> {
+    appro_multi_with_steiner(sdn, request, k, SteinerRoutine::Kmb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sdn::{NfvType, RequestId, SdnBuilder, ServiceChain};
+
+    fn chain() -> ServiceChain {
+        ServiceChain::new(vec![NfvType::Firewall])
+    }
+
+    /// A line: s - a - m1(server) - b - d1, with d2 off b.
+    fn line_fixture() -> (Sdn, MulticastRequest) {
+        let mut bld = SdnBuilder::new();
+        let s = bld.add_switch();
+        let a = bld.add_switch();
+        let m1 = bld.add_server(8_000.0, 1.0);
+        let bb = bld.add_switch();
+        let d1 = bld.add_switch();
+        let d2 = bld.add_switch();
+        bld.add_link(s, a, 10_000.0, 1.0).unwrap();
+        bld.add_link(a, m1, 10_000.0, 1.0).unwrap();
+        bld.add_link(m1, bb, 10_000.0, 1.0).unwrap();
+        bld.add_link(bb, d1, 10_000.0, 1.0).unwrap();
+        bld.add_link(bb, d2, 10_000.0, 1.0).unwrap();
+        let sdn = bld.build().unwrap();
+        let req = MulticastRequest::new(RequestId(0), s, vec![d1, d2], 10.0, chain());
+        (sdn, req)
+    }
+
+    #[test]
+    fn single_server_line() {
+        let (sdn, req) = line_fixture();
+        let t = appro_multi(&sdn, &req, 1).unwrap();
+        t.validate(&sdn, &req).unwrap();
+        // Ingress s->a->m1: 2 edges * 10 = 20; computing 1.0*0.9*10 = 9;
+        // distribution m1->b, b->d1, b->d2 = 30. Total 59.
+        assert!(
+            (t.total_cost() - 59.0).abs() < 1e-9,
+            "cost {}",
+            t.total_cost()
+        );
+        assert_eq!(t.servers_used().len(), 1);
+    }
+
+    #[test]
+    fn reference_agrees_on_line() {
+        let (sdn, req) = line_fixture();
+        let fast = appro_multi(&sdn, &req, 1).unwrap();
+        let lit = appro_multi_reference(&sdn, &req, 1).unwrap();
+        assert!((fast.total_cost() - lit.total_cost()).abs() < 1e-9);
+    }
+
+    /// Random Waxman-ish instance with no server adjacent to the source,
+    /// so the zero-edge rule cannot fire and fast == literal must hold.
+    fn random_instance(seed: u64, n: usize) -> Option<(Sdn, MulticastRequest)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bld = SdnBuilder::new();
+        let nodes: Vec<NodeId> = (0..n).map(|_| bld.add_switch()).collect();
+        // Ring + chords for connectivity.
+        for i in 0..n {
+            bld.add_link(
+                nodes[i],
+                nodes[(i + 1) % n],
+                10_000.0,
+                rng.gen_range(0.5..2.0),
+            )
+            .unwrap();
+        }
+        for _ in 0..n {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                bld.add_link(nodes[u], nodes[v], 10_000.0, rng.gen_range(0.5..2.0))
+                    .unwrap();
+            }
+        }
+        // Source is node 0; servers are picked away from its neighbors.
+        let source = nodes[0];
+        let mut servers = Vec::new();
+        for &node in &nodes[(n / 3)..(n / 3 + 3)] {
+            bld.attach_server(node, 8_000.0, rng.gen_range(0.5..2.0))
+                .unwrap();
+            servers.push(node);
+        }
+        let sdn = bld.build().ok()?;
+        // No server adjacent to the source?
+        for nb in sdn.graph().neighbors(source) {
+            if servers.contains(&nb.node) {
+                return None;
+            }
+        }
+        let dests: Vec<NodeId> = vec![nodes[n - 2], nodes[n / 2], nodes[n - 4]];
+        let req = MulticastRequest::new(
+            RequestId(seed),
+            source,
+            dests,
+            rng.gen_range(50.0..200.0),
+            chain(),
+        );
+        Some((sdn, req))
+    }
+
+    #[test]
+    fn fast_matches_reference_on_random_instances() {
+        let mut tested = 0;
+        for seed in 0..40u64 {
+            let Some((sdn, req)) = random_instance(seed, 14) else {
+                continue;
+            };
+            for k in 1..=3 {
+                let fast = appro_multi(&sdn, &req, k).unwrap();
+                let lit = appro_multi_reference(&sdn, &req, k).unwrap();
+                fast.validate(&sdn, &req).unwrap();
+                lit.validate(&sdn, &req).unwrap();
+                let (cf, cl) = (fast.total_cost(), lit.total_cost());
+                assert!(
+                    (cf - cl).abs() <= 1e-6 * (1.0 + cl),
+                    "seed {seed} k {k}: fast {cf} vs literal {cl}"
+                );
+            }
+            tested += 1;
+        }
+        assert!(tested >= 10, "too few instances exercised ({tested})");
+    }
+
+    #[test]
+    fn more_servers_never_hurt() {
+        // Cost with K=2 is at most cost with K=1 (superset of combos).
+        for seed in 0..20u64 {
+            let Some((sdn, req)) = random_instance(seed, 14) else {
+                continue;
+            };
+            let c1 = appro_multi(&sdn, &req, 1).unwrap().total_cost();
+            let c2 = appro_multi(&sdn, &req, 2).unwrap().total_cost();
+            let c3 = appro_multi(&sdn, &req, 3).unwrap().total_cost();
+            assert!(c2 <= c1 + 1e-9, "seed {seed}: {c2} > {c1}");
+            assert!(c3 <= c2 + 1e-9, "seed {seed}: {c3} > {c2}");
+        }
+    }
+
+    #[test]
+    fn server_count_never_exceeds_k() {
+        for seed in 0..20u64 {
+            let Some((sdn, req)) = random_instance(seed, 14) else {
+                continue;
+            };
+            for k in 1..=3 {
+                let t = appro_multi(&sdn, &req, k).unwrap();
+                assert!(t.servers_used().len() <= k);
+            }
+        }
+    }
+
+    #[test]
+    fn no_servers_returns_none() {
+        let mut bld = SdnBuilder::new();
+        let s = bld.add_switch();
+        let d = bld.add_switch();
+        bld.add_link(s, d, 10_000.0, 1.0).unwrap();
+        let sdn = bld.build().unwrap();
+        let req = MulticastRequest::new(RequestId(0), s, vec![d], 10.0, chain());
+        assert!(appro_multi(&sdn, &req, 2).is_none());
+        assert!(appro_multi_reference(&sdn, &req, 2).is_none());
+    }
+
+    #[test]
+    fn unreachable_destination_returns_none() {
+        let mut bld = SdnBuilder::new();
+        let s = bld.add_switch();
+        let m = bld.add_server(8_000.0, 1.0);
+        let d = bld.add_switch(); // isolated
+        bld.add_link(s, m, 10_000.0, 1.0).unwrap();
+        let sdn = bld.build().unwrap();
+        let req = MulticastRequest::new(RequestId(0), s, vec![d], 10.0, chain());
+        assert!(appro_multi(&sdn, &req, 1).is_none());
+    }
+
+    #[test]
+    fn source_with_attached_server_is_free_ingress() {
+        let mut bld = SdnBuilder::new();
+        let s = bld.add_server(8_000.0, 1.0);
+        let d = bld.add_switch();
+        bld.add_link(s, d, 10_000.0, 2.0).unwrap();
+        let sdn = bld.build().unwrap();
+        let req = MulticastRequest::new(RequestId(0), s, vec![d], 10.0, chain());
+        let t = appro_multi(&sdn, &req, 1).unwrap();
+        t.validate(&sdn, &req).unwrap();
+        assert!(t.servers[0].ingress_edges.is_empty());
+        // computing 9 + edge 20 = 29.
+        assert!((t.total_cost() - 29.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_servers_beat_one_when_fan_out_is_wide() {
+        // The source sits between two destination clusters, each with its
+        // own nearby server. One server forces a long detour back through
+        // the source; two cheap servers avoid it.
+        let mut bld = SdnBuilder::new();
+        let s = bld.add_switch();
+        let m1 = bld.add_server(8_000.0, 0.01);
+        let m2 = bld.add_server(8_000.0, 0.01);
+        let d1 = bld.add_switch();
+        let d2 = bld.add_switch();
+        bld.add_link(s, m1, 10_000.0, 1.0).unwrap();
+        bld.add_link(s, m2, 10_000.0, 1.0).unwrap();
+        // Long tails from servers to destinations.
+        bld.add_link(m1, d1, 10_000.0, 5.0).unwrap();
+        bld.add_link(m2, d2, 10_000.0, 5.0).unwrap();
+        let sdn = bld.build().unwrap();
+        let req = MulticastRequest::new(RequestId(0), s, vec![d1, d2], 10.0, chain());
+        let t1 = appro_multi(&sdn, &req, 1).unwrap();
+        let t2 = appro_multi(&sdn, &req, 2).unwrap();
+        assert!(t2.total_cost() < t1.total_cost());
+        assert_eq!(t2.servers_used().len(), 2);
+        t2.validate(&sdn, &req).unwrap();
+    }
+
+    #[test]
+    fn sph_routine_also_valid() {
+        let (sdn, req) = line_fixture();
+        let t = appro_multi_with_steiner(&sdn, &req, 2, SteinerRoutine::Sph).unwrap();
+        t.validate(&sdn, &req).unwrap();
+    }
+}

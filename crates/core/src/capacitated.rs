@@ -1,0 +1,232 @@
+//! `Appro_Multi_Cap` (§IV-C): Algorithm 1 under residual capacity
+//! constraints.
+//!
+//! A subgraph `G'` keeps only links with residual bandwidth ≥ `b_k` and
+//! only servers with residual computing ≥ `C_v(SC_k)`; Algorithm 1 then
+//! runs on `G'`. If no connected component of `G'` contains the source,
+//! all destinations, and a usable server, the request is rejected.
+
+use crate::{appro_multi_on, PseudoMulticastTree};
+use netgraph::{EdgeId, NodeId};
+use sdn::{MulticastRequest, Sdn, SdnBuilder};
+
+/// The outcome of a capacitated admission attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Admission {
+    /// A feasible pseudo-multicast tree was found (not yet committed —
+    /// call [`PseudoMulticastTree::allocation`] and [`Sdn::allocate`]).
+    Admitted(PseudoMulticastTree),
+    /// No feasible tree exists under the current residual capacities.
+    Rejected,
+}
+
+impl Admission {
+    /// Returns `true` for [`Admission::Admitted`].
+    #[must_use]
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, Admission::Admitted(_))
+    }
+
+    /// The admitted tree, if any.
+    #[must_use]
+    pub fn tree(&self) -> Option<&PseudoMulticastTree> {
+        match self {
+            Admission::Admitted(t) => Some(t),
+            Admission::Rejected => None,
+        }
+    }
+
+    /// Consumes the admission, yielding the tree if admitted.
+    #[must_use]
+    pub fn into_tree(self) -> Option<PseudoMulticastTree> {
+        match self {
+            Admission::Admitted(t) => Some(t),
+            Admission::Rejected => None,
+        }
+    }
+}
+
+/// Runs `Appro_Multi_Cap`: Algorithm 1 on the residual-feasible subgraph.
+///
+/// The returned tree (if any) fits within current residual capacities
+/// **when allocated with the double-traversal convention** of
+/// [`PseudoMulticastTree::allocation`]; offline trees produced here never
+/// retraverse an edge, so a single `b_k` per used link suffices — but a
+/// link can appear in both an ingress path and the distribution structure,
+/// which is why feasibility is re-checked against the accumulated
+/// [`sdn::Allocation`] before reporting admission.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn appro_multi_cap(sdn: &Sdn, request: &MulticastRequest, k: usize) -> Admission {
+    assert!(k >= 1, "at least one server is required (K >= 1)");
+    let b = request.bandwidth;
+    let demand = request.computing_demand();
+
+    // Build the feasible sub-SDN. All switches survive (so node ids are
+    // stable); saturated links and servers are dropped.
+    let g = sdn.graph();
+    let mut bld = SdnBuilder::new();
+    for _ in g.nodes() {
+        bld.add_switch();
+    }
+    let mut usable_servers: Vec<NodeId> = Vec::new();
+    for &v in sdn.servers() {
+        if sdn.residual_computing(v).expect("server") + 1e-9 >= demand {
+            bld.attach_server(
+                v,
+                sdn.computing_capacity(v).expect("server"),
+                sdn.unit_computing_cost(v).expect("server"),
+            )
+            .expect("same node space");
+            usable_servers.push(v);
+        }
+    }
+    if usable_servers.is_empty() {
+        return Admission::Rejected;
+    }
+    let mut edge_map: Vec<EdgeId> = Vec::new(); // filtered edge idx -> original id
+    for e in g.edges() {
+        if sdn.residual_bandwidth(e.id) + 1e-9 >= b {
+            bld.add_link(e.u, e.v, sdn.bandwidth_capacity(e.id), e.weight)
+                .expect("copied link is valid");
+            edge_map.push(e.id);
+        }
+    }
+    let filtered = bld.build().expect("filtered SDN is well-formed");
+
+    let Some(tree) = appro_multi_on(&filtered, request, k, &usable_servers) else {
+        return Admission::Rejected;
+    };
+
+    // Translate edge ids back to the original network.
+    let mut tree = tree;
+    for su in &mut tree.servers {
+        for e in &mut su.ingress_edges {
+            *e = edge_map[e.index()];
+        }
+    }
+    for e in &mut tree.distribution_edges {
+        *e = edge_map[e.index()];
+    }
+    for e in &mut tree.extra_traversals {
+        *e = edge_map[e.index()];
+    }
+
+    // A link may carry the request once per traversal (ingress paths can
+    // overlap the distribution structure); verify the *accumulated* load
+    // still fits before declaring admission.
+    let alloc = tree.allocation(request);
+    if !sdn.can_allocate(&alloc) {
+        return Admission::Rejected;
+    }
+    Admission::Admitted(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdn::{Allocation, NfvType, RequestId, ServiceChain};
+
+    fn chain() -> ServiceChain {
+        ServiceChain::new(vec![NfvType::Firewall])
+    }
+
+    /// s - m1(server) - d with an alternative longer route s - a - m2 - d.
+    fn fixture() -> (Sdn, Vec<NodeId>, Vec<EdgeId>) {
+        let mut bld = SdnBuilder::new();
+        let s = bld.add_switch();
+        let m1 = bld.add_server(1_000.0, 1.0);
+        let a = bld.add_switch();
+        let m2 = bld.add_server(1_000.0, 1.0);
+        let d = bld.add_switch();
+        let e0 = bld.add_link(s, m1, 1_000.0, 1.0).unwrap();
+        let e1 = bld.add_link(m1, d, 1_000.0, 1.0).unwrap();
+        let e2 = bld.add_link(s, a, 1_000.0, 2.0).unwrap();
+        let e3 = bld.add_link(a, m2, 1_000.0, 2.0).unwrap();
+        let e4 = bld.add_link(m2, d, 1_000.0, 2.0).unwrap();
+        (
+            bld.build().unwrap(),
+            vec![s, m1, a, m2, d],
+            vec![e0, e1, e2, e3, e4],
+        )
+    }
+
+    #[test]
+    fn admits_on_fresh_network() {
+        let (sdn, v, _) = fixture();
+        let req = MulticastRequest::new(RequestId(0), v[0], vec![v[4]], 100.0, chain());
+        let adm = appro_multi_cap(&sdn, &req, 1);
+        let tree = adm.tree().expect("admitted");
+        tree.validate(&sdn, &req).unwrap();
+        assert_eq!(tree.servers_used(), vec![v[1]]); // cheap route via m1
+    }
+
+    #[test]
+    fn reroutes_around_saturated_link() {
+        let (mut sdn, v, e) = fixture();
+        // Saturate the cheap m1 - d link.
+        let mut a = Allocation::new(RequestId(99));
+        a.add_link(e[1], 950.0);
+        sdn.allocate(&a).unwrap();
+        let req = MulticastRequest::new(RequestId(0), v[0], vec![v[4]], 100.0, chain());
+        let adm = appro_multi_cap(&sdn, &req, 1);
+        let tree = adm.into_tree().expect("still feasible via m2");
+        assert_eq!(tree.servers_used(), vec![v[3]]);
+        // Admitted allocation must actually fit.
+        let mut net = sdn.clone();
+        net.allocate(&tree.allocation(&req)).unwrap();
+    }
+
+    #[test]
+    fn rejects_when_all_servers_saturated() {
+        let (mut sdn, v, _) = fixture();
+        let mut a = Allocation::new(RequestId(99));
+        a.add_server(v[1], 999.0);
+        a.add_server(v[3], 999.0);
+        sdn.allocate(&a).unwrap();
+        let req = MulticastRequest::new(RequestId(0), v[0], vec![v[4]], 100.0, chain());
+        assert_eq!(appro_multi_cap(&sdn, &req, 1), Admission::Rejected);
+    }
+
+    #[test]
+    fn rejects_when_cut_from_destination() {
+        let (mut sdn, v, e) = fixture();
+        // Saturate both links into d.
+        let mut a = Allocation::new(RequestId(99));
+        a.add_link(e[1], 950.0);
+        a.add_link(e[4], 950.0);
+        sdn.allocate(&a).unwrap();
+        let req = MulticastRequest::new(RequestId(0), v[0], vec![v[4]], 100.0, chain());
+        assert!(!appro_multi_cap(&sdn, &req, 2).is_admitted());
+    }
+
+    #[test]
+    fn capacitated_cost_at_least_uncapacitated() {
+        let (mut sdn, v, e) = fixture();
+        let req = MulticastRequest::new(RequestId(0), v[0], vec![v[4]], 100.0, chain());
+        let free = crate::appro_multi(&sdn, &req, 2).unwrap().total_cost();
+        let mut a = Allocation::new(RequestId(99));
+        a.add_link(e[0], 950.0); // force the expensive route
+        sdn.allocate(&a).unwrap();
+        let capped = appro_multi_cap(&sdn, &req, 2)
+            .into_tree()
+            .unwrap()
+            .total_cost();
+        assert!(capped >= free - 1e-9);
+    }
+
+    #[test]
+    fn admission_helpers() {
+        let (sdn, v, _) = fixture();
+        let req = MulticastRequest::new(RequestId(0), v[0], vec![v[4]], 100.0, chain());
+        let adm = appro_multi_cap(&sdn, &req, 1);
+        assert!(adm.is_admitted());
+        assert!(adm.tree().is_some());
+        assert!(adm.into_tree().is_some());
+        assert!(!Admission::Rejected.is_admitted());
+        assert!(Admission::Rejected.tree().is_none());
+    }
+}

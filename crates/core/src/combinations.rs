@@ -1,0 +1,104 @@
+//! Enumeration of server combinations.
+
+/// Returns every non-empty subset of `items` with at most `k` elements,
+/// smallest subsets first. This is the combination loop of Algorithm 1:
+/// the optimal tree may use any `l ∈ [1, K]` servers, so all sizes up to
+/// `K` are tried.
+///
+/// The result is deterministic: subsets are emitted in lexicographic order
+/// of their index tuples within each size class.
+///
+/// ```
+/// use nfv_multicast::combinations_up_to;
+/// let combos = combinations_up_to(&['a', 'b', 'c'], 2);
+/// assert_eq!(combos.len(), 6); // {a} {b} {c} {ab} {ac} {bc}
+/// ```
+#[must_use]
+pub fn combinations_up_to<T: Copy>(items: &[T], k: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let k = k.min(n);
+    let mut out = Vec::new();
+    for size in 1..=k {
+        let mut idx: Vec<usize> = (0..size).collect();
+        loop {
+            out.push(idx.iter().map(|&i| items[i]).collect());
+            // Find the rightmost index that can still advance.
+            let Some(pos) = (0..size).rev().find(|&p| idx[p] < n - size + p) else {
+                break;
+            };
+            idx[pos] += 1;
+            for j in (pos + 1)..size {
+                idx[j] = idx[j - 1] + 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binomial(n: usize, k: usize) -> usize {
+        if k > n {
+            return 0;
+        }
+        let mut r = 1usize;
+        for i in 0..k {
+            r = r * (n - i) / (i + 1);
+        }
+        r
+    }
+
+    #[test]
+    fn counts_match_binomials() {
+        for n in 1..=7 {
+            let items: Vec<usize> = (0..n).collect();
+            for k in 1..=n {
+                let combos = combinations_up_to(&items, k);
+                let expected: usize = (1..=k).map(|s| binomial(n, s)).sum();
+                assert_eq!(combos.len(), expected, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn subsets_are_distinct_and_sorted_within() {
+        let items = [10, 20, 30, 40];
+        let combos = combinations_up_to(&items, 3);
+        let mut seen = std::collections::HashSet::new();
+        for c in &combos {
+            let mut sorted = c.clone();
+            sorted.sort_unstable();
+            assert_eq!(&sorted, c, "subset not in index order: {c:?}");
+            assert!(seen.insert(c.clone()), "duplicate subset {c:?}");
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let combos = combinations_up_to(&[1, 2], 10);
+        assert_eq!(combos.len(), 3); // {1} {2} {1,2}
+    }
+
+    #[test]
+    fn k_one_gives_singletons() {
+        let combos = combinations_up_to(&[1, 2, 3], 1);
+        assert_eq!(combos, vec![vec![1], vec![2], vec![3]]);
+    }
+
+    #[test]
+    fn empty_items_give_nothing() {
+        let combos: Vec<Vec<u8>> = combinations_up_to(&[], 3);
+        assert!(combos.is_empty());
+    }
+
+    #[test]
+    fn sizes_ascend() {
+        let combos = combinations_up_to(&[1, 2, 3, 4], 3);
+        let sizes: Vec<usize> = combos.iter().map(Vec::len).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted);
+    }
+}

@@ -1,0 +1,174 @@
+//! Exact optimum over the auxiliary-graph family — the oracle behind the
+//! empirical 2K-approximation audit.
+//!
+//! For every server combination of size ≤ K the literal auxiliary graph is
+//! searched with the Dreyfus–Wagner exact Steiner DP. The minimum over
+//! combinations is the best pseudo-multicast tree *of the paper's
+//! structural family* (each chain instance fed by its own shortest ingress
+//! path). Theorem 1 shows this family's optimum is within a factor `l ≤ K`
+//! of the unrestricted optimum, so
+//!
+//! ```text
+//! appro_multi ≤ 2 · exact_pseudo_multicast ≤ 2K · OPT
+//! ```
+//!
+//! and the test suites assert the first inequality directly.
+
+use crate::{combinations_up_to, AuxiliaryGraph, PseudoMulticastTree};
+use netgraph::dijkstra;
+use sdn::{MulticastRequest, Sdn};
+
+/// Computes the exact minimum-cost pseudo-multicast tree over all server
+/// combinations of size 1..=`k` (auxiliary-graph family).
+///
+/// Returns `None` when no combination reaches every destination.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, or if `|D_k| + 1` exceeds
+/// [`steiner::MAX_TERMINALS`] (the DP is exponential in the terminal
+/// count; this is a test oracle).
+#[must_use]
+pub fn exact_pseudo_multicast(
+    sdn: &Sdn,
+    request: &MulticastRequest,
+    k: usize,
+) -> Option<PseudoMulticastTree> {
+    assert!(k >= 1, "at least one server is required (K >= 1)");
+    assert!(
+        request.destinations.len() < steiner::MAX_TERMINALS,
+        "exact oracle limited to {} terminals",
+        steiner::MAX_TERMINALS
+    );
+    let spt_source = dijkstra(sdn.graph(), request.source);
+    let mut best: Option<PseudoMulticastTree> = None;
+    for combo in combinations_up_to(sdn.servers(), k) {
+        let Some(aux) = AuxiliaryGraph::build_with_spt(sdn, request, &combo, &spt_source) else {
+            continue;
+        };
+        let terminals = aux.terminals(request);
+        let Some(tree) = steiner::dreyfus_wagner(aux.graph(), &terminals) else {
+            continue;
+        };
+        let pseudo = aux.steiner_to_pseudo(&tree);
+        if best
+            .as_ref()
+            .is_none_or(|b| pseudo.total_cost() < b.total_cost())
+        {
+            best = Some(pseudo);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{appro_multi, appro_multi_reference};
+    use netgraph::NodeId;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sdn::{NfvType, RequestId, SdnBuilder, ServiceChain};
+
+    fn chain() -> ServiceChain {
+        ServiceChain::new(vec![NfvType::Nat])
+    }
+
+    fn random_instance(seed: u64) -> (Sdn, MulticastRequest) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 12;
+        let mut bld = SdnBuilder::new();
+        let nodes: Vec<NodeId> = (0..n).map(|_| bld.add_switch()).collect();
+        for i in 0..n {
+            bld.add_link(
+                nodes[i],
+                nodes[(i + 1) % n],
+                10_000.0,
+                rng.gen_range(0.5..2.0),
+            )
+            .unwrap();
+        }
+        for _ in 0..8 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                bld.add_link(nodes[u], nodes[v], 10_000.0, rng.gen_range(0.5..2.0))
+                    .unwrap();
+            }
+        }
+        bld.attach_server(nodes[3], 8_000.0, rng.gen_range(0.5..2.0))
+            .unwrap();
+        bld.attach_server(nodes[7], 8_000.0, rng.gen_range(0.5..2.0))
+            .unwrap();
+        bld.attach_server(nodes[10], 8_000.0, rng.gen_range(0.5..2.0))
+            .unwrap();
+        let sdn = bld.build().unwrap();
+        let req = MulticastRequest::new(
+            RequestId(seed),
+            nodes[0],
+            vec![nodes[5], nodes[8], nodes[11]],
+            rng.gen_range(50.0..200.0),
+            chain(),
+        );
+        (sdn, req)
+    }
+
+    #[test]
+    fn exact_lower_bounds_heuristics() {
+        for seed in 0..15 {
+            let (sdn, req) = random_instance(seed);
+            for k in 1..=2 {
+                let exact = exact_pseudo_multicast(&sdn, &req, k).unwrap();
+                exact.validate(&sdn, &req).unwrap();
+                let fast = appro_multi(&sdn, &req, k).unwrap();
+                let lit = appro_multi_reference(&sdn, &req, k).unwrap();
+                let e = exact.total_cost();
+                assert!(fast.total_cost() >= e - 1e-6, "seed {seed} k {k}");
+                assert!(lit.total_cost() >= e - 1e-6, "seed {seed} k {k}");
+                // The KMB guarantee within the same auxiliary family.
+                assert!(
+                    lit.total_cost() <= 2.0 * e + 1e-6,
+                    "seed {seed} k {k}: literal {} vs 2x exact {}",
+                    lit.total_cost(),
+                    2.0 * e
+                );
+                assert!(
+                    fast.total_cost() <= 2.0 * e + 1e-6,
+                    "seed {seed} k {k}: fast {} vs 2x exact {}",
+                    fast.total_cost(),
+                    2.0 * e
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_improves_or_ties_with_larger_k() {
+        for seed in 0..10 {
+            let (sdn, req) = random_instance(seed);
+            let e1 = exact_pseudo_multicast(&sdn, &req, 1).unwrap().total_cost();
+            let e2 = exact_pseudo_multicast(&sdn, &req, 2).unwrap().total_cost();
+            assert!(e2 <= e1 + 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exact oracle limited")]
+    fn too_many_destinations_panics() {
+        let mut bld = SdnBuilder::new();
+        let s = bld.add_switch();
+        let m = bld.add_server(8_000.0, 1.0);
+        bld.add_link(s, m, 10_000.0, 1.0).unwrap();
+        let mut dests = Vec::new();
+        let mut prev = m;
+        for _ in 0..steiner::MAX_TERMINALS + 1 {
+            let d = bld.add_switch();
+            bld.add_link(prev, d, 10_000.0, 1.0).unwrap();
+            dests.push(d);
+            prev = d;
+        }
+        let sdn = bld.build().unwrap();
+        let req = MulticastRequest::new(RequestId(0), s, dests, 10.0, chain());
+        let _ = exact_pseudo_multicast(&sdn, &req, 1);
+    }
+}

@@ -1,0 +1,395 @@
+//! SDN forwarding-rule compilation and packet-level verification.
+//!
+//! The paper's setting is an SDN: once an algorithm picks a
+//! pseudo-multicast tree, the controller must install per-switch
+//! forwarding rules realizing it. This module compiles a
+//! [`PseudoMulticastTree`] into a [`RuleSet`] — match on
+//! (request, [`PacketStage`]), forward copies on a set of links, divert
+//! into the local chain instance, deliver locally — and provides a
+//! packet-level simulator that *executes* the rules.
+//!
+//! The simulator is the strongest validity check in the workspace: a tree
+//! is correct iff every destination receives exactly one **processed**
+//! packet, no unprocessed packet reaches a destination's delivery action,
+//! and the per-link traversal counts equal the tree's bandwidth
+//! [`Allocation`](sdn::Allocation). The integration tests run it against
+//! every algorithm's output.
+
+use crate::PseudoMulticastTree;
+use netgraph::{EdgeId, NodeId};
+use sdn::{MulticastRequest, Sdn};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Whether a packet has already traversed the service chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketStage {
+    /// Emitted by the source, not yet through the chain.
+    Unprocessed,
+    /// Output of a chain instance.
+    Processed,
+}
+
+/// One switch's forwarding behaviour for one (request, stage).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ForwardingRule {
+    /// Links to forward a copy on (stage preserved).
+    pub outputs: Vec<EdgeId>,
+    /// Divert the packet into the local chain instance; the instance
+    /// re-emits it as [`PacketStage::Processed`] at this switch.
+    pub process_here: bool,
+    /// Deliver a copy to the locally attached subscriber (destinations
+    /// only; only meaningful for processed packets).
+    pub deliver: bool,
+}
+
+/// The compiled rules of one request: `(switch, stage) → rule`.
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    rules: HashMap<(NodeId, PacketStage), ForwardingRule>,
+}
+
+impl RuleSet {
+    /// Looks up the rule for a switch and stage.
+    #[must_use]
+    pub fn rule(&self, switch: NodeId, stage: PacketStage) -> Option<&ForwardingRule> {
+        self.rules.get(&(switch, stage))
+    }
+
+    /// Total number of installed rules (the forwarding-table footprint
+    /// this request costs the network — the resource studied by the
+    /// paper's companion work on table sizes).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Returns `true` if no rules are installed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Number of rules installed at one switch.
+    #[must_use]
+    pub fn rules_at(&self, switch: NodeId) -> usize {
+        self.rules.keys().filter(|&&(s, _)| s == switch).count()
+    }
+
+    fn entry(&mut self, switch: NodeId, stage: PacketStage) -> &mut ForwardingRule {
+        self.rules.entry((switch, stage)).or_default()
+    }
+}
+
+/// Compiles a pseudo-multicast tree into forwarding rules.
+///
+/// # Errors
+///
+/// Returns a description when the tree is structurally unsound (e.g. a
+/// destination unreachable from every chain instance) — the same class of
+/// defects [`PseudoMulticastTree::validate`] reports, caught here at the
+/// data-plane level.
+pub fn compile_rules(
+    sdn: &Sdn,
+    request: &MulticastRequest,
+    tree: &PseudoMulticastTree,
+) -> Result<RuleSet, String> {
+    let g = sdn.graph();
+    let mut rules = RuleSet::default();
+
+    // --- Unprocessed plane: the ingress union, directed source → servers.
+    // Walk each server's ingress path; at every hop install a forward
+    // output (deduplicated by the set semantics below).
+    let mut unprocessed_out: HashMap<NodeId, HashSet<EdgeId>> = HashMap::new();
+    for su in &tree.servers {
+        let mut at = tree.source;
+        for &e in &su.ingress_edges {
+            let er = g.edge(e);
+            let next = if er.u == at {
+                er.v
+            } else if er.v == at {
+                er.u
+            } else {
+                return Err(format!("ingress path of {} breaks at {e}", su.server));
+            };
+            unprocessed_out.entry(at).or_default().insert(e);
+            at = next;
+        }
+        if at != su.server {
+            return Err(format!("ingress path of {} does not end at it", su.server));
+        }
+        rules
+            .entry(su.server, PacketStage::Unprocessed)
+            .process_here = true;
+    }
+    for (switch, outs) in unprocessed_out {
+        let rule = rules.entry(switch, PacketStage::Unprocessed);
+        let mut outs: Vec<EdgeId> = outs.into_iter().collect();
+        outs.sort_unstable();
+        rule.outputs = outs;
+    }
+
+    // --- Processed plane: multi-source BFS from every chain instance
+    // over the distribution ∪ send-back structure; each edge is directed
+    // away from its nearest instance, so every reachable node gets the
+    // processed stream exactly once.
+    let mut adj: HashMap<NodeId, Vec<(NodeId, EdgeId)>> = HashMap::new();
+    for &e in tree.distribution_edges.iter().chain(&tree.extra_traversals) {
+        let er = g.edge(e);
+        adj.entry(er.u).or_default().push((er.v, e));
+        adj.entry(er.v).or_default().push((er.u, e));
+    }
+    let mut visited: HashSet<NodeId> = HashSet::new();
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    for su in &tree.servers {
+        if visited.insert(su.server) {
+            queue.push_back(su.server);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let mut outs: Vec<EdgeId> = Vec::new();
+        for &(v, e) in adj.get(&u).into_iter().flatten() {
+            if visited.insert(v) {
+                outs.push(e);
+                queue.push_back(v);
+            }
+        }
+        if !outs.is_empty() {
+            outs.sort_unstable();
+            rules.entry(u, PacketStage::Processed).outputs = outs;
+        }
+    }
+
+    // Delivery actions at destinations.
+    for &d in &request.destinations {
+        if !visited.contains(&d) {
+            return Err(format!(
+                "destination {d} unreachable from every chain instance"
+            ));
+        }
+        rules.entry(d, PacketStage::Processed).deliver = true;
+    }
+    Ok(rules)
+}
+
+/// Outcome of executing a [`RuleSet`] packet by packet.
+#[derive(Debug, Clone)]
+pub struct DeliveryReport {
+    /// Destinations that received a processed packet.
+    pub delivered: Vec<NodeId>,
+    /// Hop count of the packet actually delivered to each destination
+    /// (source → chain instance → destination along the installed rules;
+    /// send-back detours included) — the end-to-end latency in hops.
+    pub delivery_hops: HashMap<NodeId, usize>,
+    /// Copies carried per link, *per stage traversal* (a link used by
+    /// both planes counts twice) — comparable to the tree's allocation.
+    pub link_traversals: HashMap<EdgeId, usize>,
+    /// Chain instances that actually processed traffic.
+    pub instances_used: Vec<NodeId>,
+}
+
+impl DeliveryReport {
+    /// Returns `true` if every destination of `request` was delivered.
+    #[must_use]
+    pub fn covers(&self, request: &MulticastRequest) -> bool {
+        request
+            .destinations
+            .iter()
+            .all(|d| self.delivered.contains(d))
+    }
+}
+
+/// Executes the rules: injects one unprocessed packet at the source and
+/// follows forwarding actions until quiescence.
+///
+/// # Errors
+///
+/// Returns a description if the rules loop (a `(switch, stage)` pair is
+/// visited twice) or an unprocessed packet reaches a delivery action.
+pub fn simulate_delivery(
+    sdn: &Sdn,
+    request: &MulticastRequest,
+    rules: &RuleSet,
+) -> Result<DeliveryReport, String> {
+    let g = sdn.graph();
+    let mut seen: HashSet<(NodeId, PacketStage)> = HashSet::new();
+    let mut queue: VecDeque<(NodeId, PacketStage, usize)> = VecDeque::new();
+    let mut link_traversals: HashMap<EdgeId, usize> = HashMap::new();
+    let mut delivered: Vec<NodeId> = Vec::new();
+    let mut delivery_hops: HashMap<NodeId, usize> = HashMap::new();
+    let mut instances_used: Vec<NodeId> = Vec::new();
+
+    queue.push_back((request.source, PacketStage::Unprocessed, 0));
+    seen.insert((request.source, PacketStage::Unprocessed));
+
+    while let Some((switch, stage, hops)) = queue.pop_front() {
+        let Some(rule) = rules.rule(switch, stage) else {
+            continue; // leaf of this plane
+        };
+        if rule.deliver {
+            if stage == PacketStage::Unprocessed {
+                return Err(format!(
+                    "unprocessed packet offered for delivery at {switch}"
+                ));
+            }
+            delivered.push(switch);
+            delivery_hops.insert(switch, hops);
+        }
+        if rule.process_here {
+            if !sdn.is_server(switch) {
+                return Err(format!("{switch} processes traffic but hosts no server"));
+            }
+            instances_used.push(switch);
+            if !seen.insert((switch, PacketStage::Processed)) {
+                return Err(format!("processed plane loops at {switch}"));
+            }
+            queue.push_back((switch, PacketStage::Processed, hops));
+        }
+        for &e in &rule.outputs {
+            let er = g.edge(e);
+            let next = er.other(switch);
+            *link_traversals.entry(e).or_insert(0) += 1;
+            if !seen.insert((next, stage)) {
+                return Err(format!("rules loop: {next} reached twice at {stage:?}"));
+            }
+            queue.push_back((next, stage, hops + 1));
+        }
+    }
+
+    delivered.sort_unstable();
+    instances_used.sort_unstable();
+    instances_used.dedup();
+    Ok(DeliveryReport {
+        delivered,
+        delivery_hops,
+        link_traversals,
+        instances_used,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{appro_multi, one_server};
+    use sdn::{NfvType, RequestId, SdnBuilder, ServiceChain};
+
+    fn chain() -> ServiceChain {
+        ServiceChain::new(vec![NfvType::Firewall])
+    }
+
+    fn line_net() -> (Sdn, Vec<NodeId>) {
+        let mut b = SdnBuilder::new();
+        let s = b.add_switch();
+        let a = b.add_switch();
+        let v = b.add_server(8_000.0, 0.1);
+        let d1 = b.add_switch();
+        let d2 = b.add_switch();
+        b.add_link(s, a, 10_000.0, 1.0).unwrap();
+        b.add_link(a, v, 10_000.0, 1.0).unwrap();
+        b.add_link(v, d1, 10_000.0, 1.0).unwrap();
+        b.add_link(a, d2, 10_000.0, 1.0).unwrap();
+        (b.build().unwrap(), vec![s, a, v, d1, d2])
+    }
+
+    #[test]
+    fn compiles_and_delivers_appro_multi_tree() {
+        let (sdn, n) = line_net();
+        let req = MulticastRequest::new(RequestId(0), n[0], vec![n[3], n[4]], 100.0, chain());
+        let tree = appro_multi(&sdn, &req, 1).unwrap();
+        let rules = compile_rules(&sdn, &req, &tree).unwrap();
+        let report = simulate_delivery(&sdn, &req, &rules).unwrap();
+        assert!(report.covers(&req));
+        assert_eq!(report.instances_used, vec![n[2]]);
+        assert!(!rules.is_empty());
+    }
+
+    #[test]
+    fn traversal_counts_match_allocation_for_steiner_trees() {
+        let (sdn, n) = line_net();
+        let req = MulticastRequest::new(RequestId(0), n[0], vec![n[3], n[4]], 100.0, chain());
+        let tree = appro_multi(&sdn, &req, 2).unwrap();
+        let rules = compile_rules(&sdn, &req, &tree).unwrap();
+        let report = simulate_delivery(&sdn, &req, &rules).unwrap();
+        let alloc = tree.allocation(&req);
+        for (e, load) in alloc.links() {
+            let traversals = report.link_traversals.get(&e).copied().unwrap_or(0);
+            assert!(
+                (load - traversals as f64 * req.bandwidth).abs() < 1e-6,
+                "link {e}: allocation {load} vs {traversals} traversals"
+            );
+        }
+        // And no link carries traffic the allocation does not account for.
+        for (&e, &t) in &report.link_traversals {
+            assert!(
+                (alloc.link_load(e) - t as f64 * req.bandwidth).abs() < 1e-6,
+                "untracked traffic on {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_over_provisions_relative_to_true_multicast() {
+        // Alg_One_Server reserves per expanded MST branch; the data plane
+        // only needs one multicast copy per link, so its allocation is an
+        // upper bound on the simulated traversals — and strictly exceeds
+        // them when branches overlap (here: the entry path reuses a
+        // branch edge).
+        let (sdn, n) = line_net();
+        let req = MulticastRequest::new(RequestId(0), n[0], vec![n[3], n[4]], 100.0, chain());
+        let tree = one_server(&sdn, &req).unwrap();
+        let rules = compile_rules(&sdn, &req, &tree).unwrap();
+        let report = simulate_delivery(&sdn, &req, &rules).unwrap();
+        assert!(report.covers(&req));
+        let alloc = tree.allocation(&req);
+        let mut over_provisioned = false;
+        for (e, load) in alloc.links() {
+            let physical =
+                report.link_traversals.get(&e).copied().unwrap_or(0) as f64 * req.bandwidth;
+            assert!(
+                load >= physical - 1e-6,
+                "link {e}: allocation {load} below physical need {physical}"
+            );
+            if load > physical + 1e-6 {
+                over_provisioned = true;
+            }
+        }
+        assert!(over_provisioned, "expected per-branch over-provisioning");
+    }
+
+    #[test]
+    fn source_hosting_server_processes_locally() {
+        let mut b = SdnBuilder::new();
+        let s = b.add_server(8_000.0, 0.1);
+        let d = b.add_switch();
+        b.add_link(s, d, 10_000.0, 1.0).unwrap();
+        let sdn = b.build().unwrap();
+        let req = MulticastRequest::new(RequestId(0), s, vec![d], 100.0, chain());
+        let tree = appro_multi(&sdn, &req, 1).unwrap();
+        let rules = compile_rules(&sdn, &req, &tree).unwrap();
+        let report = simulate_delivery(&sdn, &req, &rules).unwrap();
+        assert!(report.covers(&req));
+        assert_eq!(report.instances_used, vec![s]);
+    }
+
+    #[test]
+    fn detects_uncovered_destination_at_compile_time() {
+        let (sdn, n) = line_net();
+        let req = MulticastRequest::new(RequestId(0), n[0], vec![n[3], n[4]], 100.0, chain());
+        let mut tree = appro_multi(&sdn, &req, 1).unwrap();
+        tree.distribution_edges.clear(); // destinations now stranded
+        assert!(compile_rules(&sdn, &req, &tree)
+            .unwrap_err()
+            .contains("unreachable"));
+    }
+
+    #[test]
+    fn table_footprint_is_reported() {
+        let (sdn, n) = line_net();
+        let req = MulticastRequest::new(RequestId(0), n[0], vec![n[3], n[4]], 100.0, chain());
+        let tree = appro_multi(&sdn, &req, 1).unwrap();
+        let rules = compile_rules(&sdn, &req, &tree).unwrap();
+        // Every switch on the tree carries at least one rule; the server
+        // carries rules in both planes.
+        assert!(rules.rules_at(n[2]) >= 2);
+        assert!(rules.len() >= 4);
+    }
+}

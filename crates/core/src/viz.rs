@@ -1,0 +1,118 @@
+//! Graphviz DOT export of networks and pseudo-multicast trees.
+//!
+//! `dot -Tpdf` of the output shows the whole SDN in light gray with the
+//! request's structure overlaid: ingress paths (unprocessed stream) in
+//! blue, distribution edges (processed stream) in green, send-back
+//! retraversals in red, chain instances as double circles, the source as
+//! a box and destinations as filled circles.
+
+use crate::PseudoMulticastTree;
+use netgraph::EdgeId;
+use sdn::{MulticastRequest, Sdn};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Renders `tree` over its network as a Graphviz `graph` document.
+#[must_use]
+pub fn tree_to_dot(sdn: &Sdn, request: &MulticastRequest, tree: &PseudoMulticastTree) -> String {
+    let g = sdn.graph();
+    let ingress: HashSet<EdgeId> = tree.ingress_union().into_iter().collect();
+    let distribution: HashSet<EdgeId> = tree.distribution_edges.iter().copied().collect();
+    let extra: HashSet<EdgeId> = tree.extra_traversals.iter().copied().collect();
+    let servers: HashSet<_> = tree.servers_used().into_iter().collect();
+    let dests: HashSet<_> = request.destinations.iter().copied().collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "graph pseudo_multicast_{} {{", request.id.0);
+    let _ = writeln!(out, "  layout=neato; overlap=false; splines=true;");
+    let _ = writeln!(
+        out,
+        "  label=\"{} | cost {:.1} ({} chain instance(s))\";",
+        request,
+        tree.total_cost(),
+        tree.servers.len()
+    );
+    for n in g.nodes() {
+        let mut attrs: Vec<String> = vec![format!("label=\"{n}\"")];
+        if n == request.source {
+            attrs.push("shape=box".into());
+            attrs.push("style=filled".into());
+            attrs.push("fillcolor=gold".into());
+        } else if servers.contains(&n) {
+            attrs.push("shape=doublecircle".into());
+            attrs.push("style=filled".into());
+            attrs.push("fillcolor=lightblue".into());
+        } else if dests.contains(&n) {
+            attrs.push("shape=circle".into());
+            attrs.push("style=filled".into());
+            attrs.push("fillcolor=palegreen".into());
+        } else if sdn.is_server(n) {
+            attrs.push("shape=doublecircle".into());
+        } else {
+            attrs.push("shape=circle".into());
+            attrs.push("color=gray70".into());
+            attrs.push("fontcolor=gray60".into());
+        }
+        let _ = writeln!(out, "  {} [{}];", n.index(), attrs.join(", "));
+    }
+    for e in g.edges() {
+        let (color, width, label) = match (
+            ingress.contains(&e.id),
+            distribution.contains(&e.id),
+            extra.contains(&e.id),
+        ) {
+            (_, _, true) => ("red", 3.0, "2x"),
+            (true, true, _) => ("purple", 3.0, "U+P"),
+            (true, false, _) => ("blue", 2.5, "U"),
+            (false, true, _) => ("darkgreen", 2.5, "P"),
+            (false, false, false) => ("gray80", 1.0, ""),
+        };
+        let _ = writeln!(
+            out,
+            "  {} -- {} [color={color}, penwidth={width}, label=\"{label}\"];",
+            e.u.index(),
+            e.v.index()
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::appro_multi;
+    use sdn::{NfvType, RequestId, SdnBuilder, ServiceChain};
+
+    #[test]
+    fn dot_document_is_well_formed() {
+        let mut b = SdnBuilder::new();
+        let s = b.add_switch();
+        let v = b.add_server(8_000.0, 0.1);
+        let d = b.add_switch();
+        let x = b.add_switch(); // untouched switch
+        b.add_link(s, v, 10_000.0, 1.0).unwrap();
+        b.add_link(v, d, 10_000.0, 1.0).unwrap();
+        b.add_link(d, x, 10_000.0, 1.0).unwrap();
+        let sdn = b.build().unwrap();
+        let req = MulticastRequest::new(
+            RequestId(7),
+            s,
+            vec![d],
+            100.0,
+            ServiceChain::new(vec![NfvType::Nat]),
+        );
+        let tree = appro_multi(&sdn, &req, 1).unwrap();
+        let dot = tree_to_dot(&sdn, &req, &tree);
+        assert!(dot.starts_with("graph pseudo_multicast_7 {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("fillcolor=gold")); // source
+        assert!(dot.contains("doublecircle")); // server
+        assert!(dot.contains("palegreen")); // destination
+        assert!(dot.contains("color=blue") || dot.contains("color=purple")); // ingress
+        assert!(dot.contains("color=darkgreen") || dot.contains("color=purple")); // distribution
+        assert!(dot.contains("gray80")); // untouched edge
+                                         // One node statement per switch and one edge statement per link.
+        assert_eq!(dot.matches(" -- ").count(), sdn.link_count());
+    }
+}

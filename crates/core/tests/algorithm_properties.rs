@@ -1,0 +1,136 @@
+//! Property tests on the core algorithms over randomized SDN instances:
+//! invariants that must hold for *every* input, not just the curated unit
+//! fixtures.
+
+use netgraph::NodeId;
+use nfv_multicast::{
+    appro_multi, appro_multi_cap, combinations_up_to, compile_rules, one_server, simulate_delivery,
+    AuxiliaryGraph,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdn::{MulticastRequest, RequestId, Sdn, SdnBuilder, ServiceChain};
+use workload::random_chain;
+
+/// Random connected SDN with `n` switches, ring + chords, `servers`
+/// servers at pseudo-random spots.
+fn build_sdn(n: usize, servers: usize, seed: u64) -> Sdn {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = SdnBuilder::new();
+    let nodes: Vec<NodeId> = (0..n).map(|_| b.add_switch()).collect();
+    for i in 0..n {
+        b.add_link(
+            nodes[i],
+            nodes[(i + 1) % n],
+            10_000.0,
+            rng.gen_range(0.5..2.0),
+        )
+        .unwrap();
+    }
+    for _ in 0..n {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            b.add_link(nodes[u], nodes[v], 10_000.0, rng.gen_range(0.5..2.0))
+                .unwrap();
+        }
+    }
+    for i in 0..servers {
+        let spot = (i * n) / servers + (seed as usize % 3);
+        b.attach_server(nodes[spot % n], 8_000.0, rng.gen_range(0.05..0.2))
+            .unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn arb_instance() -> impl Strategy<Value = (Sdn, MulticastRequest)> {
+    (8usize..24, 2usize..4, any::<u64>(), any::<u64>()).prop_map(
+        |(n, servers, net_seed, req_seed)| {
+            use rand::Rng;
+            let sdn = build_sdn(n, servers, net_seed);
+            let mut rng = StdRng::seed_from_u64(req_seed);
+            let source = NodeId::new(rng.gen_range(0..n));
+            let mut dests = Vec::new();
+            let want = rng.gen_range(1..=4.min(n - 1));
+            while dests.len() < want {
+                let d = NodeId::new(rng.gen_range(0..n));
+                if d != source && !dests.contains(&d) {
+                    dests.push(d);
+                }
+            }
+            let chain = random_chain(rng.gen_range(1..=3), &mut rng);
+            let req = MulticastRequest::new(
+                RequestId(0),
+                source,
+                dests,
+                rng.gen_range(50.0..200.0),
+                chain,
+            );
+            (sdn, req)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_tree_is_valid_and_executable((sdn, req) in arb_instance()) {
+        for k in 1..=3usize {
+            let tree = appro_multi(&sdn, &req, k).expect("connected instance");
+            tree.validate(&sdn, &req).map_err(TestCaseError::fail)?;
+            prop_assert!(tree.servers_used().len() <= k);
+            let rules = compile_rules(&sdn, &req, &tree).map_err(TestCaseError::fail)?;
+            let report = simulate_delivery(&sdn, &req, &rules).map_err(TestCaseError::fail)?;
+            prop_assert!(report.covers(&req));
+        }
+        let base = one_server(&sdn, &req).expect("connected instance");
+        base.validate(&sdn, &req).map_err(TestCaseError::fail)?;
+    }
+
+    #[test]
+    fn capacitated_agrees_with_uncapacitated_when_fresh((sdn, req) in arb_instance()) {
+        let free = appro_multi(&sdn, &req, 2).expect("connected instance");
+        let capped = appro_multi_cap(&sdn, &req, 2)
+            .into_tree()
+            .expect("fresh network admits");
+        prop_assert!(
+            (free.total_cost() - capped.total_cost()).abs()
+                < 1e-6 * (1.0 + free.total_cost())
+        );
+    }
+
+    #[test]
+    fn auxiliary_graph_shape_is_sound((sdn, req) in arb_instance()) {
+        let servers = sdn.servers().to_vec();
+        for combo in combinations_up_to(&servers, 2) {
+            let Some(aux) = AuxiliaryGraph::build(&sdn, &req, &combo) else {
+                continue;
+            };
+            // One extra node (virtual source) and at most |combo| virtual
+            // edges on top of the base graph.
+            prop_assert_eq!(aux.graph().node_count(), sdn.node_count() + 1);
+            let extra = aux.graph().edge_count() - sdn.link_count();
+            prop_assert!(extra >= 1 && extra <= combo.len());
+            // Virtual source connects only to combination servers.
+            for nb in aux.graph().neighbors(aux.virtual_source()) {
+                prop_assert!(combo.contains(&nb.node));
+            }
+            // Terminals are the virtual source plus all destinations.
+            let t = aux.terminals(&req);
+            prop_assert_eq!(t.len(), req.destination_count() + 1);
+            prop_assert_eq!(t[0], aux.virtual_source());
+        }
+    }
+
+    #[test]
+    fn cost_monotone_in_k_and_bounded_by_baseline_family((sdn, req) in arb_instance()) {
+        let c1 = appro_multi(&sdn, &req, 1).expect("connected").total_cost();
+        let c2 = appro_multi(&sdn, &req, 2).expect("connected").total_cost();
+        let c3 = appro_multi(&sdn, &req, 3).expect("connected").total_cost();
+        prop_assert!(c2 <= c1 + 1e-9);
+        prop_assert!(c3 <= c2 + 1e-9);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for graph construction and queries.
+
+use crate::{EdgeId, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`Graph`](crate::Graph) operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node id does not belong to this graph.
+    InvalidNode(NodeId),
+    /// An edge id does not belong to this graph.
+    InvalidEdge(EdgeId),
+    /// An edge weight was negative, NaN, or infinite.
+    InvalidWeight(f64),
+    /// A self-loop was requested but the graph forbids them.
+    SelfLoop(NodeId),
+    /// The graph contains a negative-weight cycle (Bellman–Ford only; cannot
+    /// occur for undirected graphs with validated non-negative weights but
+    /// kept for API completeness).
+    NegativeCycle,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidNode(n) => write!(f, "node {n} is not in this graph"),
+            GraphError::InvalidEdge(e) => write!(f, "edge {e} is not in this graph"),
+            GraphError::InvalidWeight(w) => {
+                write!(f, "edge weight {w} is not a finite non-negative number")
+            }
+            GraphError::SelfLoop(n) => write!(f, "self-loop at node {n} is not allowed"),
+            GraphError::NegativeCycle => write!(f, "graph contains a negative-weight cycle"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let msgs = [
+            GraphError::InvalidNode(NodeId::new(1)).to_string(),
+            GraphError::InvalidEdge(EdgeId::new(2)).to_string(),
+            GraphError::InvalidWeight(-1.0).to_string(),
+            GraphError::SelfLoop(NodeId::new(0)).to_string(),
+            GraphError::NegativeCycle.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+            let first = m.chars().next().unwrap();
+            assert!(first.is_lowercase() || first.is_numeric());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,380 @@
+//! The core undirected weighted multigraph.
+
+use crate::{EdgeId, GraphError, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// One endpoint record in an adjacency list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Neighbor {
+    /// The node at the other end of the edge.
+    pub node: NodeId,
+    /// The edge connecting to that node.
+    pub edge: EdgeId,
+}
+
+/// Edge data as stored by the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeRef {
+    /// The edge id.
+    pub id: EdgeId,
+    /// One endpoint (the `u` passed to [`Graph::add_edge`]).
+    pub u: NodeId,
+    /// The other endpoint.
+    pub v: NodeId,
+    /// The edge weight (finite, non-negative).
+    pub weight: f64,
+}
+
+impl EdgeRef {
+    /// Returns the endpoint opposite `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not an endpoint of this edge.
+    #[must_use]
+    pub fn other(&self, n: NodeId) -> NodeId {
+        if n == self.u {
+            self.v
+        } else if n == self.v {
+            self.u
+        } else {
+            panic!("node {n} is not an endpoint of edge {}", self.id)
+        }
+    }
+}
+
+/// An undirected weighted multigraph with dense node and edge ids.
+///
+/// Parallel edges are allowed (each gets its own [`EdgeId`]); self-loops are
+/// rejected because they are meaningless for routing. Weights must be finite
+/// and non-negative — this invariant lets every algorithm in the crate use a
+/// total order over path costs.
+///
+/// ```
+/// use netgraph::Graph;
+/// # fn main() -> Result<(), netgraph::GraphError> {
+/// let mut g = Graph::new();
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// let e = g.add_edge(a, b, 2.5)?;
+/// assert_eq!(g.edge(e).weight, 2.5);
+/// assert_eq!(g.node_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    adjacency: Vec<Vec<Neighbor>>,
+    edges: Vec<EdgeRef>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Creates an empty graph with capacity reserved for `nodes` nodes and
+    /// `edges` edges.
+    #[must_use]
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Graph {
+            adjacency: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Creates a graph with `n` isolated nodes.
+    #[must_use]
+    pub fn with_nodes(n: usize) -> Self {
+        Graph {
+            adjacency: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::new(self.adjacency.len());
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected edge between `u` and `v` with the given weight.
+    ///
+    /// Parallel edges are permitted and receive distinct ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidNode`] if either endpoint is unknown,
+    /// [`GraphError::SelfLoop`] if `u == v`, and
+    /// [`GraphError::InvalidWeight`] if the weight is negative, NaN, or
+    /// infinite.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> Result<EdgeId, GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(GraphError::InvalidWeight(weight));
+        }
+        let id = EdgeId::new(self.edges.len());
+        self.edges.push(EdgeRef { id, u, v, weight });
+        self.adjacency[u.index()].push(Neighbor { node: v, edge: id });
+        self.adjacency[v.index()].push(Neighbor { node: u, edge: id });
+        Ok(id)
+    }
+
+    /// Updates the weight of an existing edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidEdge`] for unknown edges and
+    /// [`GraphError::InvalidWeight`] for invalid weights.
+    pub fn set_weight(&mut self, e: EdgeId, weight: f64) -> Result<(), GraphError> {
+        if e.index() >= self.edges.len() {
+            return Err(GraphError::InvalidEdge(e));
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(GraphError::InvalidWeight(weight));
+        }
+        self.edges[e.index()].weight = weight;
+        Ok(())
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Returns `true` if `n` is a node of this graph.
+    #[must_use]
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        n.index() < self.adjacency.len()
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adjacency.len()).map(NodeId::new)
+    }
+
+    /// Iterates over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = &EdgeRef> + '_ {
+        self.edges.iter()
+    }
+
+    /// Returns the stored data for an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not an edge of this graph.
+    #[must_use]
+    pub fn edge(&self, e: EdgeId) -> &EdgeRef {
+        &self.edges[e.index()]
+    }
+
+    /// Returns the stored data for an edge, or `None` if unknown.
+    #[must_use]
+    pub fn try_edge(&self, e: EdgeId) -> Option<&EdgeRef> {
+        self.edges.get(e.index())
+    }
+
+    /// Neighbors of `n` (with the connecting edge ids). Parallel edges
+    /// appear once per edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a node of this graph.
+    #[must_use]
+    pub fn neighbors(&self, n: NodeId) -> &[Neighbor] {
+        &self.adjacency[n.index()]
+    }
+
+    /// Degree of `n` (parallel edges counted individually).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a node of this graph.
+    #[must_use]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adjacency[n.index()].len()
+    }
+
+    /// Finds the minimum-weight edge between `u` and `v`, if any.
+    #[must_use]
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        if !self.contains_node(u) || !self.contains_node(v) {
+            return None;
+        }
+        self.adjacency[u.index()]
+            .iter()
+            .filter(|nb| nb.node == v)
+            .min_by(|a, b| {
+                let wa = self.edges[a.edge.index()].weight;
+                let wb = self.edges[b.edge.index()].weight;
+                wa.partial_cmp(&wb).expect("weights are never NaN")
+            })
+            .map(|nb| nb.edge)
+    }
+
+    /// Sum of all edge weights.
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    fn check_node(&self, n: NodeId) -> Result<(), GraphError> {
+        if self.contains_node(n) {
+            Ok(())
+        } else {
+            Err(GraphError::InvalidNode(n))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b, 1.0).unwrap();
+        g.add_edge(b, c, 2.0).unwrap();
+        g.add_edge(a, c, 3.0).unwrap();
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let (g, a, b, c) = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(a), 2);
+        assert_eq!(g.degree(b), 2);
+        assert_eq!(g.degree(c), 2);
+        assert!(!g.is_empty());
+        assert!(Graph::new().is_empty());
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let (g, a, b, _) = triangle();
+        let e = g.find_edge(a, b).unwrap();
+        assert_eq!(g.edge(e).other(a), b);
+        assert_eq!(g.edge(e).other(b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an endpoint")]
+    fn edge_other_panics_for_non_endpoint() {
+        let (g, a, b, c) = triangle();
+        let e = g.find_edge(a, b).unwrap();
+        let _ = g.edge(e).other(c);
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        assert_eq!(g.add_edge(a, a, 1.0), Err(GraphError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        assert!(matches!(
+            g.add_edge(a, b, -1.0),
+            Err(GraphError::InvalidWeight(_))
+        ));
+        assert!(matches!(
+            g.add_edge(a, b, f64::NAN),
+            Err(GraphError::InvalidWeight(_))
+        ));
+        assert!(matches!(
+            g.add_edge(a, b, f64::INFINITY),
+            Err(GraphError::InvalidWeight(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_nodes_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let ghost = NodeId::new(10);
+        assert_eq!(
+            g.add_edge(a, ghost, 1.0),
+            Err(GraphError::InvalidNode(ghost))
+        );
+    }
+
+    #[test]
+    fn parallel_edges_get_distinct_ids() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let e1 = g.add_edge(a, b, 5.0).unwrap();
+        let e2 = g.add_edge(a, b, 1.0).unwrap();
+        assert_ne!(e1, e2);
+        assert_eq!(g.degree(a), 2);
+        // find_edge picks the lighter parallel edge.
+        assert_eq!(g.find_edge(a, b), Some(e2));
+    }
+
+    #[test]
+    fn set_weight_updates() {
+        let (mut g, a, b, _) = triangle();
+        let e = g.find_edge(a, b).unwrap();
+        g.set_weight(e, 9.0).unwrap();
+        assert_eq!(g.edge(e).weight, 9.0);
+        assert!(matches!(
+            g.set_weight(EdgeId::new(99), 1.0),
+            Err(GraphError::InvalidEdge(_))
+        ));
+        assert!(matches!(
+            g.set_weight(e, f64::NAN),
+            Err(GraphError::InvalidWeight(_))
+        ));
+    }
+
+    #[test]
+    fn total_weight_sums_edges() {
+        let (g, ..) = triangle();
+        assert!((g.total_weight() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_nodes_preallocates() {
+        let g = Graph::with_nodes(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.contains_node(NodeId::new(4)));
+        assert!(!g.contains_node(NodeId::new(5)));
+    }
+
+    #[test]
+    fn nodes_iterator_is_dense() {
+        let (g, ..) = triangle();
+        let ids: Vec<usize> = g.nodes().map(NodeId::index).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

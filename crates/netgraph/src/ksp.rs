@@ -1,0 +1,205 @@
+//! Yen's algorithm for loopless k-shortest paths.
+//!
+//! Rounds out the routing substrate: multipath extensions (e.g. admitting
+//! a request over the second-cheapest ingress when the first is
+//! congested) need ranked path alternatives, not just the single
+//! shortest.
+
+use crate::{dijkstra_with_targets, induced_subgraph, Graph, NodeId, Path};
+
+/// Computes up to `k` loopless shortest paths from `source` to `target`,
+/// in nondecreasing cost order (Yen's algorithm over Dijkstra).
+///
+/// Returns fewer than `k` paths when the graph does not contain that many
+/// distinct loopless paths, and an empty vector when `target` is
+/// unreachable.
+///
+/// # Panics
+///
+/// Panics if `source` or `target` is not a node of `g`, or `k == 0`.
+#[must_use]
+pub fn k_shortest_paths(g: &Graph, source: NodeId, target: NodeId, k: usize) -> Vec<Path> {
+    assert!(k >= 1, "need at least one path");
+    assert!(g.contains_node(source), "source {source} not in graph");
+    assert!(g.contains_node(target), "target {target} not in graph");
+
+    let mut result: Vec<Path> = Vec::with_capacity(k);
+    let first = dijkstra_with_targets(g, source, &[target]);
+    match first.path_to(target) {
+        Some(p) => result.push(p),
+        None => return Vec::new(),
+    }
+
+    // Candidate pool of deviation paths.
+    let mut candidates: Vec<Path> = Vec::new();
+    while result.len() < k {
+        let last = result.last().expect("at least the shortest path");
+        // Deviate at every node of the previous path.
+        for spur_idx in 0..last.nodes().len() - 1 {
+            let spur_node = last.nodes()[spur_idx];
+            let root_nodes = &last.nodes()[..=spur_idx];
+            let root_edges = &last.edges()[..spur_idx];
+            let root_cost: f64 = root_edges.iter().map(|&e| g.edge(e).weight).sum();
+
+            // Remove edges that would recreate an already-found path with
+            // the same root, and the root's interior nodes (loopless).
+            let mut banned_edges: std::collections::HashSet<crate::EdgeId> =
+                std::collections::HashSet::new();
+            for p in result.iter().chain(candidates.iter()) {
+                if p.nodes().len() > spur_idx && p.nodes()[..=spur_idx] == *root_nodes {
+                    if let Some(&e) = p.edges().get(spur_idx) {
+                        banned_edges.insert(e);
+                    }
+                }
+            }
+            let banned_nodes: std::collections::HashSet<NodeId> =
+                root_nodes[..spur_idx].iter().copied().collect();
+
+            let filtered = induced_subgraph(
+                g,
+                |n| !banned_nodes.contains(&n),
+                |e| !banned_edges.contains(&e),
+            );
+            let (Some(f_spur), Some(f_target)) = (
+                filtered.filtered_node(spur_node),
+                filtered.filtered_node(target),
+            ) else {
+                continue;
+            };
+            let spt = dijkstra_with_targets(filtered.graph(), f_spur, &[f_target]);
+            let Some(spur_path) = spt.path_to(f_target) else {
+                continue;
+            };
+
+            // Stitch root + spur back in original ids.
+            let mut nodes: Vec<NodeId> = root_nodes.to_vec();
+            nodes.extend(
+                spur_path.nodes()[1..]
+                    .iter()
+                    .map(|&n| filtered.parent_node(n)),
+            );
+            let mut edges: Vec<crate::EdgeId> = root_edges.to_vec();
+            edges.extend(filtered.parent_edges(spur_path.edges()));
+            let total = Path::new(nodes, edges, root_cost + spur_path.cost());
+            if !candidates.iter().any(|c| c.edges() == total.edges())
+                && !result.iter().any(|r| r.edges() == total.edges())
+            {
+                candidates.push(total);
+            }
+        }
+
+        if candidates.is_empty() {
+            break;
+        }
+        // Pop the cheapest candidate.
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.cost().partial_cmp(&b.1.cost()).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        result.push(candidates.swap_remove(best));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond with distinct path costs: a-b-d (3), a-c-d (5), a-d (10).
+    fn diamond() -> (Graph, [NodeId; 4]) {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let d = g.add_node();
+        g.add_edge(a, b, 1.0).unwrap();
+        g.add_edge(b, d, 2.0).unwrap();
+        g.add_edge(a, c, 2.0).unwrap();
+        g.add_edge(c, d, 3.0).unwrap();
+        g.add_edge(a, d, 10.0).unwrap();
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn ranks_all_three_paths() {
+        let (g, [a, .., d]) = diamond();
+        let paths = k_shortest_paths(&g, a, d, 5);
+        assert_eq!(paths.len(), 3);
+        let costs: Vec<f64> = paths.iter().map(Path::cost).collect();
+        assert_eq!(costs, vec![3.0, 5.0, 10.0]);
+    }
+
+    #[test]
+    fn k_one_is_dijkstra() {
+        let (g, [a, b, _, d]) = diamond();
+        let paths = k_shortest_paths(&g, a, d, 1);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].nodes(), &[a, b, d]);
+    }
+
+    #[test]
+    fn paths_are_loopless() {
+        let (g, [a, .., d]) = diamond();
+        for p in k_shortest_paths(&g, a, d, 5) {
+            let mut nodes = p.nodes().to_vec();
+            nodes.sort_unstable();
+            nodes.dedup();
+            assert_eq!(nodes.len(), p.nodes().len(), "loop in {:?}", p.nodes());
+        }
+    }
+
+    #[test]
+    fn unreachable_target_gives_empty() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        assert!(k_shortest_paths(&g, a, b, 3).is_empty());
+    }
+
+    #[test]
+    fn costs_are_nondecreasing_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 12;
+            let mut g = Graph::with_nodes(n);
+            for i in 0..n {
+                g.add_edge(
+                    NodeId::new(i),
+                    NodeId::new((i + 1) % n),
+                    rng.gen_range(1.0..5.0),
+                )
+                .unwrap();
+            }
+            for _ in 0..10 {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    g.add_edge(NodeId::new(u), NodeId::new(v), rng.gen_range(1.0..5.0))
+                        .unwrap();
+                }
+            }
+            let paths = k_shortest_paths(&g, NodeId::new(0), NodeId::new(n / 2), 6);
+            assert!(!paths.is_empty());
+            for w in paths.windows(2) {
+                assert!(w[0].cost() <= w[1].cost() + 1e-9);
+            }
+            // All distinct edge sequences.
+            for i in 0..paths.len() {
+                for j in (i + 1)..paths.len() {
+                    assert_ne!(paths[i].edges(), paths[j].edges());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one path")]
+    fn zero_k_panics() {
+        let (g, [a, .., d]) = diamond();
+        let _ = k_shortest_paths(&g, a, d, 0);
+    }
+}

@@ -1,0 +1,383 @@
+//! Single-source shortest paths: Dijkstra and Bellman–Ford.
+
+use crate::{EdgeId, Graph, NodeId, TotalCost};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A concrete path through a graph: an alternating node/edge walk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    nodes: Vec<NodeId>,
+    edges: Vec<EdgeId>,
+    cost: f64,
+}
+
+impl Path {
+    /// Builds a path from its pieces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != edges.len() + 1` or `nodes` is empty.
+    #[must_use]
+    pub fn new(nodes: Vec<NodeId>, edges: Vec<EdgeId>, cost: f64) -> Self {
+        assert!(!nodes.is_empty(), "a path has at least one node");
+        assert_eq!(
+            nodes.len(),
+            edges.len() + 1,
+            "a path has one more node than edges"
+        );
+        Path { nodes, edges, cost }
+    }
+
+    /// A zero-length path sitting at `n`.
+    #[must_use]
+    pub fn trivial(n: NodeId) -> Self {
+        Path {
+            nodes: vec![n],
+            edges: Vec::new(),
+            cost: 0.0,
+        }
+    }
+
+    /// The node sequence, source first.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The edge sequence.
+    #[must_use]
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Total weight of the path.
+    #[must_use]
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// First node of the path.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node of the path.
+    #[must_use]
+    pub fn target(&self) -> NodeId {
+        *self.nodes.last().expect("path is non-empty")
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the path has no edges.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// The result of a single-source shortest-path computation.
+///
+/// Stores, for every node, the best known distance and the predecessor edge
+/// on a shortest path from the source. Unreachable nodes have no distance.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    source: NodeId,
+    dist: Vec<f64>,
+    /// Predecessor (node, edge) on the shortest path, indexed by node.
+    pred: Vec<Option<(NodeId, EdgeId)>>,
+}
+
+impl ShortestPathTree {
+    /// The source node this tree is rooted at.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Shortest distance from the source to `n`, or `None` if unreachable.
+    #[must_use]
+    pub fn distance(&self, n: NodeId) -> Option<f64> {
+        let d = self.dist[n.index()];
+        if d.is_finite() {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if `n` is reachable from the source.
+    #[must_use]
+    pub fn is_reachable(&self, n: NodeId) -> bool {
+        self.dist[n.index()].is_finite()
+    }
+
+    /// Predecessor (node, edge) of `n` on its shortest path, if any.
+    #[must_use]
+    pub fn predecessor(&self, n: NodeId) -> Option<(NodeId, EdgeId)> {
+        self.pred[n.index()]
+    }
+
+    /// Reconstructs the full shortest path from the source to `target`.
+    ///
+    /// Returns `None` if `target` is unreachable.
+    #[must_use]
+    pub fn path_to(&self, target: NodeId) -> Option<Path> {
+        if !self.is_reachable(target) {
+            return None;
+        }
+        let mut nodes = vec![target];
+        let mut edges = Vec::new();
+        let mut cur = target;
+        while let Some((prev, edge)) = self.pred[cur.index()] {
+            nodes.push(prev);
+            edges.push(edge);
+            cur = prev;
+        }
+        nodes.reverse();
+        edges.reverse();
+        Some(Path::new(nodes, edges, self.dist[target.index()]))
+    }
+}
+
+/// Computes shortest paths from `source` to every node with Dijkstra's
+/// algorithm (binary heap, lazy deletion). `O((n + m) log n)`.
+///
+/// # Panics
+///
+/// Panics if `source` is not a node of `g`.
+#[must_use]
+pub fn dijkstra(g: &Graph, source: NodeId) -> ShortestPathTree {
+    dijkstra_impl(g, source, None)
+}
+
+/// Dijkstra with early exit: stops once every node in `targets` has been
+/// settled. Exact same results as [`dijkstra`] restricted to the settled
+/// region.
+///
+/// # Panics
+///
+/// Panics if `source` is not a node of `g`.
+#[must_use]
+pub fn dijkstra_with_targets(g: &Graph, source: NodeId, targets: &[NodeId]) -> ShortestPathTree {
+    dijkstra_impl(g, source, Some(targets))
+}
+
+fn dijkstra_impl(g: &Graph, source: NodeId, targets: Option<&[NodeId]>) -> ShortestPathTree {
+    assert!(g.contains_node(source), "source {source} not in graph");
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut remaining: usize = targets.map_or(usize::MAX, <[NodeId]>::len);
+    let mut is_target = vec![false; n];
+    if let Some(ts) = targets {
+        let mut uniq = 0usize;
+        for &t in ts {
+            if !is_target[t.index()] {
+                is_target[t.index()] = true;
+                uniq += 1;
+            }
+        }
+        remaining = uniq;
+    }
+
+    let mut heap: BinaryHeap<Reverse<(TotalCost, NodeId)>> = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(Reverse((TotalCost::new(0.0), source)));
+
+    while let Some(Reverse((d, u))) = heap.pop() {
+        let ui = u.index();
+        if settled[ui] {
+            continue;
+        }
+        settled[ui] = true;
+        if targets.is_some() && is_target[ui] {
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
+        }
+        let du = d.get();
+        for nb in g.neighbors(u) {
+            let w = g.edge(nb.edge).weight;
+            let cand = du + w;
+            let vi = nb.node.index();
+            if cand < dist[vi] {
+                dist[vi] = cand;
+                pred[vi] = Some((u, nb.edge));
+                heap.push(Reverse((TotalCost::new(cand), nb.node)));
+            }
+        }
+    }
+
+    ShortestPathTree { source, dist, pred }
+}
+
+/// Computes shortest paths with Bellman–Ford. `O(n·m)`.
+///
+/// With validated non-negative weights this always succeeds and agrees with
+/// [`dijkstra`]; it exists as an independent oracle for testing and for
+/// future directed/negative-weight extensions.
+///
+/// # Panics
+///
+/// Panics if `source` is not a node of `g`.
+#[must_use]
+pub fn bellman_ford(g: &Graph, source: NodeId) -> ShortestPathTree {
+    assert!(g.contains_node(source), "source {source} not in graph");
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+    dist[source.index()] = 0.0;
+
+    for _round in 0..n.saturating_sub(1) {
+        let mut changed = false;
+        for e in g.edges() {
+            // Relax in both directions (undirected edge).
+            for (a, b) in [(e.u, e.v), (e.v, e.u)] {
+                let da = dist[a.index()];
+                if da.is_finite() && da + e.weight < dist[b.index()] {
+                    dist[b.index()] = da + e.weight;
+                    pred[b.index()] = Some((a, e.id));
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    ShortestPathTree { source, dist, pred }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    /// A 5-node graph with a known shortest-path structure.
+    fn diamond() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let v: Vec<NodeId> = (0..5).map(|_| g.add_node()).collect();
+        g.add_edge(v[0], v[1], 1.0).unwrap();
+        g.add_edge(v[0], v[2], 4.0).unwrap();
+        g.add_edge(v[1], v[2], 2.0).unwrap();
+        g.add_edge(v[1], v[3], 6.0).unwrap();
+        g.add_edge(v[2], v[3], 3.0).unwrap();
+        (g, v) // v[4] is isolated
+    }
+
+    #[test]
+    fn dijkstra_distances() {
+        let (g, v) = diamond();
+        let spt = dijkstra(&g, v[0]);
+        assert_eq!(spt.distance(v[0]), Some(0.0));
+        assert_eq!(spt.distance(v[1]), Some(1.0));
+        assert_eq!(spt.distance(v[2]), Some(3.0));
+        assert_eq!(spt.distance(v[3]), Some(6.0));
+        assert_eq!(spt.distance(v[4]), None);
+        assert!(!spt.is_reachable(v[4]));
+    }
+
+    #[test]
+    fn dijkstra_path_reconstruction() {
+        let (g, v) = diamond();
+        let spt = dijkstra(&g, v[0]);
+        let p = spt.path_to(v[3]).unwrap();
+        assert_eq!(p.nodes(), &[v[0], v[1], v[2], v[3]]);
+        assert_eq!(p.cost(), 6.0);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.source(), v[0]);
+        assert_eq!(p.target(), v[3]);
+        assert!(spt.path_to(v[4]).is_none());
+    }
+
+    #[test]
+    fn path_to_source_is_trivial() {
+        let (g, v) = diamond();
+        let spt = dijkstra(&g, v[0]);
+        let p = spt.path_to(v[0]).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.cost(), 0.0);
+        assert_eq!(p.nodes(), &[v[0]]);
+    }
+
+    #[test]
+    fn bellman_ford_agrees_with_dijkstra() {
+        let (g, v) = diamond();
+        let d = dijkstra(&g, v[0]);
+        let bf = bellman_ford(&g, v[0]);
+        for &n in &v {
+            assert_eq!(d.distance(n), bf.distance(n), "node {n}");
+        }
+    }
+
+    #[test]
+    fn early_exit_matches_full_run() {
+        let (g, v) = diamond();
+        let full = dijkstra(&g, v[0]);
+        let targeted = dijkstra_with_targets(&g, v[0], &[v[1], v[2]]);
+        assert_eq!(full.distance(v[1]), targeted.distance(v[1]));
+        assert_eq!(full.distance(v[2]), targeted.distance(v[2]));
+    }
+
+    #[test]
+    fn early_exit_with_duplicate_targets() {
+        let (g, v) = diamond();
+        let spt = dijkstra_with_targets(&g, v[0], &[v[3], v[3], v[3]]);
+        assert_eq!(spt.distance(v[3]), Some(6.0));
+    }
+
+    #[test]
+    fn parallel_edges_use_cheapest() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, 10.0).unwrap();
+        let cheap = g.add_edge(a, b, 2.0).unwrap();
+        let spt = dijkstra(&g, a);
+        assert_eq!(spt.distance(b), Some(2.0));
+        let p = spt.path_to(b).unwrap();
+        assert_eq!(p.edges(), &[cheap]);
+    }
+
+    #[test]
+    fn zero_weight_edges_work() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b, 0.0).unwrap();
+        g.add_edge(b, c, 0.0).unwrap();
+        let spt = dijkstra(&g, a);
+        assert_eq!(spt.distance(c), Some(0.0));
+        assert_eq!(spt.path_to(c).unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in graph")]
+    fn dijkstra_rejects_unknown_source() {
+        let g = Graph::new();
+        let _ = dijkstra(&g, NodeId::new(0));
+    }
+
+    #[test]
+    fn path_constructor_validates() {
+        let p = Path::trivial(NodeId::new(3));
+        assert_eq!(p.source(), p.target());
+    }
+
+    #[test]
+    #[should_panic(expected = "one more node than edges")]
+    fn path_shape_mismatch_panics() {
+        let _ = Path::new(vec![NodeId::new(0)], vec![EdgeId::new(0)], 1.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! A totally ordered wrapper over `f64` costs.
+//!
+//! Graph weights are validated to be finite and non-negative at insertion
+//! time, so a total order over them exists; [`TotalCost`] makes that order
+//! available to `BinaryHeap` and `sort` without sprinkling
+//! `partial_cmp().unwrap()` through every algorithm.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A finite, non-NaN `f64` with a total order.
+///
+/// # Panics
+///
+/// Construction via [`TotalCost::new`] panics on NaN; graph algorithms only
+/// ever build it from validated weights, so this is a programming-error
+/// assertion rather than an expected failure.
+///
+/// ```
+/// use netgraph::TotalCost;
+/// let a = TotalCost::new(1.5);
+/// let b = TotalCost::new(2.0);
+/// assert!(a < b);
+/// assert_eq!(a.get(), 1.5);
+/// ```
+#[derive(Clone, Copy, PartialEq)]
+pub struct TotalCost(f64);
+
+impl TotalCost {
+    /// Wraps a cost value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        assert!(!value.is_nan(), "cost must not be NaN");
+        TotalCost(value)
+    }
+
+    /// Returns the wrapped value.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for TotalCost {}
+
+impl PartialOrd for TotalCost {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalCost {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: NaN is rejected at construction.
+        self.0
+            .partial_cmp(&other.0)
+            .expect("TotalCost is never NaN")
+    }
+}
+
+impl fmt::Debug for TotalCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for TotalCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<TotalCost> for f64 {
+    fn from(c: TotalCost) -> f64 {
+        c.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_like_f64() {
+        let mut v = vec![
+            TotalCost::new(3.0),
+            TotalCost::new(1.0),
+            TotalCost::new(2.0),
+        ];
+        v.sort();
+        let raw: Vec<f64> = v.into_iter().map(TotalCost::get).collect();
+        assert_eq!(raw, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn equality_matches_f64() {
+        assert_eq!(TotalCost::new(0.5), TotalCost::new(0.5));
+        assert_ne!(TotalCost::new(0.5), TotalCost::new(0.25));
+    }
+
+    #[test]
+    fn infinity_is_allowed_and_maximal() {
+        let inf = TotalCost::new(f64::INFINITY);
+        assert!(inf > TotalCost::new(1e300));
+    }
+
+    #[test]
+    #[should_panic(expected = "cost must not be NaN")]
+    fn nan_panics() {
+        let _ = TotalCost::new(f64::NAN);
+    }
+}

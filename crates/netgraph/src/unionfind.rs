@@ -1,0 +1,162 @@
+//! Disjoint-set forest (union–find) with union by rank and path compression.
+
+/// A union–find structure over `0..n` elements.
+///
+/// Used by Kruskal's MST and by connectivity checks during topology
+/// generation.
+///
+/// ```
+/// use netgraph::UnionFind;
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(uf.union(2, 3));
+/// assert!(!uf.union(1, 0)); // already joined
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(0, 2));
+/// assert_eq!(uf.set_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the structure has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently present.
+    #[must_use]
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Finds the representative of `x`'s set, compressing paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        // Path compression pass.
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`.
+    ///
+    /// Returns `true` if the sets were distinct (a merge happened).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        self.sets -= 1;
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if `a` and `b` are in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.set_count(), 3);
+        assert_eq!(uf.len(), 3);
+        assert!(!uf.is_empty());
+        for i in 0..3 {
+            assert_eq!(uf.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_reduces_set_count() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert_eq!(uf.set_count(), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 4));
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut uf = UnionFind::new(2);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.set_count(), 1);
+    }
+
+    #[test]
+    fn chain_compresses() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.set_count(), 1);
+        let r = uf.find(0);
+        for i in 0..100 {
+            assert_eq!(uf.find(i), r);
+        }
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.set_count(), 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! An offline benchmark for measuring empirical competitive ratios.
+//!
+//! Theorem 2 bounds `Online_CP` against the optimal *offline* algorithm,
+//! which knows the whole request sequence in advance. The offline optimum
+//! is NP-hard, so this module provides the standard greedy proxy: with
+//! full knowledge, sort the requests by how little of the network they
+//! consume and pack them with the capacitated offline algorithm. The
+//! resulting admission count upper-bounds what any online algorithm
+//! achieved in practice on the same sequence (not a certified bound on
+//! OPT — a strong practical yardstick), and
+//! [`empirical_competitive_ratio`] reports `online / offline`.
+
+use crate::{RequestOutcome, SimulationResult};
+use nfv_multicast::{appro_multi, appro_multi_cap};
+use sdn::{MulticastRequest, Sdn};
+
+/// Greedy offline packing: score every request by its fresh-network
+/// implementation cost (cheap requests consume the least), then admit in
+/// ascending order with `Appro_Multi_Cap`, committing allocations.
+///
+/// Returns the same [`SimulationResult`] shape as
+/// [`run_online`](crate::run_online); `outcomes` are reported in the
+/// *packing* order.
+pub fn offline_greedy_benchmark(
+    sdn: &mut Sdn,
+    requests: &[MulticastRequest],
+    k: usize,
+) -> SimulationResult {
+    // Score on the untouched network.
+    let mut scored: Vec<(f64, &MulticastRequest)> = requests
+        .iter()
+        .map(|r| {
+            let score = appro_multi(sdn, r, k).map_or(f64::INFINITY, |t| t.total_cost());
+            (score, r)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("costs are not NaN"));
+
+    let mut outcomes = Vec::with_capacity(requests.len());
+    let mut admitted = 0;
+    let mut rejected = 0;
+    let mut total_cost = 0.0;
+    for (score, req) in scored {
+        if !score.is_finite() {
+            rejected += 1;
+            outcomes.push(RequestOutcome::Rejected { id: req.id });
+            continue;
+        }
+        match appro_multi_cap(sdn, req, k).into_tree() {
+            Some(tree) => {
+                sdn.allocate(&tree.allocation(req))
+                    .expect("admitted tree fits");
+                admitted += 1;
+                total_cost += tree.total_cost();
+                outcomes.push(RequestOutcome::Admitted {
+                    id: req.id,
+                    cost: tree.total_cost(),
+                });
+            }
+            None => {
+                rejected += 1;
+                outcomes.push(RequestOutcome::Rejected { id: req.id });
+            }
+        }
+    }
+
+    let links = sdn.link_count();
+    let mut mean_link = 0.0;
+    let mut max_link: f64 = 0.0;
+    for e in sdn.graph().edges() {
+        let u = sdn.bandwidth_utilization(e.id);
+        mean_link += u;
+        max_link = max_link.max(u);
+    }
+    if links > 0 {
+        mean_link /= links as f64;
+    }
+    let mut mean_server = 0.0;
+    for &v in sdn.servers() {
+        mean_server += sdn.computing_utilization(v).expect("server");
+    }
+    if !sdn.servers().is_empty() {
+        mean_server /= sdn.servers().len() as f64;
+    }
+
+    SimulationResult {
+        algorithm: "Offline_Greedy",
+        admitted,
+        rejected,
+        outcomes,
+        total_cost,
+        mean_link_utilization: mean_link,
+        max_link_utilization: max_link,
+        mean_server_utilization: mean_server,
+    }
+}
+
+/// Empirical competitive ratio `online_admitted / offline_admitted`
+/// (1.0 when the offline benchmark admitted nothing).
+#[must_use]
+pub fn empirical_competitive_ratio(online: &SimulationResult, offline: &SimulationResult) -> f64 {
+    if offline.admitted == 0 {
+        1.0
+    } else {
+        online.admitted as f64 / offline.admitted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_online, OnlineCp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sdn::{NfvType, RequestId, SdnBuilder, ServiceChain};
+    use topology::{annotate, place_servers_random, AnnotationParams, Waxman};
+    use workload::RequestGenerator;
+
+    #[test]
+    fn packs_cheap_requests_first() {
+        // Capacity for exactly one request: the cheaper of the two must
+        // win regardless of sequence order.
+        let mut b = SdnBuilder::new();
+        let s = b.add_switch();
+        let v = b.add_server(2_000.0, 1.0);
+        let d1 = b.add_switch();
+        let d2 = b.add_switch();
+        b.add_link(s, v, 120.0, 1.0).unwrap();
+        b.add_link(v, d1, 120.0, 1.0).unwrap();
+        b.add_link(v, d2, 120.0, 5.0).unwrap(); // expensive arm
+        let mut sdn = b.build().unwrap();
+        let chain = ServiceChain::new(vec![NfvType::Firewall]);
+        let expensive = MulticastRequest::new(RequestId(0), s, vec![d2], 100.0, chain.clone());
+        let cheap = MulticastRequest::new(RequestId(1), s, vec![d1], 100.0, chain);
+        // Expensive arrives first; greedy still admits the cheap one.
+        let r = offline_greedy_benchmark(&mut sdn, &[expensive, cheap], 1);
+        assert_eq!(r.admitted, 1);
+        assert!(matches!(
+            r.outcomes[0],
+            RequestOutcome::Admitted {
+                id: RequestId(1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn benchmark_dominates_online_cp_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (g, _) = Waxman::new(40).generate(&mut rng);
+        let servers = place_servers_random(&g, 0.1, &mut rng);
+        let sdn = annotate(&g, &servers, &AnnotationParams::default(), &mut rng).unwrap();
+        let mut gen = RequestGenerator::new(40);
+        let requests = gen.generate_batch(120, &mut rng);
+
+        let mut net = sdn.clone();
+        let online = run_online(&mut net, &mut OnlineCp::new(), &requests);
+        let mut net = sdn;
+        let offline = offline_greedy_benchmark(&mut net, &requests, 1);
+        let ratio = empirical_competitive_ratio(&online, &offline);
+        assert!(
+            offline.admitted + 5 >= online.admitted,
+            "offline {} should not be far below online {}",
+            offline.admitted,
+            online.admitted
+        );
+        assert!(ratio > 0.0 && ratio.is_finite());
+    }
+
+    #[test]
+    fn ratio_of_empty_offline_is_one() {
+        let empty = SimulationResult {
+            algorithm: "x",
+            admitted: 0,
+            rejected: 0,
+            outcomes: vec![],
+            total_cost: 0.0,
+            mean_link_utilization: 0.0,
+            max_link_utilization: 0.0,
+            mean_server_utilization: 0.0,
+        };
+        assert_eq!(empirical_competitive_ratio(&empty, &empty), 1.0);
+    }
+}

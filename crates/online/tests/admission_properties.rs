@@ -1,0 +1,109 @@
+//! Property tests for the online algorithms: threshold compliance,
+//! structural validity, and allocation feasibility for arbitrary
+//! workloads.
+
+use nfv_online::{OnlineAlgorithm, OnlineCp, ShortestPathBaseline, ThresholdRule};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdn::{ExponentialCostModel, Sdn};
+use topology::{annotate, place_servers_random, AnnotationParams, Waxman};
+use workload::RequestGenerator;
+
+fn build_sdn(seed: u64) -> Sdn {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (g, _) = Waxman::new(30).generate(&mut rng);
+    let servers = place_servers_random(&g, 0.15, &mut rng);
+    annotate(&g, &servers, &AnnotationParams::default(), &mut rng).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_admitted_tree_is_valid_and_feasible(
+        net_seed in 0u64..1000, wl_seed in 0u64..1000, count in 1usize..40
+    ) {
+        let mut sdn = build_sdn(net_seed);
+        let mut rng = StdRng::seed_from_u64(wl_seed);
+        let mut gen = RequestGenerator::new(sdn.node_count());
+        let mut cp = OnlineCp::new();
+        let mut sp = ShortestPathBaseline::new();
+        for req in gen.generate_batch(count, &mut rng) {
+            for algo in [&mut cp as &mut dyn OnlineAlgorithm, &mut sp] {
+                if let Some(tree) = algo.admit(&sdn, &req) {
+                    tree.validate(&sdn, &req)
+                        .map_err(|e| TestCaseError::fail(format!("{}: {e}", algo.name())))?;
+                    prop_assert!(sdn.can_allocate(&tree.allocation(&req)));
+                }
+            }
+            // Commit via CP to evolve the state.
+            if let Some(tree) = cp.admit(&sdn, &req) {
+                sdn.allocate(&tree.allocation(&req)).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn per_edge_threshold_is_respected(
+        net_seed in 0u64..500, wl_seed in 0u64..500
+    ) {
+        // Drive the network with SP (no thresholds) to random load, then
+        // verify any CP admission only crosses links below sigma.
+        let mut sdn = build_sdn(net_seed);
+        let mut rng = StdRng::seed_from_u64(wl_seed);
+        let mut gen = RequestGenerator::new(sdn.node_count());
+        let mut sp = ShortestPathBaseline::new();
+        for req in gen.generate_batch(30, &mut rng) {
+            if let Some(t) = sp.admit(&sdn, &req) {
+                sdn.allocate(&t.allocation(&req)).unwrap();
+            }
+        }
+        let model = ExponentialCostModel::for_network(&sdn);
+        let sigma = ExponentialCostModel::threshold(&sdn);
+        let mut cp = OnlineCp::new().with_threshold_rule(ThresholdRule::PerEdge);
+        for req in gen.generate_batch(10, &mut rng) {
+            if let Some(tree) = cp.admit(&sdn, &req) {
+                for su in &tree.servers {
+                    let wv = model.server_weight(&sdn, su.server).unwrap();
+                    prop_assert!(wv < sigma, "server weight {wv} >= sigma {sigma}");
+                }
+                for &e in tree
+                    .distribution_edges
+                    .iter()
+                    .chain(tree.servers.iter().flat_map(|s| s.ingress_edges.iter()))
+                {
+                    let we = model.edge_weight(&sdn, e);
+                    prop_assert!(we < sigma + 1e-4, "edge weight {we} >= sigma {sigma}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_sum_rule_is_at_least_as_strict(
+        net_seed in 0u64..500, wl_seed in 0u64..500
+    ) {
+        // On identical state, any request the tree-sum rule admits, the
+        // per-edge rule admits too (each summand <= sum).
+        let mut sdn = build_sdn(net_seed);
+        let mut rng = StdRng::seed_from_u64(wl_seed);
+        let mut gen = RequestGenerator::new(sdn.node_count());
+        let mut sp = ShortestPathBaseline::new();
+        for req in gen.generate_batch(25, &mut rng) {
+            if let Some(t) = sp.admit(&sdn, &req) {
+                sdn.allocate(&t.allocation(&req)).unwrap();
+            }
+        }
+        let mut strict = OnlineCp::new().with_threshold_rule(ThresholdRule::TreeSum);
+        let mut loose = OnlineCp::new().with_threshold_rule(ThresholdRule::PerEdge);
+        for req in gen.generate_batch(10, &mut rng) {
+            if strict.admit(&sdn, &req).is_some() {
+                prop_assert!(
+                    loose.admit(&sdn, &req).is_some(),
+                    "per-edge rejected a tree-sum-admissible request"
+                );
+            }
+        }
+    }
+}

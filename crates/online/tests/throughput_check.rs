@@ -1,0 +1,31 @@
+use nfv_online::{run_online, OnlineCp, ShortestPathBaseline};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use topology::{annotate, place_servers_random, AnnotationParams, Waxman};
+use workload::RequestGenerator;
+
+#[test]
+fn online_cp_beats_sp_at_scale() {
+    let mut total_cp = 0usize;
+    let mut total_sp = 0usize;
+    for seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 100;
+        let (g, _) = Waxman::new(n).generate(&mut rng);
+        let servers = place_servers_random(&g, 0.1, &mut rng);
+        let mut sdn = annotate(&g, &servers, &AnnotationParams::default(), &mut rng).unwrap();
+        let mut gen = RequestGenerator::new(n);
+        let requests = gen.generate_batch(300, &mut rng);
+        let cp = run_online(&mut sdn, &mut OnlineCp::new(), &requests);
+        sdn.reset();
+        let sp = run_online(&mut sdn, &mut ShortestPathBaseline::new(), &requests);
+        println!("seed {seed}: Online_CP {} SP {}", cp.admitted, sp.admitted);
+        total_cp += cp.admitted;
+        total_sp += sp.admitted;
+    }
+    println!("TOTAL Online_CP {total_cp} SP {total_sp}");
+    assert!(
+        total_cp > total_sp,
+        "Online_CP {total_cp} should beat SP {total_sp}"
+    );
+}

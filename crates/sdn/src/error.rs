@@ -1,0 +1,124 @@
+//! Error type for the SDN model.
+
+use netgraph::{EdgeId, GraphError, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by SDN construction and resource accounting.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SdnError {
+    /// Underlying graph construction failed.
+    Graph(GraphError),
+    /// A capacity or cost parameter was non-positive, NaN, or infinite.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The node is not a server but a server operation was requested.
+    NotAServer(NodeId),
+    /// A link does not have enough residual bandwidth for an allocation.
+    InsufficientBandwidth {
+        /// The saturated link.
+        link: EdgeId,
+        /// Bandwidth requested (Mbps).
+        requested: f64,
+        /// Bandwidth available (Mbps).
+        available: f64,
+    },
+    /// A server does not have enough residual computing capacity.
+    InsufficientComputing {
+        /// The saturated server.
+        server: NodeId,
+        /// Computing requested (MHz).
+        requested: f64,
+        /// Computing available (MHz).
+        available: f64,
+    },
+    /// Releasing more than was allocated (accounting bug guard).
+    OverRelease {
+        /// Human-readable description of the resource.
+        what: String,
+    },
+    /// A request referenced a node outside the network.
+    UnknownNode(NodeId),
+}
+
+impl fmt::Display for SdnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdnError::Graph(e) => write!(f, "graph error: {e}"),
+            SdnError::InvalidParameter { what, value } => {
+                write!(f, "invalid {what}: {value} (must be positive and finite)")
+            }
+            SdnError::NotAServer(n) => write!(f, "node {n} has no attached server"),
+            SdnError::InsufficientBandwidth {
+                link,
+                requested,
+                available,
+            } => write!(
+                f,
+                "link {link} has {available} Mbps available, {requested} requested"
+            ),
+            SdnError::InsufficientComputing {
+                server,
+                requested,
+                available,
+            } => write!(
+                f,
+                "server {server} has {available} MHz available, {requested} requested"
+            ),
+            SdnError::OverRelease { what } => {
+                write!(f, "released more than allocated on {what}")
+            }
+            SdnError::UnknownNode(n) => write!(f, "node {n} is not part of the network"),
+        }
+    }
+}
+
+impl Error for SdnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SdnError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for SdnError {
+    fn from(e: GraphError) -> Self {
+        SdnError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SdnError::InsufficientBandwidth {
+            link: EdgeId::new(3),
+            requested: 100.0,
+            available: 40.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("e3"));
+        assert!(msg.contains("100"));
+        assert!(msg.contains("40"));
+    }
+
+    #[test]
+    fn graph_error_is_source() {
+        let e = SdnError::from(GraphError::NegativeCycle);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SdnError>();
+    }
+}

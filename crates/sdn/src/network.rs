@@ -1,0 +1,530 @@
+//! The SDN itself: topology + capacities + unit costs + residual state.
+
+use crate::{Allocation, SdnError};
+use netgraph::{EdgeId, Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Incremental builder for an [`Sdn`].
+///
+/// Switches and servers are nodes of the underlying [`Graph`]; links carry
+/// a bandwidth capacity `B_e` and a unit bandwidth cost `c_e` (the graph's
+/// edge weight); servers carry a computing capacity `C_v` and a unit
+/// computing cost `c_v`.
+#[derive(Debug, Clone, Default)]
+pub struct SdnBuilder {
+    graph: Graph,
+    computing_capacity: Vec<f64>, // 0.0 for plain switches
+    unit_computing_cost: Vec<f64>,
+    bandwidth_capacity: Vec<f64>,
+}
+
+impl SdnBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        SdnBuilder::default()
+    }
+
+    /// Adds a plain SDN switch (no attached server).
+    pub fn add_switch(&mut self) -> NodeId {
+        let n = self.graph.add_node();
+        self.computing_capacity.push(0.0);
+        self.unit_computing_cost.push(0.0);
+        n
+    }
+
+    /// Adds a switch with an attached server of the given computing
+    /// capacity (MHz) and unit computing cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity or cost is not positive and finite; builder
+    /// misuse is a programming error in topology generation.
+    pub fn add_server(&mut self, capacity_mhz: f64, unit_cost: f64) -> NodeId {
+        let n = self.add_switch();
+        self.attach_server(n, capacity_mhz, unit_cost)
+            .expect("fresh switch accepts a server");
+        n
+    }
+
+    /// Attaches a server to an existing switch (used by topology
+    /// generators, which create the graph first and place servers after).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdnError::UnknownNode`] for unknown nodes and
+    /// [`SdnError::InvalidParameter`] for non-positive capacities/costs.
+    pub fn attach_server(
+        &mut self,
+        node: NodeId,
+        capacity_mhz: f64,
+        unit_cost: f64,
+    ) -> Result<(), SdnError> {
+        if !self.graph.contains_node(node) {
+            return Err(SdnError::UnknownNode(node));
+        }
+        if !(capacity_mhz.is_finite() && capacity_mhz > 0.0) {
+            return Err(SdnError::InvalidParameter {
+                what: "server capacity",
+                value: capacity_mhz,
+            });
+        }
+        if !(unit_cost.is_finite() && unit_cost >= 0.0) {
+            return Err(SdnError::InvalidParameter {
+                what: "server unit cost",
+                value: unit_cost,
+            });
+        }
+        self.computing_capacity[node.index()] = capacity_mhz;
+        self.unit_computing_cost[node.index()] = unit_cost;
+        Ok(())
+    }
+
+    /// Adds a bidirectional link with bandwidth capacity `B_e` (Mbps) and
+    /// unit bandwidth cost `c_e`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdnError::InvalidParameter`] for non-positive capacity or
+    /// negative cost, and propagates graph errors (unknown endpoint,
+    /// self-loop).
+    pub fn add_link(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        bandwidth_mbps: f64,
+        unit_cost: f64,
+    ) -> Result<EdgeId, SdnError> {
+        if !(bandwidth_mbps.is_finite() && bandwidth_mbps > 0.0) {
+            return Err(SdnError::InvalidParameter {
+                what: "link bandwidth capacity",
+                value: bandwidth_mbps,
+            });
+        }
+        let e = self.graph.add_edge(u, v, unit_cost)?;
+        self.bandwidth_capacity.push(bandwidth_mbps);
+        Ok(e)
+    }
+
+    /// Finalizes the network.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (all validation happens on the
+    /// individual operations) but kept fallible for future invariants.
+    pub fn build(self) -> Result<Sdn, SdnError> {
+        let servers: Vec<NodeId> = (0..self.graph.node_count())
+            .filter(|&i| self.computing_capacity[i] > 0.0)
+            .map(NodeId::new)
+            .collect();
+        let residual_bandwidth = self.bandwidth_capacity.clone();
+        let residual_computing = self.computing_capacity.clone();
+        Ok(Sdn {
+            graph: self.graph,
+            servers,
+            computing_capacity: self.computing_capacity,
+            unit_computing_cost: self.unit_computing_cost,
+            bandwidth_capacity: self.bandwidth_capacity,
+            residual_bandwidth,
+            residual_computing,
+        })
+    }
+}
+
+/// A software-defined network `G = (V, E)` with a server subset `V_S`,
+/// capacities, unit costs, and a residual-resource ledger (§III-A).
+///
+/// The ledger is the mutable part: [`Sdn::allocate`] and [`Sdn::release`]
+/// move residual capacity atomically (an allocation either fully applies
+/// or the network is left untouched).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sdn {
+    graph: Graph,
+    servers: Vec<NodeId>,
+    computing_capacity: Vec<f64>,
+    unit_computing_cost: Vec<f64>,
+    bandwidth_capacity: Vec<f64>,
+    residual_bandwidth: Vec<f64>,
+    residual_computing: Vec<f64>,
+}
+
+impl Sdn {
+    /// The underlying topology. Edge weights are the unit bandwidth costs
+    /// `c_e`.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of switches `|V|`.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of links `|E|`.
+    #[must_use]
+    pub fn link_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The switches with attached servers, `V_S`, in id order.
+    #[must_use]
+    pub fn servers(&self) -> &[NodeId] {
+        &self.servers
+    }
+
+    /// Returns `true` if node `n` has an attached server.
+    #[must_use]
+    pub fn is_server(&self, n: NodeId) -> bool {
+        self.graph.contains_node(n) && self.computing_capacity[n.index()] > 0.0
+    }
+
+    /// Computing capacity `C_v` of the server at `v`, or `None` for plain
+    /// switches.
+    #[must_use]
+    pub fn computing_capacity(&self, v: NodeId) -> Option<f64> {
+        if self.is_server(v) {
+            Some(self.computing_capacity[v.index()])
+        } else {
+            None
+        }
+    }
+
+    /// Unit computing cost `c_v` at server `v`, or `None` for plain
+    /// switches.
+    #[must_use]
+    pub fn unit_computing_cost(&self, v: NodeId) -> Option<f64> {
+        if self.is_server(v) {
+            Some(self.unit_computing_cost[v.index()])
+        } else {
+            None
+        }
+    }
+
+    /// Bandwidth capacity `B_e` of link `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not a link of this network.
+    #[must_use]
+    pub fn bandwidth_capacity(&self, e: EdgeId) -> f64 {
+        self.bandwidth_capacity[e.index()]
+    }
+
+    /// Unit bandwidth cost `c_e` of link `e` (the graph edge weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not a link of this network.
+    #[must_use]
+    pub fn unit_bandwidth_cost(&self, e: EdgeId) -> f64 {
+        self.graph.edge(e).weight
+    }
+
+    /// Residual bandwidth `B_e(k)` on link `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not a link of this network.
+    #[must_use]
+    pub fn residual_bandwidth(&self, e: EdgeId) -> f64 {
+        self.residual_bandwidth[e.index()]
+    }
+
+    /// Residual computing `C_v(k)` at server `v`, or `None` for plain
+    /// switches.
+    #[must_use]
+    pub fn residual_computing(&self, v: NodeId) -> Option<f64> {
+        if self.is_server(v) {
+            Some(self.residual_computing[v.index()])
+        } else {
+            None
+        }
+    }
+
+    /// Bandwidth utilization of link `e` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not a link of this network.
+    #[must_use]
+    pub fn bandwidth_utilization(&self, e: EdgeId) -> f64 {
+        1.0 - self.residual_bandwidth[e.index()] / self.bandwidth_capacity[e.index()]
+    }
+
+    /// Computing utilization of server `v` in `[0, 1]`, or `None` for
+    /// plain switches.
+    #[must_use]
+    pub fn computing_utilization(&self, v: NodeId) -> Option<f64> {
+        self.computing_capacity(v)
+            .map(|c| 1.0 - self.residual_computing[v.index()] / c)
+    }
+
+    /// Checks whether `alloc` fits in the current residual capacities.
+    #[must_use]
+    pub fn can_allocate(&self, alloc: &Allocation) -> bool {
+        self.validate_allocation(alloc).is_ok()
+    }
+
+    fn validate_allocation(&self, alloc: &Allocation) -> Result<(), SdnError> {
+        const EPS: f64 = 1e-9;
+        for (e, load) in alloc.links() {
+            if e.index() >= self.bandwidth_capacity.len() {
+                return Err(SdnError::Graph(netgraph::GraphError::InvalidEdge(e)));
+            }
+            let avail = self.residual_bandwidth[e.index()];
+            if load > avail + EPS {
+                return Err(SdnError::InsufficientBandwidth {
+                    link: e,
+                    requested: load,
+                    available: avail,
+                });
+            }
+        }
+        for (v, load) in alloc.servers() {
+            if !self.is_server(v) {
+                return Err(SdnError::NotAServer(v));
+            }
+            let avail = self.residual_computing[v.index()];
+            if load > avail + EPS {
+                return Err(SdnError::InsufficientComputing {
+                    server: v,
+                    requested: load,
+                    available: avail,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Atomically commits an allocation, decreasing residual capacities.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first capacity violation found; on error the network is
+    /// left untouched.
+    pub fn allocate(&mut self, alloc: &Allocation) -> Result<(), SdnError> {
+        self.validate_allocation(alloc)?;
+        for (e, load) in alloc.links() {
+            let r = &mut self.residual_bandwidth[e.index()];
+            *r = (*r - load).max(0.0);
+        }
+        for (v, load) in alloc.servers() {
+            let r = &mut self.residual_computing[v.index()];
+            *r = (*r - load).max(0.0);
+        }
+        Ok(())
+    }
+
+    /// Returns a previously committed allocation to the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdnError::OverRelease`] if releasing would exceed a
+    /// capacity (accounting bug guard); the network is left untouched in
+    /// that case.
+    pub fn release(&mut self, alloc: &Allocation) -> Result<(), SdnError> {
+        const EPS: f64 = 1e-6;
+        for (e, load) in alloc.links() {
+            if self.residual_bandwidth[e.index()] + load
+                > self.bandwidth_capacity[e.index()] * (1.0 + EPS) + EPS
+            {
+                return Err(SdnError::OverRelease {
+                    what: format!("link {e}"),
+                });
+            }
+        }
+        for (v, load) in alloc.servers() {
+            if !self.is_server(v) {
+                return Err(SdnError::NotAServer(v));
+            }
+            if self.residual_computing[v.index()] + load
+                > self.computing_capacity[v.index()] * (1.0 + EPS) + EPS
+            {
+                return Err(SdnError::OverRelease {
+                    what: format!("server {v}"),
+                });
+            }
+        }
+        for (e, load) in alloc.links() {
+            let cap = self.bandwidth_capacity[e.index()];
+            let r = &mut self.residual_bandwidth[e.index()];
+            *r = (*r + load).min(cap);
+        }
+        for (v, load) in alloc.servers() {
+            let cap = self.computing_capacity[v.index()];
+            let r = &mut self.residual_computing[v.index()];
+            *r = (*r + load).min(cap);
+        }
+        Ok(())
+    }
+
+    /// Restores every residual capacity to its full value.
+    pub fn reset(&mut self) {
+        self.residual_bandwidth
+            .copy_from_slice(&self.bandwidth_capacity);
+        self.residual_computing
+            .copy_from_slice(&self.computing_capacity);
+    }
+
+    /// Sum of all link bandwidth capacities (Mbps).
+    #[must_use]
+    pub fn total_bandwidth_capacity(&self) -> f64 {
+        self.bandwidth_capacity.iter().sum()
+    }
+
+    /// Sum of all server computing capacities (MHz).
+    #[must_use]
+    pub fn total_computing_capacity(&self) -> f64 {
+        self.computing_capacity.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RequestId;
+
+    fn small() -> (Sdn, Vec<NodeId>, Vec<EdgeId>) {
+        let mut b = SdnBuilder::new();
+        let v0 = b.add_switch();
+        let v1 = b.add_server(1000.0, 2.0);
+        let v2 = b.add_switch();
+        let e0 = b.add_link(v0, v1, 100.0, 1.0).unwrap();
+        let e1 = b.add_link(v1, v2, 200.0, 3.0).unwrap();
+        (b.build().unwrap(), vec![v0, v1, v2], vec![e0, e1])
+    }
+
+    #[test]
+    fn builder_classifies_servers() {
+        let (sdn, v, _) = small();
+        assert_eq!(sdn.servers(), &[v[1]]);
+        assert!(sdn.is_server(v[1]));
+        assert!(!sdn.is_server(v[0]));
+        assert_eq!(sdn.computing_capacity(v[1]), Some(1000.0));
+        assert_eq!(sdn.computing_capacity(v[0]), None);
+        assert_eq!(sdn.unit_computing_cost(v[1]), Some(2.0));
+        assert_eq!(sdn.node_count(), 3);
+        assert_eq!(sdn.link_count(), 2);
+    }
+
+    #[test]
+    fn capacities_and_costs_exposed() {
+        let (sdn, _, e) = small();
+        assert_eq!(sdn.bandwidth_capacity(e[0]), 100.0);
+        assert_eq!(sdn.unit_bandwidth_cost(e[1]), 3.0);
+        assert_eq!(sdn.total_bandwidth_capacity(), 300.0);
+        assert_eq!(sdn.total_computing_capacity(), 1000.0);
+    }
+
+    #[test]
+    fn allocate_and_release_round_trip() {
+        let (mut sdn, v, e) = small();
+        let mut a = Allocation::new(RequestId(1));
+        a.add_link(e[0], 60.0);
+        a.add_server(v[1], 400.0);
+        assert!(sdn.can_allocate(&a));
+        sdn.allocate(&a).unwrap();
+        assert_eq!(sdn.residual_bandwidth(e[0]), 40.0);
+        assert_eq!(sdn.residual_computing(v[1]), Some(600.0));
+        assert!((sdn.bandwidth_utilization(e[0]) - 0.6).abs() < 1e-9);
+        assert!((sdn.computing_utilization(v[1]).unwrap() - 0.4).abs() < 1e-9);
+        sdn.release(&a).unwrap();
+        assert_eq!(sdn.residual_bandwidth(e[0]), 100.0);
+        assert_eq!(sdn.residual_computing(v[1]), Some(1000.0));
+    }
+
+    #[test]
+    fn allocation_is_atomic_on_failure() {
+        let (mut sdn, v, e) = small();
+        let mut a = Allocation::new(RequestId(1));
+        a.add_link(e[0], 60.0);
+        a.add_server(v[1], 5000.0); // too much
+        let err = sdn.allocate(&a).unwrap_err();
+        assert!(matches!(err, SdnError::InsufficientComputing { .. }));
+        // Link residual untouched.
+        assert_eq!(sdn.residual_bandwidth(e[0]), 100.0);
+    }
+
+    #[test]
+    fn accumulated_loads_checked_jointly() {
+        let (mut sdn, _, e) = small();
+        let mut a = Allocation::new(RequestId(1));
+        a.add_link(e[0], 60.0);
+        a.add_link(e[0], 60.0); // 120 > 100 total
+        assert!(!sdn.can_allocate(&a));
+        assert!(sdn.allocate(&a).is_err());
+    }
+
+    #[test]
+    fn over_release_rejected() {
+        let (mut sdn, _, e) = small();
+        let mut a = Allocation::new(RequestId(1));
+        a.add_link(e[0], 50.0);
+        assert!(matches!(sdn.release(&a), Err(SdnError::OverRelease { .. })));
+    }
+
+    #[test]
+    fn allocation_on_non_server_rejected() {
+        let (mut sdn, v, _) = small();
+        let mut a = Allocation::new(RequestId(1));
+        a.add_server(v[0], 1.0);
+        assert!(matches!(sdn.allocate(&a), Err(SdnError::NotAServer(_))));
+    }
+
+    #[test]
+    fn reset_restores_full_capacity() {
+        let (mut sdn, v, e) = small();
+        let mut a = Allocation::new(RequestId(1));
+        a.add_link(e[1], 200.0);
+        a.add_server(v[1], 1000.0);
+        sdn.allocate(&a).unwrap();
+        assert_eq!(sdn.residual_bandwidth(e[1]), 0.0);
+        sdn.reset();
+        assert_eq!(sdn.residual_bandwidth(e[1]), 200.0);
+        assert_eq!(sdn.residual_computing(v[1]), Some(1000.0));
+    }
+
+    #[test]
+    fn builder_rejects_bad_parameters() {
+        let mut b = SdnBuilder::new();
+        let v0 = b.add_switch();
+        let v1 = b.add_switch();
+        assert!(matches!(
+            b.add_link(v0, v1, 0.0, 1.0),
+            Err(SdnError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            b.attach_server(v0, -5.0, 1.0),
+            Err(SdnError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            b.attach_server(NodeId::new(9), 100.0, 1.0),
+            Err(SdnError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn attach_server_upgrades_switch() {
+        let mut b = SdnBuilder::new();
+        let v0 = b.add_switch();
+        b.attach_server(v0, 500.0, 1.5).unwrap();
+        let sdn = b.build().unwrap();
+        assert!(sdn.is_server(v0));
+        assert_eq!(sdn.servers(), &[v0]);
+    }
+
+    #[test]
+    fn exact_fill_is_allowed() {
+        let (mut sdn, _, e) = small();
+        let mut a = Allocation::new(RequestId(1));
+        a.add_link(e[0], 100.0);
+        sdn.allocate(&a).unwrap();
+        assert_eq!(sdn.residual_bandwidth(e[0]), 0.0);
+        // Any further allocation fails.
+        let mut b2 = Allocation::new(RequestId(2));
+        b2.add_link(e[0], 0.1);
+        assert!(!sdn.can_allocate(&b2));
+    }
+}

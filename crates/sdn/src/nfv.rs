@@ -1,0 +1,192 @@
+//! Network function types and service chains.
+//!
+//! The paper's evaluation (§VI-A) uses five network function types —
+//! Firewall, Proxy, NAT, IDS, and Load Balancing — with computing demands
+//! adopted from the consolidated-middlebox literature ([7], [17]). Those
+//! sources model per-function CPU load as proportional to the traffic rate
+//! pushed through the function; the coefficients below reproduce their
+//! relative ordering (IDS heaviest, firewall/proxy lightest).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One virtualized network function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NfvType {
+    /// Stateless packet filter.
+    Firewall,
+    /// Caching / forwarding proxy.
+    Proxy,
+    /// Network address translation.
+    Nat,
+    /// Intrusion detection system (deep packet inspection — the heaviest).
+    Ids,
+    /// Flow-level load balancer.
+    LoadBalancer,
+}
+
+impl NfvType {
+    /// All five NFV types, in a fixed order (useful for sweeps and random
+    /// chain generation).
+    pub const ALL: [NfvType; 5] = [
+        NfvType::Firewall,
+        NfvType::Proxy,
+        NfvType::Nat,
+        NfvType::Ids,
+        NfvType::LoadBalancer,
+    ];
+
+    /// CPU demand coefficient in MHz per Mbps of traffic processed.
+    ///
+    /// A request with bandwidth `b` Mbps passing through this function
+    /// consumes `b · coefficient` MHz on the hosting server. The values
+    /// follow the consolidated-middlebox measurements (\[7\], \[17\]): simple
+    /// header rewriting (firewall, NAT) runs near line rate at ~1 MHz per
+    /// Mbps; proxying and load balancing pay for connection state; deep
+    /// packet inspection (IDS) is several times heavier.
+    #[must_use]
+    pub fn mhz_per_mbps(self) -> f64 {
+        match self {
+            NfvType::Firewall => 0.90,
+            NfvType::Proxy => 1.20,
+            NfvType::Nat => 0.92,
+            NfvType::Ids => 2.50,
+            NfvType::LoadBalancer => 1.10,
+        }
+    }
+}
+
+impl fmt::Display for NfvType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            NfvType::Firewall => "Firewall",
+            NfvType::Proxy => "Proxy",
+            NfvType::Nat => "NAT",
+            NfvType::Ids => "IDS",
+            NfvType::LoadBalancer => "LoadBalancer",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An ordered sequence of network functions every packet of a request must
+/// traverse before reaching any destination (e.g. `⟨NAT, Firewall, IDS⟩`).
+///
+/// Following the paper's model (§III-B), the whole chain is consolidated
+/// onto whichever server(s) the routing algorithm selects, so the chain's
+/// aggregate demand is what matters for placement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ServiceChain {
+    functions: Vec<NfvType>,
+}
+
+impl ServiceChain {
+    /// Creates a service chain from an ordered function list.
+    ///
+    /// Empty chains are allowed and model plain multicast (no NFV
+    /// processing cost), which the tests use to compare against classic
+    /// Steiner-tree behaviour.
+    #[must_use]
+    pub fn new(functions: Vec<NfvType>) -> Self {
+        ServiceChain { functions }
+    }
+
+    /// The ordered functions of the chain.
+    #[must_use]
+    pub fn functions(&self) -> &[NfvType] {
+        &self.functions
+    }
+
+    /// Number of functions in the chain.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Returns `true` if the chain has no functions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// Computing demand `C_v(SC_k)` in MHz when the chain processes
+    /// `bandwidth_mbps` of traffic: the sum of the per-function
+    /// coefficients times the traffic rate.
+    #[must_use]
+    pub fn computing_demand(&self, bandwidth_mbps: f64) -> f64 {
+        let coeff: f64 = self.functions.iter().map(|f| f.mhz_per_mbps()).sum();
+        coeff * bandwidth_mbps
+    }
+}
+
+impl fmt::Display for ServiceChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, func) in self.functions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{func}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl FromIterator<NfvType> for ServiceChain {
+    fn from_iter<I: IntoIterator<Item = NfvType>>(iter: I) -> Self {
+        ServiceChain::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_is_heaviest() {
+        let max = NfvType::ALL
+            .iter()
+            .max_by(|a, b| a.mhz_per_mbps().partial_cmp(&b.mhz_per_mbps()).unwrap())
+            .unwrap();
+        assert_eq!(*max, NfvType::Ids);
+    }
+
+    #[test]
+    fn demand_scales_linearly_with_bandwidth() {
+        let chain = ServiceChain::new(vec![NfvType::Firewall, NfvType::Ids]);
+        let d100 = chain.computing_demand(100.0);
+        let d200 = chain.computing_demand(200.0);
+        assert!((d200 - 2.0 * d100).abs() < 1e-9);
+        assert!((d100 - (0.90 + 2.50) * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_chain_has_zero_demand() {
+        let chain = ServiceChain::new(Vec::new());
+        assert!(chain.is_empty());
+        assert_eq!(chain.len(), 0);
+        assert_eq!(chain.computing_demand(150.0), 0.0);
+    }
+
+    #[test]
+    fn chain_demand_is_order_independent_but_display_is_not() {
+        let a = ServiceChain::new(vec![NfvType::Nat, NfvType::Firewall]);
+        let b = ServiceChain::new(vec![NfvType::Firewall, NfvType::Nat]);
+        assert_eq!(a.computing_demand(80.0), b.computing_demand(80.0));
+        assert_ne!(a, b);
+        assert_eq!(a.to_string(), "⟨NAT, Firewall⟩");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let chain: ServiceChain = NfvType::ALL.into_iter().collect();
+        assert_eq!(chain.len(), 5);
+        assert_eq!(chain.functions()[3], NfvType::Ids);
+    }
+
+    #[test]
+    fn display_of_types() {
+        assert_eq!(NfvType::LoadBalancer.to_string(), "LoadBalancer");
+        assert_eq!(NfvType::Ids.to_string(), "IDS");
+    }
+}

@@ -1,0 +1,179 @@
+//! NFV-enabled multicast requests.
+
+use crate::ServiceChain;
+use netgraph::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a multicast request within one experiment run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An NFV-enabled multicast request `r_k = (s_k, D_k; b_k, SC_k)` (§III-B).
+///
+/// Every packet from `source` must pass through an instance of `chain`
+/// (placed on one or more servers by the routing algorithm) before reaching
+/// any destination in `destinations`, consuming `bandwidth` Mbps on every
+/// traversed link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MulticastRequest {
+    /// Request identifier.
+    pub id: RequestId,
+    /// The source switch `s_k`.
+    pub source: NodeId,
+    /// The destination switches `D_k` (non-empty, not containing the
+    /// source).
+    pub destinations: Vec<NodeId>,
+    /// Demanded bandwidth `b_k` in Mbps.
+    pub bandwidth: f64,
+    /// The service chain `SC_k`.
+    pub chain: ServiceChain,
+}
+
+impl MulticastRequest {
+    /// Creates a request after normalizing the destination set: duplicates
+    /// and the source itself are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the normalized destination set is empty or `bandwidth` is
+    /// not positive and finite — both indicate a workload-generation bug,
+    /// not a runtime condition.
+    #[must_use]
+    pub fn new(
+        id: RequestId,
+        source: NodeId,
+        destinations: Vec<NodeId>,
+        bandwidth: f64,
+        chain: ServiceChain,
+    ) -> Self {
+        assert!(
+            bandwidth.is_finite() && bandwidth > 0.0,
+            "bandwidth must be positive and finite, got {bandwidth}"
+        );
+        let mut dests = destinations;
+        dests.sort_unstable();
+        dests.dedup();
+        dests.retain(|&d| d != source);
+        assert!(!dests.is_empty(), "request {id} has no destinations");
+        MulticastRequest {
+            id,
+            source,
+            destinations: dests,
+            bandwidth,
+            chain,
+        }
+    }
+
+    /// Computing demand `C_v(SC_k)` of the request's chain in MHz.
+    #[must_use]
+    pub fn computing_demand(&self) -> f64 {
+        self.chain.computing_demand(self.bandwidth)
+    }
+
+    /// Number of destinations.
+    #[must_use]
+    pub fn destination_count(&self) -> usize {
+        self.destinations.len()
+    }
+}
+
+impl fmt::Display for MulticastRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {} dests, {} Mbps, {}",
+            self.id,
+            self.source,
+            self.destinations.len(),
+            self.bandwidth,
+            self.chain
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NfvType;
+
+    fn chain() -> ServiceChain {
+        ServiceChain::new(vec![NfvType::Nat, NfvType::Ids])
+    }
+
+    #[test]
+    fn normalizes_destinations() {
+        let r = MulticastRequest::new(
+            RequestId(1),
+            NodeId::new(0),
+            vec![
+                NodeId::new(2),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(0),
+            ],
+            100.0,
+            chain(),
+        );
+        assert_eq!(r.destinations, vec![NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(r.destination_count(), 2);
+    }
+
+    #[test]
+    fn computing_demand_delegates_to_chain() {
+        let r = MulticastRequest::new(
+            RequestId(2),
+            NodeId::new(0),
+            vec![NodeId::new(1)],
+            50.0,
+            chain(),
+        );
+        assert!((r.computing_demand() - (0.92 + 2.50) * 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no destinations")]
+    fn rejects_source_only_destinations() {
+        let _ = MulticastRequest::new(
+            RequestId(3),
+            NodeId::new(0),
+            vec![NodeId::new(0)],
+            10.0,
+            chain(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn rejects_zero_bandwidth() {
+        let _ = MulticastRequest::new(
+            RequestId(4),
+            NodeId::new(0),
+            vec![NodeId::new(1)],
+            0.0,
+            chain(),
+        );
+    }
+
+    #[test]
+    fn display_mentions_id_and_chain() {
+        let r = MulticastRequest::new(
+            RequestId(5),
+            NodeId::new(0),
+            vec![NodeId::new(1)],
+            75.0,
+            chain(),
+        );
+        let s = r.to_string();
+        assert!(s.contains("r5"));
+        assert!(s.contains("NAT"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Resource allocation records.
+
+use crate::RequestId;
+use netgraph::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The resources one admitted request occupies: per-link bandwidth and
+/// per-server computing loads.
+///
+/// Multiple loads on the same link accumulate — a pseudo-multicast tree
+/// whose send-back path retraverses a tree edge charges that edge twice.
+///
+/// ```
+/// use sdn::{Allocation, RequestId};
+/// use netgraph::EdgeId;
+///
+/// let mut a = Allocation::new(RequestId(7));
+/// a.add_link(EdgeId::new(0), 100.0);
+/// a.add_link(EdgeId::new(0), 100.0); // send-back retraversal
+/// assert_eq!(a.link_load(EdgeId::new(0)), 200.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    request: RequestId,
+    links: BTreeMap<EdgeId, f64>,
+    servers: BTreeMap<NodeId, f64>,
+}
+
+impl Allocation {
+    /// Creates an empty allocation for `request`.
+    #[must_use]
+    pub fn new(request: RequestId) -> Self {
+        Allocation {
+            request,
+            links: BTreeMap::new(),
+            servers: BTreeMap::new(),
+        }
+    }
+
+    /// The request this allocation belongs to.
+    #[must_use]
+    pub fn request(&self) -> RequestId {
+        self.request
+    }
+
+    /// Adds `amount` Mbps of load on link `e` (accumulating).
+    pub fn add_link(&mut self, e: EdgeId, amount: f64) {
+        debug_assert!(amount >= 0.0 && amount.is_finite());
+        *self.links.entry(e).or_insert(0.0) += amount;
+    }
+
+    /// Adds `amount` MHz of load on server `v` (accumulating).
+    pub fn add_server(&mut self, v: NodeId, amount: f64) {
+        debug_assert!(amount >= 0.0 && amount.is_finite());
+        *self.servers.entry(v).or_insert(0.0) += amount;
+    }
+
+    /// Total load placed on link `e` by this allocation.
+    #[must_use]
+    pub fn link_load(&self, e: EdgeId) -> f64 {
+        self.links.get(&e).copied().unwrap_or(0.0)
+    }
+
+    /// Total load placed on server `v` by this allocation.
+    #[must_use]
+    pub fn server_load(&self, v: NodeId) -> f64 {
+        self.servers.get(&v).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over `(link, load)` pairs in id order.
+    pub fn links(&self) -> impl Iterator<Item = (EdgeId, f64)> + '_ {
+        self.links.iter().map(|(&e, &l)| (e, l))
+    }
+
+    /// Iterates over `(server, load)` pairs in id order.
+    pub fn servers(&self) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.servers.iter().map(|(&v, &l)| (v, l))
+    }
+
+    /// Total bandwidth placed across all links (Mbps × traversals).
+    #[must_use]
+    pub fn total_bandwidth(&self) -> f64 {
+        self.links.values().sum()
+    }
+
+    /// Total computing placed across all servers (MHz).
+    #[must_use]
+    pub fn total_computing(&self) -> f64 {
+        self.servers.values().sum()
+    }
+
+    /// Returns `true` if the allocation holds no resources.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.servers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_accumulate() {
+        let mut a = Allocation::new(RequestId(1));
+        a.add_link(EdgeId::new(0), 50.0);
+        a.add_link(EdgeId::new(0), 50.0);
+        a.add_link(EdgeId::new(1), 10.0);
+        a.add_server(NodeId::new(2), 400.0);
+        assert_eq!(a.link_load(EdgeId::new(0)), 100.0);
+        assert_eq!(a.link_load(EdgeId::new(1)), 10.0);
+        assert_eq!(a.link_load(EdgeId::new(9)), 0.0);
+        assert_eq!(a.total_bandwidth(), 110.0);
+        assert_eq!(a.total_computing(), 400.0);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn empty_allocation() {
+        let a = Allocation::new(RequestId(0));
+        assert!(a.is_empty());
+        assert_eq!(a.total_bandwidth(), 0.0);
+        assert_eq!(a.request(), RequestId(0));
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_id() {
+        let mut a = Allocation::new(RequestId(1));
+        a.add_link(EdgeId::new(5), 1.0);
+        a.add_link(EdgeId::new(2), 1.0);
+        let ids: Vec<usize> = a.links().map(|(e, _)| e.index()).collect();
+        assert_eq!(ids, vec![2, 5]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the resource ledger: no operation sequence may
+//! drive a residual negative or above capacity, and the exponential cost
+//! model stays monotone in utilization.
+
+use netgraph::{EdgeId, NodeId};
+use proptest::prelude::*;
+use sdn::{Allocation, ExponentialCostModel, RequestId, Sdn, SdnBuilder};
+
+const LINKS: usize = 6;
+const SERVERS: usize = 3;
+
+fn build_net() -> Sdn {
+    let mut b = SdnBuilder::new();
+    let mut nodes = Vec::new();
+    for i in 0..(LINKS + 1) {
+        if i < SERVERS {
+            nodes.push(b.add_server(1_000.0, 1.0));
+        } else {
+            nodes.push(b.add_switch());
+        }
+    }
+    for i in 0..LINKS {
+        b.add_link(nodes[i], nodes[i + 1], 500.0, 1.0).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// One step in a random allocate/release script.
+#[derive(Debug, Clone)]
+enum Op {
+    Allocate(Allocation),
+    ReleaseLast,
+    Reset,
+}
+
+fn arb_allocation() -> impl Strategy<Value = Allocation> {
+    (
+        proptest::collection::vec((0..LINKS, 1.0f64..300.0), 0..4),
+        proptest::collection::vec((0..SERVERS, 1.0f64..600.0), 0..3),
+    )
+        .prop_map(|(links, servers)| {
+            let mut a = Allocation::new(RequestId(0));
+            for (e, amt) in links {
+                a.add_link(EdgeId::new(e), amt);
+            }
+            for (v, amt) in servers {
+                a.add_server(NodeId::new(v), amt);
+            }
+            a
+        })
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => arb_allocation().prop_map(Op::Allocate),
+            2 => Just(Op::ReleaseLast),
+            1 => Just(Op::Reset),
+        ],
+        0..30,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn residuals_stay_in_bounds_under_any_script(ops in arb_ops()) {
+        let mut sdn = build_net();
+        let mut held: Vec<Allocation> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Allocate(a) => {
+                    let fits = sdn.can_allocate(&a);
+                    let res = sdn.allocate(&a);
+                    prop_assert_eq!(fits, res.is_ok());
+                    if res.is_ok() {
+                        held.push(a);
+                    }
+                }
+                Op::ReleaseLast => {
+                    if let Some(a) = held.pop() {
+                        sdn.release(&a).expect("held allocations release cleanly");
+                    }
+                }
+                Op::Reset => {
+                    sdn.reset();
+                    held.clear();
+                }
+            }
+            for e in sdn.graph().edges() {
+                let r = sdn.residual_bandwidth(e.id);
+                prop_assert!(r >= -1e-6, "negative residual on {}", e.id);
+                prop_assert!(r <= sdn.bandwidth_capacity(e.id) + 1e-6);
+            }
+            for &v in sdn.servers() {
+                let r = sdn.residual_computing(v).unwrap();
+                prop_assert!(r >= -1e-6);
+                prop_assert!(r <= sdn.computing_capacity(v).unwrap() + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_weights_monotone_in_load(load in 0.0f64..450.0, extra in 1.0f64..49.0) {
+        let mut sdn = build_net();
+        let model = ExponentialCostModel::for_network(&sdn);
+        let e = EdgeId::new(0);
+        let mut a = Allocation::new(RequestId(0));
+        a.add_link(e, load);
+        sdn.allocate(&a).unwrap();
+        let before = model.edge_weight(&sdn, e);
+        let mut a2 = Allocation::new(RequestId(1));
+        a2.add_link(e, extra);
+        sdn.allocate(&a2).unwrap();
+        let after = model.edge_weight(&sdn, e);
+        prop_assert!(after > before, "weight fell: {before} -> {after}");
+        // Weight bounded by alpha - 1 at full utilization.
+        prop_assert!(after <= model.beta - 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn allocate_then_release_is_identity_on_residuals(a in arb_allocation()) {
+        let mut sdn = build_net();
+        if sdn.allocate(&a).is_ok() {
+            sdn.release(&a).unwrap();
+            let fresh = build_net();
+            for e in sdn.graph().edges() {
+                prop_assert!(
+                    (sdn.residual_bandwidth(e.id) - fresh.residual_bandwidth(e.id)).abs() < 1e-6
+                );
+            }
+            for &v in sdn.servers() {
+                prop_assert!(
+                    (sdn.residual_computing(v).unwrap()
+                        - fresh.residual_computing(v).unwrap()).abs() < 1e-6
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Runs the ablation suite: `cargo run -p sim --release --bin ablation [quick|default|paper]`.
+
+use sim::{experiments::ablation, write_csv, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let names = [
+        "ablation_cost_model",
+        "ablation_threshold",
+        "ablation_k",
+        "ablation_steiner",
+        "ablation_competitive",
+        "ablation_local_search",
+    ];
+    for (table, name) in ablation::run(scale).iter().zip(names) {
+        println!("{}", table.render());
+        write_csv(table, name).unwrap_or_else(|e| panic!("write results/{name}.csv: {e}"));
+    }
+}

@@ -1,0 +1,11 @@
+//! Runs the arrival/departure extension sweep:
+//! `cargo run -p sim --release --bin dynamic [quick|default|paper]`.
+
+use sim::{experiments::dynamic, write_csv, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let table = dynamic::run(scale);
+    println!("{}", table.render());
+    write_csv(&table, "dynamic").expect("write results/dynamic.csv");
+}

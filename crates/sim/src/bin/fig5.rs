@@ -1,0 +1,12 @@
+//! Regenerates Fig. 5: `cargo run -p sim --release --bin fig5 [quick|default|paper]`.
+
+use sim::{experiments::fig5, write_csv, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let (cost, time) = fig5::run(scale);
+    println!("{}", cost.render());
+    println!("{}", time.render());
+    write_csv(&cost, "fig5_cost").expect("write results/fig5_cost.csv");
+    write_csv(&time, "fig5_time").expect("write results/fig5_time.csv");
+}

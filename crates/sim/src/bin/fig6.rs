@@ -1,0 +1,12 @@
+//! Regenerates Fig. 6: `cargo run -p sim --release --bin fig6 [quick|default|paper]`.
+
+use sim::{experiments::fig6, write_csv, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let (cost, time) = fig6::run(scale);
+    println!("{}", cost.render());
+    println!("{}", time.render());
+    write_csv(&cost, "fig6_cost").expect("write results/fig6_cost.csv");
+    write_csv(&time, "fig6_time").expect("write results/fig6_time.csv");
+}

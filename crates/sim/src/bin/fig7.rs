@@ -1,0 +1,10 @@
+//! Regenerates Fig. 7: `cargo run -p sim --release --bin fig7 [quick|default|paper]`.
+
+use sim::{experiments::fig7, write_csv, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let table = fig7::run(scale);
+    println!("{}", table.render());
+    write_csv(&table, "fig7").expect("write results/fig7.csv");
+}

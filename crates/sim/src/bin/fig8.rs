@@ -1,0 +1,26 @@
+//! Regenerates Fig. 8: `cargo run -p sim --release --bin fig8 [quick|default|paper]`.
+
+use sim::{experiments::fig8, write_csv, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let table = fig8::run(scale);
+    println!("{}", table.render());
+    // Trend view: admitted requests vs network size.
+    let parse = |row: &str, col: usize| -> (f64, f64) {
+        let cells: Vec<&str> = row.split(',').collect();
+        (
+            cells[0].parse().unwrap_or(0.0),
+            cells[col].parse().unwrap_or(0.0),
+        )
+    };
+    let csv = table.to_csv();
+    let rows: Vec<&str> = csv.lines().skip(1).collect();
+    let cp = sim::Series::new("Online_CP", rows.iter().map(|r| parse(r, 1)).collect());
+    let sp = sim::Series::new("SP", rows.iter().map(|r| parse(r, 2)).collect());
+    println!(
+        "{}",
+        sim::render_chart("admitted vs network size", &[cp, sp], 50, 12)
+    );
+    write_csv(&table, "fig8").expect("write results/fig8.csv");
+}

@@ -1,0 +1,31 @@
+//! Regenerates Fig. 9: `cargo run -p sim --release --bin fig9 [quick|default|paper]`.
+
+use sim::{experiments::fig9, write_csv, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let table = fig9::run(scale);
+    println!("{}", table.render());
+    // Trend view per topology: admitted vs request count.
+    let csv = table.to_csv();
+    let rows: Vec<Vec<String>> = csv
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').map(str::to_string).collect())
+        .collect();
+    for topo in ["GEANT", "AS1755"] {
+        let pick = |col: usize| -> Vec<(f64, f64)> {
+            rows.iter()
+                .filter(|r| r[0] == topo)
+                .map(|r| (r[1].parse().unwrap_or(0.0), r[col].parse().unwrap_or(0.0)))
+                .collect()
+        };
+        let cp = sim::Series::new("Online_CP", pick(2));
+        let sp = sim::Series::new("SP", pick(3));
+        println!(
+            "{}",
+            sim::render_chart(&format!("{topo}: admitted vs requests"), &[cp, sp], 50, 10)
+        );
+    }
+    write_csv(&table, "fig9").expect("write results/fig9.csv");
+}

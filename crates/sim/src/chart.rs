@@ -1,0 +1,128 @@
+//! Minimal ASCII charts for terminal output.
+//!
+//! The `fig*` binaries print their series as tables (the source of
+//! truth) and, where a trend matters, as a chart so the figure's shape
+//! is visible without plotting the CSVs.
+
+use std::fmt::Write as _;
+
+/// A named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points (x ascending is not required but renders best).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from a label and points.
+    #[must_use]
+    pub fn new(name: &str, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.to_string(),
+            points,
+        }
+    }
+}
+
+/// Renders one or more series as an ASCII scatter/line chart of the given
+/// pixel grid size. Each series uses its own glyph; collisions show the
+/// later series' glyph.
+///
+/// Returns an empty string when there are no points.
+#[must_use]
+pub fn render_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    if all.is_empty() || width < 2 || height < 2 {
+        return String::new();
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &all {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{:>10.1} +{}", y_max, "-".repeat(width));
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == height - 1 {
+            format!("{y_min:>10.1}")
+        } else {
+            " ".repeat(10)
+        };
+        let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{:>11}{:-<w$}", "+", "", w = width + 1);
+    let _ = writeln!(out, "{:>12.1}{:>w$.1}", x_min, x_max, w = width - 1);
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", GLYPHS[i % GLYPHS.len()], s.name))
+        .collect();
+    let _ = writeln!(out, "{:>12}{}", "", legend.join("   "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_in_bounds() {
+        let s = Series::new("up", vec![(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)]);
+        let chart = render_chart("demo", &[s], 20, 8);
+        assert!(chart.contains("demo"));
+        assert!(chart.contains('*'));
+        assert!(chart.contains("up"));
+        // Height rows plus borders plus legend.
+        assert!(chart.lines().count() >= 11);
+    }
+
+    #[test]
+    fn two_series_get_distinct_glyphs() {
+        let a = Series::new("a", vec![(0.0, 0.0), (1.0, 1.0)]);
+        let b = Series::new("b", vec![(0.0, 1.0), (1.0, 0.0)]);
+        let chart = render_chart("two", &[a, b], 12, 6);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    fn empty_series_render_nothing() {
+        assert!(render_chart("x", &[], 10, 5).is_empty());
+        let s = Series::new("e", vec![]);
+        assert!(render_chart("x", &[s], 10, 5).is_empty());
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let s = Series::new("flat", vec![(1.0, 3.0), (1.0, 3.0)]);
+        let chart = render_chart("flat", &[s], 10, 5);
+        assert!(chart.contains('*'));
+    }
+}

@@ -1,0 +1,90 @@
+//! Extension experiment (beyond the paper): steady-state admission under
+//! arrival/departure dynamics.
+//!
+//! The paper's Figs. 8–9 fill a network monotonically. Real sessions
+//! depart; this sweep offers a Poisson workload at increasing load (in
+//! Erlangs) and reports the steady-state admission ratio of `Online_CP`,
+//! `Online_CP_Multi` (K = 2), and `SP`.
+
+use crate::{waxman_sdn, ExperimentScale, Table};
+use nfv_online::{
+    run_dynamic, OnlineAlgorithm, OnlineCp, OnlineCpMulti, ShortestPathBaseline, TimedRequest,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workload::{PoissonWorkload, RequestGenerator};
+
+/// Offered loads (Erlangs) of the sweep.
+pub const LOADS: [f64; 4] = [20.0, 40.0, 80.0, 160.0];
+
+/// Runs the dynamics sweep on an `n = 100` Waxman network.
+#[must_use]
+pub fn run(scale: ExperimentScale) -> Table {
+    run_with(&LOADS, scale)
+}
+
+/// [`run`] with explicit offered loads (tests use reduced sweeps).
+#[must_use]
+pub fn run_with(loads: &[f64], scale: ExperimentScale) -> Table {
+    let mut table = Table::new(
+        "Extension: steady-state admission ratio under Poisson dynamics (n = 100)",
+        &["load [Erl]", "Online_CP", "Online_CP_Multi", "SP"],
+    );
+    let n = 100;
+    for &load in loads {
+        let mut ratios = [0.0f64; 3];
+        for rep in 0..scale.repetitions {
+            let mut rng = StdRng::seed_from_u64(9_000 + rep as u64);
+            let mut gen = RequestGenerator::new(n);
+            // lambda = load / mean_holding; holding fixed at 10 time units.
+            let workload = PoissonWorkload::new(load / 10.0, 10.0);
+            let sessions: Vec<TimedRequest> = workload
+                .generate(&mut gen, scale.online_requests, &mut rng)
+                .into_iter()
+                .map(|(req, arrival, duration)| TimedRequest::new(req, arrival, duration))
+                .collect();
+            let algos: [&mut dyn OnlineAlgorithm; 3] = [
+                &mut OnlineCp::new(),
+                &mut OnlineCpMulti::new(2),
+                &mut ShortestPathBaseline::new(),
+            ];
+            for (i, algo) in algos.into_iter().enumerate() {
+                let mut sdn = waxman_sdn(n, 90 + rep as u64);
+                let r = run_dynamic(&mut sdn, algo, &sessions);
+                ratios[i] += r.admission_ratio();
+            }
+        }
+        let reps = scale.repetitions.max(1) as f64;
+        eprintln!(
+            "dynamic: load {load}: CP {:.2} Multi {:.2} SP {:.2}",
+            ratios[0] / reps,
+            ratios[1] / reps,
+            ratios[2] / reps
+        );
+        table.add_row(vec![
+            format!("{load}"),
+            format!("{:.3}", ratios[0] / reps),
+            format!("{:.3}", ratios[1] / reps),
+            format!("{:.3}", ratios[2] / reps),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_run_fills_all_points() {
+        let t = run_with(
+            &[10.0],
+            ExperimentScale {
+                offline_requests: 1,
+                online_requests: 30,
+                repetitions: 1,
+            },
+        );
+        assert_eq!(t.len(), 1);
+    }
+}

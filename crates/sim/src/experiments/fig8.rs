@@ -1,0 +1,76 @@
+//! Fig. 8: online throughput — requests admitted by `Online_CP` vs `SP`
+//! over a monitoring period of 300 requests, as the network size grows.
+
+use crate::{waxman_sdn, ExperimentScale, Table};
+use nfv_online::{run_online, OnlineCp, ShortestPathBaseline};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workload::RequestGenerator;
+
+/// Network sizes of the sweep.
+pub const SIZES: [usize; 5] = [50, 100, 150, 200, 250];
+
+/// Runs the Fig. 8 sweep.
+#[must_use]
+pub fn run(scale: ExperimentScale) -> Table {
+    run_with(&SIZES, scale)
+}
+
+/// [`run`] with explicit sizes (tests use reduced sweeps).
+#[must_use]
+pub fn run_with(sizes: &[usize], scale: ExperimentScale) -> Table {
+    let mut table = Table::new(
+        "Fig. 8: requests admitted over a 300-request period (Online_CP vs SP)",
+        &["n", "Online_CP", "SP", "CP/SP"],
+    );
+    for &n in sizes {
+        let mut cp_total = 0usize;
+        let mut sp_total = 0usize;
+        for rep in 0..scale.repetitions {
+            let mut sdn = waxman_sdn(n, 40 + rep as u64);
+            let mut rng = StdRng::seed_from_u64(4_000 + rep as u64);
+            let mut gen = RequestGenerator::new(n);
+            let requests = gen.generate_batch(scale.online_requests, &mut rng);
+            let cp = run_online(&mut sdn, &mut OnlineCp::new(), &requests);
+            sdn.reset();
+            let sp = run_online(&mut sdn, &mut ShortestPathBaseline::new(), &requests);
+            cp_total += cp.admitted;
+            sp_total += sp.admitted;
+        }
+        let reps = scale.repetitions.max(1) as f64;
+        let (cp_avg, sp_avg) = (cp_total as f64 / reps, sp_total as f64 / reps);
+        eprintln!("fig8: n {n}: Online_CP {cp_avg:.1} SP {sp_avg:.1}");
+        table.add_row(vec![
+            n.to_string(),
+            format!("{cp_avg:.1}"),
+            format!("{sp_avg:.1}"),
+            format!(
+                "{:.2}",
+                if sp_avg > 0.0 {
+                    cp_avg / sp_avg
+                } else {
+                    f64::NAN
+                }
+            ),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_run_fills_all_points() {
+        let t = run_with(
+            &[30],
+            ExperimentScale {
+                offline_requests: 1,
+                online_requests: 20,
+                repetitions: 1,
+            },
+        );
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Fig. 9: online throughput on the real topologies — requests admitted
+//! by `Online_CP` vs `SP` on GÉANT and AS1755 as the request count grows
+//! from 50 to 300.
+
+use crate::{geant_sdn, isp_sdn, ExperimentScale, Table};
+use nfv_online::{run_online, OnlineCp, ShortestPathBaseline};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdn::Sdn;
+use workload::RequestGenerator;
+
+/// Request-count sweep of Fig. 9.
+pub const COUNTS: [usize; 6] = [50, 100, 150, 200, 250, 300];
+
+/// Runs the Fig. 9 sweep on both real topologies.
+#[must_use]
+pub fn run(scale: ExperimentScale) -> Table {
+    run_with(&COUNTS, scale)
+}
+
+/// [`run`] with explicit request counts (tests use reduced sweeps).
+#[must_use]
+pub fn run_with(counts: &[usize], scale: ExperimentScale) -> Table {
+    let mut table = Table::new(
+        "Fig. 9: requests admitted on GEANT / AS1755 (Online_CP vs SP)",
+        &["topology", "requests", "Online_CP", "SP", "CP/SP"],
+    );
+    type SdnBuilderFn = fn(u64) -> Sdn;
+    let builders: [(&str, SdnBuilderFn); 2] = [("GEANT", geant_sdn), ("AS1755", isp_sdn)];
+    for (name, build) in builders {
+        // One 300-request sequence per repetition; each sweep point
+        // admits a prefix, exactly like growing the monitoring period.
+        for &count in counts {
+            let mut cp_total = 0usize;
+            let mut sp_total = 0usize;
+            for rep in 0..scale.repetitions {
+                let mut sdn = build(rep as u64);
+                let mut rng = StdRng::seed_from_u64(5_000 + rep as u64);
+                let mut gen = RequestGenerator::new(sdn.node_count());
+                let requests = gen.generate_batch(count, &mut rng);
+                let cp = run_online(&mut sdn, &mut OnlineCp::new(), &requests);
+                sdn.reset();
+                let sp = run_online(&mut sdn, &mut ShortestPathBaseline::new(), &requests);
+                cp_total += cp.admitted;
+                sp_total += sp.admitted;
+            }
+            let reps = scale.repetitions.max(1) as f64;
+            let (cp_avg, sp_avg) = (cp_total as f64 / reps, sp_total as f64 / reps);
+            eprintln!("fig9: {name} x{count}: Online_CP {cp_avg:.1} SP {sp_avg:.1}");
+            table.add_row(vec![
+                name.to_string(),
+                count.to_string(),
+                format!("{cp_avg:.1}"),
+                format!("{sp_avg:.1}"),
+                format!(
+                    "{:.2}",
+                    if sp_avg > 0.0 {
+                        cp_avg / sp_avg
+                    } else {
+                        f64::NAN
+                    }
+                ),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_run_fills_all_points() {
+        let t = run_with(
+            &[10, 20],
+            ExperimentScale {
+                offline_requests: 1,
+                online_requests: 20,
+                repetitions: 1,
+            },
+        );
+        assert_eq!(t.len(), 4); // 2 topologies x 2 counts
+    }
+}

@@ -1,0 +1,53 @@
+//! Small measurement helpers: wall-clock timing and basic statistics.
+
+use std::time::Instant;
+
+/// Runs `f`, returning its result and the elapsed wall-clock time in
+/// milliseconds.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1_000.0)
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation; `0.0` for fewer than two samples.
+#[must_use]
+pub fn stdev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stdev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stdev(&[5.0]), 0.0);
+        let s = stdev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s - 2.138_089_935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn time_it_returns_result_and_nonnegative_time() {
+        let (x, ms) = time_it(|| 6 * 7);
+        assert_eq!(x, 42);
+        assert!(ms >= 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! The Kou–Markowsky–Berman Steiner tree approximation.
+//!
+//! The five classic steps:
+//!
+//! 1. Build the *metric closure* `G₁` on the terminals (complete graph,
+//!    edge weight = shortest-path distance in `G`).
+//! 2. Find an MST `T₁` of `G₁`.
+//! 3. Expand every `T₁` edge into its shortest path in `G`, giving the
+//!    subgraph `G_s`.
+//! 4. Find an MST `T_s` of `G_s`.
+//! 5. Prune non-terminal leaves from `T_s`.
+//!
+//! Approximation ratio `2(1 − 1/ℓ) < 2`, `ℓ` = leaves of the optimal tree.
+
+#![allow(clippy::needless_range_loop)] // paired-index loops over parallel arrays
+
+use crate::{prune_non_terminal_leaves, SteinerTree};
+use netgraph::{dijkstra_with_targets, kruskal, Graph, NodeId, ShortestPathTree};
+use std::collections::HashSet;
+
+/// Computes an approximate minimum Steiner tree spanning `terminals`.
+///
+/// Returns `None` if the terminals are not all in one connected component
+/// (no Steiner tree exists), or if `terminals` is empty.
+///
+/// Duplicate terminals are tolerated. A single (deduplicated) terminal
+/// yields the trivial zero-cost tree.
+///
+/// Complexity: `O(t·(m + n) log n + m log m)` with `t` terminals.
+#[must_use]
+pub fn kmb(g: &Graph, terminals: &[NodeId]) -> Option<SteinerTree> {
+    let mut uniq: Vec<NodeId> = Vec::new();
+    let mut seen = HashSet::new();
+    for &t in terminals {
+        if !g.contains_node(t) {
+            return None;
+        }
+        if seen.insert(t) {
+            uniq.push(t);
+        }
+    }
+    if uniq.is_empty() {
+        return None;
+    }
+    if uniq.len() == 1 {
+        return Some(SteinerTree::from_parts(uniq, Vec::new(), 0.0));
+    }
+
+    // Step 1: shortest paths from every terminal to every other terminal.
+    let spts: Vec<ShortestPathTree> = uniq
+        .iter()
+        .map(|&t| dijkstra_with_targets(g, t, &uniq))
+        .collect();
+
+    // Metric closure as a little complete graph whose node i = uniq[i].
+    let t = uniq.len();
+    let mut closure = Graph::with_nodes(t);
+    for i in 0..t {
+        for j in (i + 1)..t {
+            let d = spts[i].distance(uniq[j])?; // None => disconnected
+            closure
+                .add_edge(NodeId::new(i), NodeId::new(j), d)
+                .expect("finite non-negative distance");
+        }
+    }
+
+    // Step 2: MST of the closure.
+    let mst1 = kruskal(&closure);
+    debug_assert!(mst1.is_spanning_tree());
+
+    // Step 3: expand closure edges into shortest paths; collect edge set.
+    let mut subgraph_edges: HashSet<netgraph::EdgeId> = HashSet::new();
+    for &ce in &mst1.edges {
+        let cer = closure.edge(ce);
+        let i = cer.u.index();
+        let j = cer.v;
+        let path = spts[i]
+            .path_to(uniq[j.index()])
+            .expect("closure edge implies reachability");
+        subgraph_edges.extend(path.edges().iter().copied());
+    }
+
+    // Step 4: MST of the expanded subgraph. Build a filtered view containing
+    // exactly the collected edges.
+    let sub = netgraph::induced_subgraph(g, |_| true, |e| subgraph_edges.contains(&e));
+    let mst2 = kruskal(sub.graph());
+    let tree_edges = sub.parent_edges(&mst2.edges);
+
+    // Step 5: prune non-terminal leaves.
+    let (kept, cost) = prune_non_terminal_leaves(g, &tree_edges, &uniq);
+
+    let tree = SteinerTree::from_parts(uniq, kept, cost);
+    debug_assert!(tree.validate(g).is_ok(), "KMB produced an invalid tree");
+    Some(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{EdgeId, Graph};
+
+    /// The canonical KMB paper example shape: optimal Steiner tree uses a
+    /// central Steiner node.
+    fn steiner_star() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let hub = g.add_node(); // 0
+        let t: Vec<NodeId> = (0..3).map(|_| g.add_node()).collect(); // 1..3
+        for &x in &t {
+            g.add_edge(hub, x, 1.0).unwrap();
+        }
+        // Expensive direct edges between terminals.
+        g.add_edge(t[0], t[1], 1.9).unwrap();
+        g.add_edge(t[1], t[2], 1.9).unwrap();
+        let mut nodes = vec![hub];
+        nodes.extend(&t);
+        (g, nodes)
+    }
+
+    #[test]
+    fn finds_star_through_steiner_node() {
+        let (g, v) = steiner_star();
+        let tree = kmb(&g, &[v[1], v[2], v[3]]).unwrap();
+        tree.validate(&g).unwrap();
+        // Optimal is the 3-star of cost 3.0; KMB may return 3.0 or the
+        // 3.8 chain, but for this construction the expansion step recovers
+        // the star: metric closure distances are 1.9/2.0, MST picks the two
+        // 1.9 edges, expansion keeps them, final MST compares 1.9 vs 1+1.
+        assert!(tree.cost() <= 3.8 + 1e-9);
+        assert!(tree.cost() >= 3.0 - 1e-9);
+    }
+
+    #[test]
+    fn two_terminals_is_shortest_path() {
+        let mut g = Graph::new();
+        let v: Vec<NodeId> = (0..4).map(|_| g.add_node()).collect();
+        g.add_edge(v[0], v[1], 1.0).unwrap();
+        g.add_edge(v[1], v[2], 1.0).unwrap();
+        g.add_edge(v[2], v[3], 1.0).unwrap();
+        g.add_edge(v[0], v[3], 10.0).unwrap();
+        let tree = kmb(&g, &[v[0], v[3]]).unwrap();
+        assert_eq!(tree.cost(), 3.0);
+        assert_eq!(tree.edges().len(), 3);
+    }
+
+    #[test]
+    fn single_terminal_trivial() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let tree = kmb(&g, &[a]).unwrap();
+        assert_eq!(tree.cost(), 0.0);
+        assert!(tree.edges().is_empty());
+    }
+
+    #[test]
+    fn duplicate_terminals_deduplicated() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, 2.0).unwrap();
+        let tree = kmb(&g, &[a, b, a, b]).unwrap();
+        assert_eq!(tree.terminals(), &[a, b]);
+        assert_eq!(tree.cost(), 2.0);
+    }
+
+    #[test]
+    fn disconnected_terminals_give_none() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let _b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, _b, 1.0).unwrap();
+        assert!(kmb(&g, &[a, c]).is_none());
+    }
+
+    #[test]
+    fn empty_terminals_give_none() {
+        let g = Graph::new();
+        assert!(kmb(&g, &[]).is_none());
+    }
+
+    #[test]
+    fn unknown_terminal_gives_none() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        assert!(kmb(&g, &[a, NodeId::new(5)]).is_none());
+    }
+
+    #[test]
+    fn all_nodes_as_terminals_gives_mst() {
+        // When every node is a terminal, the Steiner tree is an MST.
+        let mut g = Graph::new();
+        let v: Vec<NodeId> = (0..5).map(|_| g.add_node()).collect();
+        let mut es: Vec<EdgeId> = Vec::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                es.push(
+                    g.add_edge(v[i], v[j], ((i * 7 + j * 3) % 11 + 1) as f64)
+                        .unwrap(),
+                );
+            }
+        }
+        let tree = kmb(&g, &v).unwrap();
+        let mst = netgraph::kruskal(&g);
+        assert!((tree.cost() - mst.total_weight).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_spans_exactly_terminals_after_prune() {
+        let (g, v) = steiner_star();
+        let tree = kmb(&g, &[v[1], v[2]]).unwrap();
+        tree.validate(&g).unwrap();
+        // Two terminals joined by their 1.9 edge (shorter than 2.0 via hub).
+        assert_eq!(tree.cost(), 1.9);
+    }
+}

@@ -1,0 +1,50 @@
+//! # steiner
+//!
+//! Steiner tree algorithms over [`netgraph`] graphs:
+//!
+//! * [`kmb`] — the Kou–Markowsky–Berman approximation (Acta Informatica
+//!   1981), the routine invoked by both algorithms of the ICDCS 2017 paper.
+//!   Guarantee: `2(1 − 1/ℓ) < 2` times optimal, where `ℓ` is the number of
+//!   leaves of the optimal tree.
+//! * [`sph`] — the Takahashi–Matsuyama shortest-path heuristic, used by the
+//!   ablation benches as an alternative tree routine.
+//! * [`dreyfus_wagner`] — the exact dynamic program, exponential in the
+//!   terminal count; the test oracle that certifies the approximation
+//!   ratios empirically.
+//!
+//! ## Example
+//!
+//! ```
+//! use netgraph::{Graph, NodeId};
+//! use steiner::kmb;
+//!
+//! # fn main() -> Result<(), netgraph::GraphError> {
+//! let mut g = Graph::new();
+//! let v: Vec<NodeId> = (0..4).map(|_| g.add_node()).collect();
+//! g.add_edge(v[0], v[1], 1.0)?;
+//! g.add_edge(v[1], v[2], 1.0)?;
+//! g.add_edge(v[1], v[3], 1.0)?;
+//! g.add_edge(v[0], v[3], 5.0)?;
+//!
+//! let tree = kmb(&g, &[v[0], v[2], v[3]]).expect("terminals are connected");
+//! assert_eq!(tree.cost(), 3.0); // star around v1
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod exact;
+mod improve;
+mod kmb;
+mod prune;
+mod sph;
+mod tree;
+
+pub use exact::{dreyfus_wagner, MAX_TERMINALS};
+pub use improve::improve;
+pub use kmb::kmb;
+pub use prune::prune_non_terminal_leaves;
+pub use sph::sph;
+pub use tree::SteinerTree;

@@ -1,0 +1,167 @@
+//! The Takahashi–Matsuyama shortest-path heuristic (SPH).
+//!
+//! Grow a tree from a seed terminal; at every step attach the terminal
+//! closest to the current tree via its shortest path. Also a
+//! 2-approximation, often slightly better than KMB in practice; used by the
+//! ablation benches as a drop-in alternative tree routine.
+
+use crate::{prune_non_terminal_leaves, SteinerTree};
+use netgraph::{EdgeId, Graph, NodeId, TotalCost};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Computes an approximate minimum Steiner tree spanning `terminals` by
+/// iterative shortest-path attachment, seeded at `terminals[0]`.
+///
+/// Returns `None` if the terminals are not all connected or `terminals` is
+/// empty. Duplicate terminals are tolerated.
+///
+/// Complexity: `O(t·(m + n) log n)` with `t` terminals.
+#[must_use]
+pub fn sph(g: &Graph, terminals: &[NodeId]) -> Option<SteinerTree> {
+    let mut uniq: Vec<NodeId> = Vec::new();
+    let mut seen = HashSet::new();
+    for &t in terminals {
+        if !g.contains_node(t) {
+            return None;
+        }
+        if seen.insert(t) {
+            uniq.push(t);
+        }
+    }
+    if uniq.is_empty() {
+        return None;
+    }
+
+    let n = g.node_count();
+    let mut in_tree = vec![false; n];
+    in_tree[uniq[0].index()] = true;
+    let mut tree_edges: Vec<EdgeId> = Vec::new();
+    let mut remaining: HashSet<NodeId> = uniq[1..].iter().copied().collect();
+
+    while !remaining.is_empty() {
+        // Multi-source Dijkstra from the whole current tree.
+        let mut dist = vec![f64::INFINITY; n];
+        let mut pred: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+        let mut heap: BinaryHeap<Reverse<(TotalCost, NodeId)>> = BinaryHeap::new();
+        for i in 0..n {
+            if in_tree[i] {
+                dist[i] = 0.0;
+                heap.push(Reverse((TotalCost::new(0.0), NodeId::new(i))));
+            }
+        }
+        let mut settled = vec![false; n];
+        let mut hit: Option<NodeId> = None;
+        while let Some(Reverse((d, u))) = heap.pop() {
+            let ui = u.index();
+            if settled[ui] {
+                continue;
+            }
+            settled[ui] = true;
+            if remaining.contains(&u) {
+                hit = Some(u);
+                break;
+            }
+            let du = d.get();
+            for nb in g.neighbors(u) {
+                let cand = du + g.edge(nb.edge).weight;
+                if cand < dist[nb.node.index()] {
+                    dist[nb.node.index()] = cand;
+                    pred[nb.node.index()] = Some((u, nb.edge));
+                    heap.push(Reverse((TotalCost::new(cand), nb.node)));
+                }
+            }
+        }
+        let target = hit?; // None: some terminal unreachable
+        remaining.remove(&target);
+        // Walk the path back into the tree, claiming nodes and edges.
+        let mut cur = target;
+        while !in_tree[cur.index()] {
+            in_tree[cur.index()] = true;
+            if let Some((prev, e)) = pred[cur.index()] {
+                tree_edges.push(e);
+                cur = prev;
+            } else {
+                break; // reached a tree seed
+            }
+        }
+    }
+
+    let (kept, cost) = prune_non_terminal_leaves(g, &tree_edges, &uniq);
+    let tree = SteinerTree::from_parts(uniq, kept, cost);
+    debug_assert!(tree.validate(g).is_ok(), "SPH produced an invalid tree");
+    Some(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::Graph;
+
+    #[test]
+    fn two_terminals_shortest_path() {
+        let mut g = Graph::new();
+        let v: Vec<NodeId> = (0..4).map(|_| g.add_node()).collect();
+        g.add_edge(v[0], v[1], 1.0).unwrap();
+        g.add_edge(v[1], v[3], 1.0).unwrap();
+        g.add_edge(v[0], v[2], 5.0).unwrap();
+        g.add_edge(v[2], v[3], 5.0).unwrap();
+        let t = sph(&g, &[v[0], v[3]]).unwrap();
+        assert_eq!(t.cost(), 2.0);
+    }
+
+    #[test]
+    fn star_found() {
+        let mut g = Graph::new();
+        let hub = g.add_node();
+        let ts: Vec<NodeId> = (0..4).map(|_| g.add_node()).collect();
+        for &t in &ts {
+            g.add_edge(hub, t, 1.0).unwrap();
+        }
+        let tree = sph(&g, &ts).unwrap();
+        tree.validate(&g).unwrap();
+        assert_eq!(tree.cost(), 4.0);
+    }
+
+    #[test]
+    fn agrees_with_kmb_within_factor_two() {
+        // On a grid-ish graph both heuristics should be within 2x of each
+        // other (both are <= 2 OPT and >= OPT).
+        let mut g = Graph::new();
+        let v: Vec<NodeId> = (0..9).map(|_| g.add_node()).collect();
+        for r in 0..3 {
+            for c in 0..3 {
+                let i = r * 3 + c;
+                if c < 2 {
+                    g.add_edge(v[i], v[i + 1], 1.0).unwrap();
+                }
+                if r < 2 {
+                    g.add_edge(v[i], v[i + 3], 1.0).unwrap();
+                }
+            }
+        }
+        let terms = [v[0], v[2], v[6], v[8]];
+        let a = sph(&g, &terms).unwrap();
+        let b = crate::kmb(&g, &terms).unwrap();
+        assert!(a.cost() <= 2.0 * b.cost() + 1e-9);
+        assert!(b.cost() <= 2.0 * a.cost() + 1e-9);
+    }
+
+    #[test]
+    fn disconnected_gives_none() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let _ = (a, b);
+        assert!(sph(&g, &[a, b]).is_none());
+    }
+
+    #[test]
+    fn empty_gives_none_and_singleton_trivial() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        assert!(sph(&g, &[]).is_none());
+        let t = sph(&g, &[a]).unwrap();
+        assert_eq!(t.cost(), 0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Empirical certification of the Steiner approximation guarantees.
+//!
+//! On random connected graphs with few terminals, KMB and SPH results are
+//! compared against the Dreyfus–Wagner exact optimum:
+//! `OPT <= heuristic <= 2·OPT`.
+
+use netgraph::{Graph, NodeId};
+use proptest::prelude::*;
+use steiner::{dreyfus_wagner, kmb, sph};
+
+fn arb_instance() -> impl Strategy<Value = (Graph, Vec<NodeId>)> {
+    (4usize..=12).prop_flat_map(|n| {
+        let chain = proptest::collection::vec(1.0f64..20.0, n - 1);
+        let extra = proptest::collection::vec((0..n, 0..n, 1.0f64..20.0), 0..20);
+        let tcount = 2usize..=n.min(5);
+        (chain, extra, tcount, proptest::collection::vec(0..n, 6)).prop_map(
+            move |(chain, extra, tc, tseed)| {
+                let mut g = Graph::with_nodes(n);
+                for (i, w) in chain.into_iter().enumerate() {
+                    g.add_edge(NodeId::new(i), NodeId::new(i + 1), w).unwrap();
+                }
+                for (u, v, w) in extra {
+                    if u != v {
+                        g.add_edge(NodeId::new(u), NodeId::new(v), w).unwrap();
+                    }
+                }
+                let mut terms: Vec<NodeId> = tseed.into_iter().map(NodeId::new).collect();
+                terms.sort_unstable();
+                terms.dedup();
+                terms.truncate(tc);
+                if terms.is_empty() {
+                    terms.push(NodeId::new(0));
+                }
+                (g, terms)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kmb_within_factor_two_of_exact((g, terms) in arb_instance()) {
+        let exact = dreyfus_wagner(&g, &terms).expect("connected");
+        let approx = kmb(&g, &terms).expect("connected");
+        approx.validate(&g).unwrap();
+        exact.validate(&g).unwrap();
+        prop_assert!(approx.cost() >= exact.cost() - 1e-6,
+            "approx {} below exact {}", approx.cost(), exact.cost());
+        prop_assert!(approx.cost() <= 2.0 * exact.cost() + 1e-6,
+            "approx {} exceeds 2x exact {}", approx.cost(), exact.cost());
+    }
+
+    #[test]
+    fn sph_within_factor_two_of_exact((g, terms) in arb_instance()) {
+        let exact = dreyfus_wagner(&g, &terms).expect("connected");
+        let approx = sph(&g, &terms).expect("connected");
+        approx.validate(&g).unwrap();
+        prop_assert!(approx.cost() >= exact.cost() - 1e-6);
+        prop_assert!(approx.cost() <= 2.0 * exact.cost() + 1e-6);
+    }
+
+    #[test]
+    fn steiner_tree_no_heavier_than_spanning_mst((g, terms) in arb_instance()) {
+        // The MST of the whole graph spans the terminals, so the exact
+        // Steiner tree can only be lighter.
+        let exact = dreyfus_wagner(&g, &terms).expect("connected");
+        let mst = netgraph::kruskal(&g);
+        prop_assert!(exact.cost() <= mst.total_weight + 1e-6);
+    }
+
+    #[test]
+    fn adding_terminals_never_cheapens_the_tree((g, terms) in arb_instance()) {
+        // Monotonicity: OPT(T') >= OPT(T) for T ⊆ T'.
+        if terms.len() >= 2 {
+            let fewer = &terms[..terms.len() - 1];
+            let small = dreyfus_wagner(&g, fewer).expect("connected");
+            let big = dreyfus_wagner(&g, &terms).expect("connected");
+            prop_assert!(big.cost() >= small.cost() - 1e-6);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn local_search_never_worsens_and_stays_above_exact((g, terms) in arb_instance()) {
+        let exact = dreyfus_wagner(&g, &terms).expect("connected");
+        let base = kmb(&g, &terms).expect("connected");
+        let polished = steiner::improve(&g, &base, 10);
+        polished.validate(&g).unwrap();
+        prop_assert!(polished.cost() <= base.cost() + 1e-9);
+        prop_assert!(polished.cost() >= exact.cost() - 1e-6,
+            "local search {} beat the exact optimum {}", polished.cost(), exact.cost());
+    }
+}

@@ -1,0 +1,207 @@
+//! Plain-text edge-list I/O for topologies.
+//!
+//! The format is the lowest common denominator used by topology
+//! collections (Rocketfuel `weights` files, topology-zoo exports):
+//!
+//! ```text
+//! # comment lines start with '#'
+//! <node-count>
+//! <u> <v> [weight]
+//! ...
+//! ```
+//!
+//! Node ids are `0..node-count`; the weight defaults to `1.0`. This lets
+//! users run the algorithms on their own measured topologies without
+//! touching the generators.
+
+use netgraph::{Graph, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from parsing an edge list.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParseTopologyError {
+    /// The header line (node count) is missing or not an integer.
+    BadHeader(String),
+    /// An edge line does not have 2–3 whitespace-separated fields.
+    BadEdgeLine {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// An endpoint index is out of range or a weight is invalid.
+    BadEdge {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Why the edge was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ParseTopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTopologyError::BadHeader(h) => {
+                write!(f, "expected a node count header, got {h:?}")
+            }
+            ParseTopologyError::BadEdgeLine { line, content } => {
+                write!(f, "line {line}: expected 'u v [weight]', got {content:?}")
+            }
+            ParseTopologyError::BadEdge { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ParseTopologyError {}
+
+/// Parses an edge-list document into a graph.
+///
+/// # Errors
+///
+/// Returns a [`ParseTopologyError`] describing the first malformed line.
+pub fn parse_edge_list(input: &str) -> Result<Graph, ParseTopologyError> {
+    let mut lines = input
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseTopologyError::BadHeader("<empty input>".into()))?;
+    let n: usize = header
+        .parse()
+        .map_err(|_| ParseTopologyError::BadHeader(header.to_string()))?;
+    let mut g = Graph::with_nodes(n);
+
+    for (line, content) in lines {
+        let fields: Vec<&str> = content.split_whitespace().collect();
+        if !(2..=3).contains(&fields.len()) {
+            return Err(ParseTopologyError::BadEdgeLine {
+                line,
+                content: content.to_string(),
+            });
+        }
+        let parse_node = |s: &str| -> Result<NodeId, ParseTopologyError> {
+            let idx: usize = s.parse().map_err(|_| ParseTopologyError::BadEdge {
+                line,
+                reason: format!("{s:?} is not a node index"),
+            })?;
+            if idx >= n {
+                return Err(ParseTopologyError::BadEdge {
+                    line,
+                    reason: format!("node {idx} out of range (n = {n})"),
+                });
+            }
+            Ok(NodeId::new(idx))
+        };
+        let u = parse_node(fields[0])?;
+        let v = parse_node(fields[1])?;
+        let w: f64 = match fields.get(2) {
+            None => 1.0,
+            Some(s) => s.parse().map_err(|_| ParseTopologyError::BadEdge {
+                line,
+                reason: format!("{s:?} is not a weight"),
+            })?,
+        };
+        g.add_edge(u, v, w)
+            .map_err(|e| ParseTopologyError::BadEdge {
+                line,
+                reason: e.to_string(),
+            })?;
+    }
+    Ok(g)
+}
+
+/// Serializes a graph as an edge-list document round-trippable through
+/// [`parse_edge_list`].
+#[must_use]
+pub fn to_edge_list(g: &Graph) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} nodes, {} edges", g.node_count(), g.edge_count());
+    let _ = writeln!(out, "{}", g.node_count());
+    for e in g.edges() {
+        let _ = writeln!(out, "{} {} {}", e.u.index(), e.v.index(), e.weight);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_document() {
+        let g = parse_edge_list("3\n0 1\n1 2 2.5\n").unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edge(netgraph::EdgeId::new(0)).weight, 1.0);
+        assert_eq!(g.edge(netgraph::EdgeId::new(1)).weight, 2.5);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let g = parse_edge_list("# hello\n\n2\n# edge below\n0 1 3\n").unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+        let (g, _) = crate::Waxman::new(25).generate(&mut rng);
+        let doc = to_edge_list(&g);
+        let parsed = parse_edge_list(&doc).unwrap();
+        assert_eq!(parsed.node_count(), g.node_count());
+        assert_eq!(parsed.edge_count(), g.edge_count());
+        for (a, b) in g.edges().zip(parsed.edges()) {
+            assert_eq!((a.u, a.v), (b.u, b.v));
+            assert!((a.weight - b.weight).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            parse_edge_list("abc\n"),
+            Err(ParseTopologyError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_edge_list(""),
+            Err(ParseTopologyError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_node() {
+        let err = parse_edge_list("2\n0 5\n").unwrap_err();
+        assert!(matches!(err, ParseTopologyError::BadEdge { line: 2, .. }));
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_malformed_edge_lines() {
+        assert!(matches!(
+            parse_edge_list("2\n0\n"),
+            Err(ParseTopologyError::BadEdgeLine { .. })
+        ));
+        assert!(matches!(
+            parse_edge_list("2\n0 1 2 3\n"),
+            Err(ParseTopologyError::BadEdgeLine { .. })
+        ));
+        assert!(matches!(
+            parse_edge_list("2\n0 1 x\n"),
+            Err(ParseTopologyError::BadEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_self_loop_via_graph_validation() {
+        let err = parse_edge_list("2\n1 1\n").unwrap_err();
+        assert!(err.to_string().contains("self-loop"));
+    }
+}

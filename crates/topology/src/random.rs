@@ -1,0 +1,149 @@
+//! Classic random graph models: Erdős–Rényi and Barabási–Albert.
+//!
+//! Not used by the headline experiments (the paper's generator is
+//! GT-ITM/Waxman) but exercised by robustness tests and ablation benches to
+//! check the algorithms do not depend on Waxman's geometric structure.
+
+use netgraph::{connected_components, Graph, NodeId};
+use rand::Rng;
+
+/// Samples an Erdős–Rényi `G(n, p)` graph with unit edge weights, then
+/// repairs connectivity by chaining components together.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `p` is outside `[0, 1]`.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!(n > 0, "graph needs at least one node");
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    let mut g = Graph::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen::<f64>() < p {
+                g.add_edge(NodeId::new(i), NodeId::new(j), 1.0)
+                    .expect("valid endpoints");
+            }
+        }
+    }
+    chain_components(&mut g);
+    g
+}
+
+/// Samples a Barabási–Albert preferential-attachment graph: starts from a
+/// small clique of `m + 1` nodes, then each new node attaches to `m`
+/// existing nodes with probability proportional to degree. Unit weights.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(m > 0, "attachment count must be positive");
+    assert!(n > m, "need more nodes than attachments");
+    let mut g = Graph::with_nodes(n);
+    // Degree-weighted urn: node id appears once per incident edge.
+    let mut urn: Vec<usize> = Vec::new();
+    // Seed clique.
+    for i in 0..=m {
+        for j in (i + 1)..=m {
+            g.add_edge(NodeId::new(i), NodeId::new(j), 1.0)
+                .expect("valid endpoints");
+            urn.push(i);
+            urn.push(j);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut chosen: Vec<usize> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m && guard < 10_000 {
+            guard += 1;
+            let pick = urn[rng.gen_range(0..urn.len())];
+            if !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        for &u in &chosen {
+            g.add_edge(NodeId::new(v), NodeId::new(u), 1.0)
+                .expect("valid endpoints");
+            urn.push(v);
+            urn.push(u);
+        }
+    }
+    g
+}
+
+/// Connects components with unit-weight bridge edges (first node of each
+/// component to the first node of the next).
+fn chain_components(g: &mut Graph) {
+    let comps = connected_components(g);
+    for w in comps.windows(2) {
+        g.add_edge(w[0][0], w[1][0], 1.0).expect("valid endpoints");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn er_is_connected_even_when_sparse() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = erdos_renyi(50, 0.01, &mut rng);
+        assert_eq!(g.node_count(), 50);
+        assert!(netgraph::is_connected(&g));
+    }
+
+    #[test]
+    fn er_density_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sparse = erdos_renyi(60, 0.05, &mut rng);
+        let dense = erdos_renyi(60, 0.5, &mut rng);
+        assert!(dense.edge_count() > sparse.edge_count());
+    }
+
+    #[test]
+    fn er_p_one_is_complete() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi(10, 1.0, &mut rng);
+        assert_eq!(g.edge_count(), 45);
+    }
+
+    #[test]
+    fn ba_has_expected_edge_count() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 50;
+        let m = 2;
+        let g = barabasi_albert(n, m, &mut rng);
+        // clique edges + m per added node
+        let expected = m * (m + 1) / 2 + (n - m - 1) * m;
+        assert_eq!(g.edge_count(), expected);
+        assert!(netgraph::is_connected(&g));
+    }
+
+    #[test]
+    fn ba_produces_hubs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = barabasi_albert(200, 2, &mut rng);
+        let max_deg = g.nodes().map(|n| g.degree(n)).max().unwrap();
+        let avg_deg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        assert!(
+            max_deg as f64 > 3.0 * avg_deg,
+            "expected a hub: max {max_deg}, avg {avg_deg}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0, 1]")]
+    fn er_rejects_bad_p() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = erdos_renyi(5, 1.5, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "need more nodes than attachments")]
+    fn ba_rejects_small_n() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = barabasi_albert(3, 3, &mut rng);
+    }
+}

@@ -1,0 +1,285 @@
+//! The two "real" topologies of the paper's evaluation (§VI-A).
+//!
+//! * [`geant`] — the pan-European GÉANT research network [5]: 40 PoPs and
+//!   61 links, matching the public topology-zoo snapshot's size and mesh
+//!   density. The embedded adjacency is an approximation of the 2012
+//!   snapshot (exact link data is not redistributable); what the
+//!   experiments rely on — size, diameter, European hub structure — is
+//!   preserved.
+//! * [`as1755`] — a Rocketfuel-scale ISP map standing in for AS1755
+//!   (Ebone) [20]: 87 PoPs and 161 links, generated deterministically from
+//!   a fixed geometric seed (spanning tree + shortest chords), reproducing
+//!   the sparse PoP-level density of the published map.
+
+use netgraph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A topology with human-readable node names.
+#[derive(Debug, Clone)]
+pub struct NamedTopology {
+    /// Short identifier ("GEANT", "AS1755").
+    pub name: &'static str,
+    /// The graph (unit edge weights; annotation assigns costs).
+    pub graph: Graph,
+    /// One name per node, indexed by node id.
+    pub node_names: Vec<String>,
+}
+
+impl NamedTopology {
+    /// Looks a node up by name.
+    #[must_use]
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.node_names
+            .iter()
+            .position(|n| n == name)
+            .map(NodeId::new)
+    }
+}
+
+const GEANT_CITIES: [&str; 40] = [
+    "Amsterdam",
+    "Athens",
+    "Belgrade",
+    "Bratislava",
+    "Brussels",
+    "Bucharest",
+    "Budapest",
+    "Copenhagen",
+    "Dublin",
+    "Frankfurt",
+    "Geneva",
+    "Hamburg",
+    "Helsinki",
+    "Istanbul",
+    "Kaunas",
+    "Kiev",
+    "Lisbon",
+    "Ljubljana",
+    "London",
+    "Luxembourg",
+    "Madrid",
+    "Milan",
+    "Moscow",
+    "Nicosia",
+    "Oslo",
+    "Paris",
+    "Prague",
+    "Riga",
+    "Rome",
+    "Sofia",
+    "Stockholm",
+    "Tallinn",
+    "Tirana",
+    "Vienna",
+    "Vilnius",
+    "Warsaw",
+    "Zagreb",
+    "Zurich",
+    "Malta",
+    "Jerusalem",
+];
+
+const GEANT_LINKS: [(usize, usize); 61] = [
+    (0, 18),  // Amsterdam - London
+    (0, 9),   // Amsterdam - Frankfurt
+    (0, 4),   // Amsterdam - Brussels
+    (0, 11),  // Amsterdam - Hamburg
+    (0, 8),   // Amsterdam - Dublin
+    (18, 25), // London - Paris
+    (18, 8),  // London - Dublin
+    (18, 9),  // London - Frankfurt
+    (18, 16), // London - Lisbon
+    (25, 10), // Paris - Geneva
+    (25, 20), // Paris - Madrid
+    (25, 4),  // Paris - Brussels
+    (25, 19), // Paris - Luxembourg
+    (9, 10),  // Frankfurt - Geneva
+    (9, 26),  // Frankfurt - Prague
+    (9, 11),  // Frankfurt - Hamburg
+    (9, 19),  // Frankfurt - Luxembourg
+    (9, 37),  // Frankfurt - Zurich
+    (9, 22),  // Frankfurt - Moscow
+    (9, 39),  // Frankfurt - Jerusalem
+    (10, 21), // Geneva - Milan
+    (10, 37), // Geneva - Zurich
+    (37, 21), // Zurich - Milan
+    (21, 28), // Milan - Rome
+    (21, 33), // Milan - Vienna
+    (21, 1),  // Milan - Athens
+    (28, 38), // Rome - Malta
+    (28, 32), // Rome - Tirana
+    (1, 29),  // Athens - Sofia
+    (1, 23),  // Athens - Nicosia
+    (1, 13),  // Athens - Istanbul
+    (23, 39), // Nicosia - Jerusalem
+    (33, 3),  // Vienna - Bratislava
+    (33, 6),  // Vienna - Budapest
+    (33, 26), // Vienna - Prague
+    (33, 17), // Vienna - Ljubljana
+    (6, 36),  // Budapest - Zagreb
+    (6, 2),   // Budapest - Belgrade
+    (6, 5),   // Budapest - Bucharest
+    (5, 29),  // Bucharest - Sofia
+    (5, 13),  // Bucharest - Istanbul
+    (5, 15),  // Bucharest - Kiev
+    (29, 2),  // Sofia - Belgrade
+    (2, 36),  // Belgrade - Zagreb
+    (17, 36), // Ljubljana - Zagreb
+    (26, 3),  // Prague - Bratislava
+    (26, 35), // Prague - Warsaw
+    (35, 14), // Warsaw - Kaunas
+    (14, 27), // Kaunas - Riga
+    (14, 34), // Kaunas - Vilnius
+    (34, 35), // Vilnius - Warsaw
+    (27, 31), // Riga - Tallinn
+    (31, 12), // Tallinn - Helsinki
+    (12, 30), // Helsinki - Stockholm
+    (30, 7),  // Stockholm - Copenhagen
+    (30, 24), // Stockholm - Oslo
+    (24, 7),  // Oslo - Copenhagen
+    (7, 11),  // Copenhagen - Hamburg
+    (35, 15), // Warsaw - Kiev
+    (15, 22), // Kiev - Moscow
+    (16, 20), // Lisbon - Madrid
+];
+
+/// The GÉANT pan-European topology: 40 nodes, 61 links, unit weights.
+#[must_use]
+pub fn geant() -> NamedTopology {
+    let mut g = Graph::with_nodes(GEANT_CITIES.len());
+    for &(u, v) in &GEANT_LINKS {
+        g.add_edge(NodeId::new(u), NodeId::new(v), 1.0)
+            .expect("embedded links are valid");
+    }
+    NamedTopology {
+        name: "GEANT",
+        graph: g,
+        node_names: GEANT_CITIES.iter().map(|s| (*s).to_string()).collect(),
+    }
+}
+
+/// The AS1755-scale ISP topology: 87 PoPs, 161 links, unit weights.
+///
+/// Construction (deterministic): 87 points from a fixed geometric seed; a
+/// nearest-previous-neighbor spanning tree (86 edges); then the 75
+/// shortest chords that are not already links. This reproduces the sparse
+/// geometric structure of Rocketfuel PoP maps at exactly the published
+/// node/link counts.
+#[must_use]
+pub fn as1755() -> NamedTopology {
+    const N: usize = 87;
+    const LINKS: usize = 161;
+    let mut rng = StdRng::seed_from_u64(0x1755);
+    let positions: Vec<(f64, f64)> = (0..N)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    let dist = |a: usize, b: usize| -> f64 {
+        let (ax, ay) = positions[a];
+        let (bx, by) = positions[b];
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    };
+
+    let mut g = Graph::with_nodes(N);
+    let mut linked = std::collections::HashSet::new();
+    // Spanning tree: connect every node to its nearest predecessor.
+    for i in 1..N {
+        let j = (0..i)
+            .min_by(|&a, &b| dist(i, a).partial_cmp(&dist(i, b)).expect("finite"))
+            .expect("i >= 1");
+        g.add_edge(NodeId::new(i), NodeId::new(j), 1.0)
+            .expect("valid endpoints");
+        linked.insert((j.min(i), j.max(i)));
+    }
+    // Chords: shortest unused pairs.
+    let mut candidates: Vec<(usize, usize)> = (0..N)
+        .flat_map(|i| ((i + 1)..N).map(move |j| (i, j)))
+        .filter(|p| !linked.contains(p))
+        .collect();
+    candidates.sort_by(|&(a, b), &(c, d)| dist(a, b).partial_cmp(&dist(c, d)).expect("finite"));
+    for &(i, j) in candidates.iter().take(LINKS - (N - 1)) {
+        g.add_edge(NodeId::new(i), NodeId::new(j), 1.0)
+            .expect("valid endpoints");
+    }
+
+    NamedTopology {
+        name: "AS1755",
+        graph: g,
+        node_names: (0..N).map(|i| format!("pop{i}")).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geant_shape() {
+        let t = geant();
+        assert_eq!(t.graph.node_count(), 40);
+        assert_eq!(t.graph.edge_count(), 61);
+        assert!(netgraph::is_connected(&t.graph));
+        assert_eq!(t.node_names.len(), 40);
+    }
+
+    #[test]
+    fn geant_every_node_linked() {
+        let t = geant();
+        for n in t.graph.nodes() {
+            assert!(
+                t.graph.degree(n) >= 1,
+                "{} is isolated",
+                t.node_names[n.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn geant_frankfurt_is_a_hub() {
+        let t = geant();
+        let fra = t.node_by_name("Frankfurt").unwrap();
+        assert!(t.graph.degree(fra) >= 6);
+        assert!(t.node_by_name("Atlantis").is_none());
+    }
+
+    #[test]
+    fn geant_reasonable_diameter() {
+        let t = geant();
+        // Hop diameter of the real GÉANT is ~6-8.
+        let mut diameter = 0.0f64;
+        for n in t.graph.nodes() {
+            let spt = netgraph::dijkstra(&t.graph, n);
+            for m in t.graph.nodes() {
+                diameter = diameter.max(spt.distance(m).unwrap());
+            }
+        }
+        assert!(diameter <= 9.0, "diameter {diameter} too large");
+    }
+
+    #[test]
+    fn as1755_shape() {
+        let t = as1755();
+        assert_eq!(t.graph.node_count(), 87);
+        assert_eq!(t.graph.edge_count(), 161);
+        assert!(netgraph::is_connected(&t.graph));
+    }
+
+    #[test]
+    fn as1755_is_deterministic() {
+        let a = as1755();
+        let b = as1755();
+        let ea: Vec<_> = a.graph.edges().map(|e| (e.u, e.v)).collect();
+        let eb: Vec<_> = b.graph.edges().map(|e| (e.u, e.v)).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn as1755_is_sparse_like_an_isp() {
+        let t = as1755();
+        let avg_degree = 2.0 * t.graph.edge_count() as f64 / t.graph.node_count() as f64;
+        assert!(
+            avg_degree < 5.0,
+            "avg degree {avg_degree} too dense for an ISP map"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Structured topologies: 2-D grids and k-ary fat-trees.
+
+use netgraph::{Graph, NodeId};
+
+/// Builds a `rows × cols` grid with unit edge weights.
+///
+/// Node `(r, c)` has id `r · cols + c`.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+#[must_use]
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut g = Graph::with_nodes(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(NodeId::new(i), NodeId::new(i + 1), 1.0)
+                    .expect("valid endpoints");
+            }
+            if r + 1 < rows {
+                g.add_edge(NodeId::new(i), NodeId::new(i + cols), 1.0)
+                    .expect("valid endpoints");
+            }
+        }
+    }
+    g
+}
+
+/// Node roles within a [`fat_tree`], in id order.
+///
+/// For parameter `k` the ids are laid out as:
+/// `[0, k²/4)` core switches, then per pod `k/2` aggregation followed by
+/// `k/2` edge switches. (Hosts are not modelled — multicast endpoints are
+/// edge switches, matching the paper's switch-level view of a DC network.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FatTreeLayout {
+    /// The `(k/2)²` core switch ids.
+    pub core: Vec<NodeId>,
+    /// Aggregation switch ids, grouped by pod.
+    pub aggregation: Vec<Vec<NodeId>>,
+    /// Edge switch ids, grouped by pod.
+    pub edge: Vec<Vec<NodeId>>,
+}
+
+/// Builds a `k`-ary fat-tree of switches (k pods, `(k/2)²` cores), unit
+/// edge weights. Returns the graph and the role layout.
+///
+/// # Panics
+///
+/// Panics if `k` is odd or less than 2.
+#[must_use]
+pub fn fat_tree(k: usize) -> (Graph, FatTreeLayout) {
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree parameter must be even and >= 2"
+    );
+    let half = k / 2;
+    let cores = half * half;
+    let mut g = Graph::with_nodes(cores + k * k); // cores + (agg + edge) per pod
+    let core: Vec<NodeId> = (0..cores).map(NodeId::new).collect();
+    let mut aggregation = Vec::with_capacity(k);
+    let mut edge = Vec::with_capacity(k);
+    for pod in 0..k {
+        let base = cores + pod * k;
+        let aggs: Vec<NodeId> = (0..half).map(|i| NodeId::new(base + i)).collect();
+        let edges: Vec<NodeId> = (0..half).map(|i| NodeId::new(base + half + i)).collect();
+        // Each aggregation switch connects to half the cores.
+        for (ai, &a) in aggs.iter().enumerate() {
+            for j in 0..half {
+                let c = core[ai * half + j];
+                g.add_edge(a, c, 1.0).expect("valid endpoints");
+            }
+            // Full bipartite agg-edge within the pod.
+            for &e in &edges {
+                g.add_edge(a, e, 1.0).expect("valid endpoints");
+            }
+        }
+        aggregation.push(aggs);
+        edge.push(edges);
+    }
+    (
+        g,
+        FatTreeLayout {
+            core,
+            aggregation,
+            edge,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8
+        assert_eq!(g.edge_count(), 17);
+        assert!(netgraph::is_connected(&g));
+    }
+
+    #[test]
+    fn grid_degree_bounds() {
+        let g = grid(5, 5);
+        for n in g.nodes() {
+            let d = g.degree(n);
+            assert!((2..=4).contains(&d));
+        }
+    }
+
+    #[test]
+    fn single_cell_grid() {
+        let g = grid(1, 1);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn fat_tree_k4_shape() {
+        let (g, layout) = fat_tree(4);
+        assert_eq!(layout.core.len(), 4);
+        assert_eq!(layout.aggregation.len(), 4);
+        assert_eq!(layout.edge.len(), 4);
+        assert_eq!(g.node_count(), 4 + 16);
+        // Per pod: 2 aggs * (2 core links + 2 edge links) = 8 edges; 4 pods = 32.
+        assert_eq!(g.edge_count(), 32);
+        assert!(netgraph::is_connected(&g));
+    }
+
+    #[test]
+    fn fat_tree_edge_switches_reach_each_other() {
+        let (g, layout) = fat_tree(4);
+        let a = layout.edge[0][0];
+        let b = layout.edge[3][1];
+        let spt = netgraph::dijkstra(&g, a);
+        // edge -> agg -> core -> agg -> edge = 4 hops.
+        assert_eq!(spt.distance(b), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn fat_tree_rejects_odd_k() {
+        let _ = fat_tree(3);
+    }
+}

@@ -1,0 +1,210 @@
+//! The Waxman random topology model (the generator behind GT-ITM's flat
+//! random graphs [6]).
+
+use netgraph::{connected_components, Graph, NodeId};
+use rand::Rng;
+
+/// Parameters of the Waxman model.
+///
+/// Nodes are placed uniformly at random in the unit square; each node pair
+/// `(u, v)` is linked with probability
+///
+/// ```text
+/// P(u, v) = alpha · exp(−d(u, v) / (beta · L))
+/// ```
+///
+/// where `d` is Euclidean distance and `L = √2` is the square's diameter.
+/// Higher `alpha` raises overall edge density; higher `beta` favours long
+/// links. After sampling, connectivity is repaired by linking the closest
+/// node pairs of distinct components, so the result is always connected —
+/// matching how GT-ITM-based studies post-process their graphs.
+///
+/// ```
+/// use topology::Waxman;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let (g, positions) = Waxman::new(50).generate(&mut rng);
+/// assert_eq!(g.node_count(), 50);
+/// assert_eq!(positions.len(), 50);
+/// assert!(netgraph::is_connected(&g));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Waxman {
+    /// Number of nodes.
+    pub n: usize,
+    /// Edge density parameter `alpha` in `(0, 1]`.
+    pub alpha: f64,
+    /// Length-scale parameter `beta` in `(0, 1]`.
+    pub beta: f64,
+}
+
+impl Waxman {
+    /// Default parameters (`alpha = 0.2`, `beta = 0.15`), producing
+    /// average degrees around 4 for 50–250 nodes — the sparse-ISP regime
+    /// GT-ITM-based evaluations of this era simulate (Rocketfuel PoP maps
+    /// average degree ≈ 3.7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "waxman graph needs at least one node");
+        Waxman {
+            n,
+            alpha: 0.2,
+            beta: 0.15,
+        }
+    }
+
+    /// Overrides the `alpha` density parameter.
+    #[must_use]
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Overrides the `beta` length-scale parameter.
+    #[must_use]
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+        self.beta = beta;
+        self
+    }
+
+    /// Samples a connected topology, returning the graph and node
+    /// positions in the unit square. Edge weights are Euclidean lengths
+    /// (annotation replaces them with unit costs later).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> (Graph, Vec<(f64, f64)>) {
+        let n = self.n;
+        let positions: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let l = std::f64::consts::SQRT_2;
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = dist(positions[i], positions[j]);
+                let p = self.alpha * (-d / (self.beta * l)).exp();
+                if rng.gen::<f64>() < p {
+                    g.add_edge(NodeId::new(i), NodeId::new(j), d.max(1e-6))
+                        .expect("valid endpoints and finite weight");
+                }
+            }
+        }
+        repair_connectivity(&mut g, &positions);
+        (g, positions)
+    }
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// Links the geometrically closest node pairs of distinct components until
+/// the graph is connected.
+fn repair_connectivity(g: &mut Graph, positions: &[(f64, f64)]) {
+    loop {
+        let comps = connected_components(g);
+        if comps.len() <= 1 {
+            return;
+        }
+        // Join the first component to its closest outside node.
+        let first = &comps[0];
+        let in_first: Vec<bool> = {
+            let mut v = vec![false; g.node_count()];
+            for &n in first {
+                v[n.index()] = true;
+            }
+            v
+        };
+        let mut best: Option<(f64, NodeId, NodeId)> = None;
+        for &a in first {
+            for b in g.nodes() {
+                if in_first[b.index()] {
+                    continue;
+                }
+                let d = dist(positions[a.index()], positions[b.index()]);
+                if best.is_none_or(|(bd, ..)| d < bd) {
+                    best = Some((d, a, b));
+                }
+            }
+        }
+        let (d, a, b) = best.expect("second component exists");
+        g.add_edge(a, b, d.max(1e-6))
+            .expect("valid endpoints and finite weight");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_connected_graph() {
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (g, pos) = Waxman::new(80).generate(&mut rng);
+            assert_eq!(g.node_count(), 80);
+            assert_eq!(pos.len(), 80);
+            assert!(netgraph::is_connected(&g), "seed {seed} disconnected");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (g1, _) = Waxman::new(40).generate(&mut StdRng::seed_from_u64(42));
+        let (g2, _) = Waxman::new(40).generate(&mut StdRng::seed_from_u64(42));
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        let e1: Vec<(usize, usize)> = g1.edges().map(|e| (e.u.index(), e.v.index())).collect();
+        let e2: Vec<(usize, usize)> = g2.edges().map(|e| (e.u.index(), e.v.index())).collect();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn alpha_controls_density() {
+        let sparse = Waxman::new(100).with_alpha(0.1);
+        let dense = Waxman::new(100).with_alpha(0.9);
+        let ms: usize = (0..3)
+            .map(|s| {
+                sparse
+                    .generate(&mut StdRng::seed_from_u64(s))
+                    .0
+                    .edge_count()
+            })
+            .sum();
+        let md: usize = (0..3)
+            .map(|s| dense.generate(&mut StdRng::seed_from_u64(s)).0.edge_count())
+            .sum();
+        assert!(md > ms, "dense {md} should exceed sparse {ms}");
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (g, _) = Waxman::new(1).generate(&mut rng);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn rejects_bad_alpha() {
+        let _ = Waxman::new(10).with_alpha(0.0);
+    }
+
+    #[test]
+    fn weights_are_positive_distances() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (g, pos) = Waxman::new(60).generate(&mut rng);
+        for e in g.edges() {
+            assert!(e.weight > 0.0);
+            let d = super::dist(pos[e.u.index()], pos[e.v.index()]);
+            assert!((e.weight - d.max(1e-6)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the topology generators: connectivity, determinism,
+//! and annotation invariants hold for arbitrary parameters.
+
+use netgraph::{graph_stats, is_connected};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use topology::{
+    annotate, barabasi_albert, erdos_renyi, fat_tree, grid, place_servers_random,
+    place_servers_spread, AnnotationParams, Waxman,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn waxman_always_connected(n in 2usize..120, seed in any::<u64>(),
+                               alpha in 0.05f64..0.9, beta in 0.05f64..0.9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, pos) = Waxman::new(n)
+            .with_alpha(alpha)
+            .with_beta(beta)
+            .generate(&mut rng);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(pos.len(), n);
+        prop_assert!(is_connected(&g));
+        prop_assert!(g.edge_count() >= n - 1);
+    }
+
+    #[test]
+    fn erdos_renyi_always_connected(n in 2usize..80, p in 0.0f64..0.3, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(n, p, &mut rng);
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn barabasi_albert_edge_count_formula(n in 5usize..100, m in 1usize..4, seed in any::<u64>()) {
+        prop_assume!(n > m);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = barabasi_albert(n, m, &mut rng);
+        let expected = m * (m + 1) / 2 + (n - m - 1) * m;
+        prop_assert_eq!(g.edge_count(), expected);
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn grid_structure(rows in 1usize..10, cols in 1usize..10) {
+        let g = grid(rows, cols);
+        prop_assert_eq!(g.node_count(), rows * cols);
+        prop_assert_eq!(g.edge_count(), rows * (cols - 1) + (rows - 1) * cols);
+        prop_assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn fat_tree_structure(half in 1usize..5) {
+        let k = 2 * half;
+        let (g, layout) = fat_tree(k);
+        prop_assert_eq!(layout.core.len(), half * half);
+        prop_assert_eq!(g.node_count(), half * half + k * k);
+        prop_assert!(is_connected(&g));
+        // Every aggregation switch links half cores + half edges.
+        for pod in &layout.aggregation {
+            for &a in pod {
+                prop_assert_eq!(g.degree(a), k);
+            }
+        }
+    }
+
+    #[test]
+    fn server_placements_are_valid(n in 2usize..100, seed in any::<u64>(),
+                                   fraction in 0.01f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, _) = Waxman::new(n).generate(&mut rng);
+        let random = place_servers_random(&g, fraction, &mut rng);
+        prop_assert!(!random.is_empty());
+        prop_assert!(random.len() <= n);
+        let mut sorted = random.clone();
+        sorted.dedup();
+        prop_assert_eq!(&sorted, &random, "duplicates in placement");
+
+        let count = random.len();
+        let spread = place_servers_spread(&g, count);
+        prop_assert_eq!(spread.len(), count);
+    }
+
+    #[test]
+    fn annotation_preserves_structure(n in 2usize..60, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (g, _) = Waxman::new(n).generate(&mut rng);
+        let servers = place_servers_random(&g, 0.1, &mut rng);
+        let sdn = annotate(&g, &servers, &AnnotationParams::default(), &mut rng).unwrap();
+        prop_assert_eq!(sdn.node_count(), g.node_count());
+        prop_assert_eq!(sdn.link_count(), g.edge_count());
+        prop_assert_eq!(sdn.servers().len(), servers.len());
+        // Endpoints preserved edge by edge.
+        for (a, b) in g.edges().zip(sdn.graph().edges()) {
+            prop_assert_eq!((a.u, a.v), (b.u, b.v));
+        }
+    }
+}
+
+#[test]
+fn real_topologies_match_published_statistics() {
+    let geant = topology::geant();
+    let s = graph_stats(&geant.graph);
+    assert_eq!((s.nodes, s.edges), (40, 61));
+    assert!(s.average_degree > 2.5 && s.average_degree < 4.0);
+
+    let isp = topology::as1755();
+    let s = graph_stats(&isp.graph);
+    assert_eq!((s.nodes, s.edges), (87, 161));
+    assert!(s.average_degree > 3.0 && s.average_degree < 4.5);
+    // Rocketfuel PoP maps are geometric and low-diameter.
+    assert!(s.diameter <= 14.0);
+}

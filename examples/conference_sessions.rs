@@ -1,0 +1,80 @@
+//! Online conferencing with session churn: conference calls arrive as a
+//! Poisson process, hold resources for their duration, and depart —
+//! exercising the arrival/departure extension (`run_dynamic`) on an
+//! AS1755-scale ISP, comparing `Online_CP`, the multi-instance extension,
+//! and `SP` at increasing offered load.
+//!
+//! ```sh
+//! cargo run -p nfv-examples --release --bin conference_sessions
+//! ```
+
+use nfv_online::{
+    run_dynamic, OnlineAlgorithm, OnlineCp, OnlineCpMulti, ShortestPathBaseline, TimedRequest,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use topology::{annotate, place_servers_spread, AnnotationParams};
+use workload::{PoissonWorkload, RequestGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topo = topology::as1755();
+    let servers = place_servers_spread(&topo.graph, 9);
+    let mut rng = StdRng::seed_from_u64(11);
+    let base_sdn = annotate(
+        &topo.graph,
+        &servers,
+        &AnnotationParams::default(),
+        &mut rng,
+    )?;
+    println!(
+        "ISP backbone: {} PoPs, {} links, {} NFV servers",
+        base_sdn.node_count(),
+        base_sdn.link_count(),
+        base_sdn.servers().len()
+    );
+    println!("\nconference sessions: Poisson arrivals, exponential holding (mean 10 time units)");
+    println!(
+        "\n{:>12}  {:>12}  {:>17}  {:>8}  {:>15}",
+        "load [Erl]", "Online_CP", "Online_CP_Multi", "SP", "peak concurrent"
+    );
+
+    for load in [10.0, 30.0, 60.0, 120.0] {
+        let mut rng = StdRng::seed_from_u64(load as u64);
+        let mut gen = RequestGenerator::new(base_sdn.node_count());
+        let workload = PoissonWorkload::new(load / 10.0, 10.0);
+        let sessions: Vec<TimedRequest> = workload
+            .generate(&mut gen, 400, &mut rng)
+            .into_iter()
+            .map(|(req, arrival, duration)| TimedRequest::new(req, arrival, duration))
+            .collect();
+
+        let mut ratios = Vec::new();
+        let mut peak = 0usize;
+        let algos: [&mut dyn OnlineAlgorithm; 3] = [
+            &mut OnlineCp::new(),
+            &mut OnlineCpMulti::new(2),
+            &mut ShortestPathBaseline::new(),
+        ];
+        for algo in algos {
+            let mut sdn = base_sdn.clone();
+            let r = run_dynamic(&mut sdn, algo, &sessions);
+            ratios.push(r.admission_ratio());
+            peak = peak.max(r.peak_concurrent);
+        }
+        println!(
+            "{:>12}  {:>11.1}%  {:>16.1}%  {:>7.1}%  {:>15}",
+            load,
+            100.0 * ratios[0],
+            100.0 * ratios[1],
+            100.0 * ratios[2],
+            peak
+        );
+    }
+
+    println!(
+        "\nWith churn, load-aware admission (Online_CP) protects capacity for\n\
+         future sessions and sustains a higher steady-state admission ratio\n\
+         than the load-oblivious SP as the offered load grows."
+    );
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! Quickstart: build a small SDN, submit one NFV-enabled multicast
+//! request, and inspect the pseudo-multicast tree `Appro_Multi` returns.
+//!
+//! ```sh
+//! cargo run -p nfv-examples --bin quickstart
+//! ```
+
+use nfv_multicast::{appro_multi, exact_pseudo_multicast, one_server};
+use sdn::{MulticastRequest, NfvType, RequestId, SdnBuilder, ServiceChain};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A toy SDN: six switches in the shape of the paper's Fig. 1, with
+    // servers at v1, v2, v6.
+    //
+    //      v1 -- v2 -- v3
+    //       |     |     |
+    //      v4 -- v5 -- v6
+    let mut b = SdnBuilder::new();
+    let v1 = b.add_server(8_000.0, 0.1);
+    let v2 = b.add_server(8_000.0, 0.15);
+    let v3 = b.add_switch();
+    let v4 = b.add_switch();
+    let v5 = b.add_switch();
+    let v6 = b.add_server(8_000.0, 0.1);
+    for (u, v, cost) in [
+        (v1, v2, 1.0),
+        (v2, v3, 1.2),
+        (v1, v4, 0.8),
+        (v2, v5, 1.0),
+        (v3, v6, 0.9),
+        (v4, v5, 1.1),
+        (v5, v6, 1.0),
+    ] {
+        b.add_link(u, v, 10_000.0, cost)?;
+    }
+    let sdn = b.build()?;
+    println!(
+        "network: {} switches, {} links, servers at {:?}",
+        sdn.node_count(),
+        sdn.link_count(),
+        sdn.servers()
+    );
+
+    // One multicast request: v4 streams 150 Mbps to v3 and v5, and every
+    // packet must traverse <NAT, Firewall, IDS> first.
+    let request = MulticastRequest::new(
+        RequestId(0),
+        v4,
+        vec![v3, v5],
+        150.0,
+        ServiceChain::new(vec![NfvType::Nat, NfvType::Firewall, NfvType::Ids]),
+    );
+    println!("request: {request}");
+    println!(
+        "  chain computing demand: {:.0} MHz",
+        request.computing_demand()
+    );
+
+    // The paper's 2K-approximation with up to K = 2 chain instances.
+    let tree = appro_multi(&sdn, &request, 2).expect("the network is connected");
+    tree.validate(&sdn, &request).expect("valid pseudo tree");
+    println!("\nAppro_Multi (K = 2):");
+    println!("  total cost     : {:.1}", tree.total_cost());
+    println!("  bandwidth cost : {:.1}", tree.bandwidth_cost);
+    println!("  computing cost : {:.1}", tree.computing_cost);
+    for su in &tree.servers {
+        println!(
+            "  chain instance at {} (ingress {} links, cost {:.1})",
+            su.server,
+            su.ingress_edges.len(),
+            su.ingress_cost
+        );
+    }
+    println!(
+        "  distribution over {} links: {:?}",
+        tree.distribution_edges.len(),
+        tree.distribution_edges
+    );
+
+    // Compare against the single-server baseline and the exact optimum.
+    let baseline = one_server(&sdn, &request).expect("feasible");
+    let exact = exact_pseudo_multicast(&sdn, &request, 2).expect("feasible");
+    println!("\ncomparison:");
+    println!("  Alg_One_Server : {:.1}", baseline.total_cost());
+    println!("  Appro_Multi    : {:.1}", tree.total_cost());
+    println!("  exact optimum  : {:.1}", exact.total_cost());
+    assert!(tree.total_cost() <= 2.0 * 2.0 * exact.total_cost() + 1e-9);
+    println!("  (within the proven 2K bound)");
+
+    // Admitting the request actually reserves resources.
+    let mut network = sdn;
+    let allocation = tree.allocation(&request);
+    network.allocate(&allocation)?;
+    println!(
+        "\nafter admission: {:.0} Mbps reserved across {} links, {:.0} MHz on servers",
+        allocation.total_bandwidth(),
+        allocation.links().count(),
+        allocation.total_computing()
+    );
+
+    // Data-plane check: compile forwarding rules and execute them.
+    let rules =
+        nfv_multicast::compile_rules(&network, &request, &tree).expect("tree compiles to rules");
+    let report =
+        nfv_multicast::simulate_delivery(&network, &request, &rules).expect("rules execute");
+    println!(
+        "forwarding rules installed: {} ({} switches); delivered to {:?}",
+        rules.len(),
+        report.link_traversals.len() + 1,
+        report.delivered
+    );
+
+    // Export a Graphviz rendering of the routing structure.
+    std::fs::create_dir_all("results")?;
+    std::fs::write(
+        "results/quickstart.dot",
+        nfv_multicast::tree_to_dot(&network, &request, &tree),
+    )?;
+    println!("wrote results/quickstart.dot (render with: dot -Tpdf -O results/quickstart.dot)");
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdn::{MulticastRequest, Sdn};
+use topology::{annotate, place_servers_random, AnnotationParams, Waxman};
+use workload::RequestGenerator;
+
+/// Builds a seeded Waxman SDN with the paper's annotation (10 % servers).
+#[must_use]
+pub fn waxman_fixture(n: usize, seed: u64) -> Sdn {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (g, _) = Waxman::new(n).generate(&mut rng);
+    let servers = place_servers_random(&g, 0.1, &mut rng);
+    annotate(&g, &servers, &AnnotationParams::default(), &mut rng)
+        .expect("annotation is well-formed")
+}
+
+/// Generates `count` requests for a network of size `n` with the default
+/// workload model.
+#[must_use]
+pub fn request_batch(n: usize, count: usize, seed: u64) -> Vec<MulticastRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    RequestGenerator::new(n).generate_batch(count, &mut rng)
+}
+
+/// Generates `count` requests with few destinations (exact-oracle range).
+#[must_use]
+pub fn small_request_batch(n: usize, count: usize, seed: u64) -> Vec<MulticastRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    RequestGenerator::new(n)
+        .with_dmax_ratio_range(0.05, 0.12)
+        .generate_batch(count, &mut rng)
+}

@@ -1,0 +1,104 @@
+//! End-to-end audits of the paper's approximation guarantees on full
+//! SDN instances (Waxman topology + annotation + workload).
+
+use integration_tests::{small_request_batch, waxman_fixture};
+use nfv_multicast::{appro_multi, appro_multi_reference, exact_pseudo_multicast, one_server};
+
+/// Theorem 1's chain, empirically: the fast and literal `Appro_Multi`
+/// never beat the exact auxiliary optimum and stay within 2x of it
+/// (the exact optimum itself is within K of the unrestricted optimum, so
+/// this certifies the 2K bound end to end).
+#[test]
+fn appro_multi_within_twice_exact_auxiliary_optimum() {
+    let n = 25;
+    let sdn = waxman_fixture(n, 3);
+    let mut checked = 0;
+    for (i, req) in small_request_batch(n, 12, 9).into_iter().enumerate() {
+        if req.destination_count() + 1 > steiner::MAX_TERMINALS - 1 {
+            continue;
+        }
+        for k in 1..=2usize {
+            let Some(exact) = exact_pseudo_multicast(&sdn, &req, k) else {
+                continue;
+            };
+            // The bound of Theorem 1 is on the auxiliary-graph objective
+            // (each ingress path paid in full); compare like for like.
+            let e = exact.cost_without_ingress_sharing(&sdn, &req);
+            let fast = appro_multi(&sdn, &req, k).expect("exact found a tree");
+            let lit = appro_multi_reference(&sdn, &req, k).expect("exact found a tree");
+            let f = fast.cost_without_ingress_sharing(&sdn, &req);
+            let l = lit.cost_without_ingress_sharing(&sdn, &req);
+            assert!(f >= exact.total_cost() - 1e-6, "request {i} k {k}");
+            assert!(
+                f <= 2.0 * e + 1e-6,
+                "request {i} k {k}: fast {f} > 2 x exact {e}"
+            );
+            assert!(
+                l <= 2.0 * e + 1e-6,
+                "request {i} k {k}: literal {l} > 2 x exact {e}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 10, "only {checked} bound checks ran");
+}
+
+/// K-monotonicity on full instances: allowing more chain instances never
+/// increases the cost of the returned tree.
+#[test]
+fn k_monotonicity_on_full_instances() {
+    let n = 40;
+    let sdn = waxman_fixture(n, 4);
+    for req in small_request_batch(n, 10, 11) {
+        let costs: Vec<f64> = (1..=3)
+            .filter_map(|k| appro_multi(&sdn, &req, k).map(|t| t.total_cost()))
+            .collect();
+        for w in costs.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "K increase raised cost: {costs:?}");
+        }
+    }
+}
+
+/// Every algorithm returns structurally valid trees on every instance.
+#[test]
+fn all_offline_algorithms_return_valid_trees() {
+    let n = 40;
+    let sdn = waxman_fixture(n, 5);
+    for req in small_request_batch(n, 15, 13) {
+        if let Some(t) = appro_multi(&sdn, &req, 3) {
+            t.validate(&sdn, &req).expect("appro_multi tree is valid");
+            assert!(t.servers_used().len() <= 3);
+        }
+        if let Some(t) = one_server(&sdn, &req) {
+            t.validate(&sdn, &req).expect("one_server tree is valid");
+            assert_eq!(t.servers_used().len(), 1);
+        }
+        if let Some(t) = appro_multi_reference(&sdn, &req, 2) {
+            t.validate(&sdn, &req).expect("literal tree is valid");
+        }
+    }
+}
+
+/// The paper's Fig. 5 direction at integration scale: Appro_Multi's
+/// average cost does not exceed the baseline's.
+#[test]
+fn appro_multi_beats_baseline_on_average() {
+    let n = 60;
+    let sdn = waxman_fixture(n, 6);
+    let mut sum_appro = 0.0;
+    let mut sum_base = 0.0;
+    let mut count = 0;
+    for req in integration_tests::request_batch(n, 25, 17) {
+        let (Some(a), Some(b)) = (appro_multi(&sdn, &req, 3), one_server(&sdn, &req)) else {
+            continue;
+        };
+        sum_appro += a.total_cost();
+        sum_base += b.total_cost();
+        count += 1;
+    }
+    assert!(count >= 20);
+    assert!(
+        sum_appro < sum_base,
+        "appro {sum_appro} should average below baseline {sum_base}"
+    );
+}

@@ -1,0 +1,94 @@
+//! Integration tests for `Appro_Multi_Cap` as a sequential admitter: the
+//! Fig. 7 pipeline end to end.
+
+use integration_tests::{request_batch, waxman_fixture};
+use nfv_multicast::{appro_multi, appro_multi_cap};
+
+#[test]
+fn sequential_admission_respects_every_capacity() {
+    let n = 50;
+    let mut sdn = waxman_fixture(n, 70);
+    let mut admitted = 0;
+    let mut rejected = 0;
+    for req in request_batch(n, 150, 71) {
+        match appro_multi_cap(&sdn, &req, 3).into_tree() {
+            Some(tree) => {
+                tree.validate(&sdn, &req).expect("admitted tree is valid");
+                sdn.allocate(&tree.allocation(&req))
+                    .expect("admitted tree fits residual capacity");
+                admitted += 1;
+            }
+            None => rejected += 1,
+        }
+    }
+    assert!(admitted > 0, "nothing admitted");
+    assert!(rejected > 0, "capacity never bound — test is vacuous");
+    for e in sdn.graph().edges() {
+        assert!(sdn.residual_bandwidth(e.id) >= -1e-6);
+    }
+    for &v in sdn.servers() {
+        assert!(sdn.residual_computing(v).expect("server") >= -1e-6);
+    }
+}
+
+#[test]
+fn capacitated_matches_uncapacitated_on_fresh_network() {
+    // With full residual capacity the feasible subgraph is the whole
+    // network, so Appro_Multi_Cap must return the same cost as
+    // Appro_Multi.
+    let n = 40;
+    let sdn = waxman_fixture(n, 80);
+    for req in request_batch(n, 15, 81) {
+        let free = appro_multi(&sdn, &req, 3);
+        let capped = appro_multi_cap(&sdn, &req, 3).into_tree();
+        match (free, capped) {
+            (Some(f), Some(c)) => {
+                assert!(
+                    (f.total_cost() - c.total_cost()).abs() < 1e-6 * (1.0 + f.total_cost()),
+                    "fresh-network mismatch: {} vs {}",
+                    f.total_cost(),
+                    c.total_cost()
+                );
+            }
+            (None, None) => {}
+            (f, c) => panic!(
+                "feasibility mismatch: {:?} vs {:?}",
+                f.is_some(),
+                c.is_some()
+            ),
+        }
+    }
+}
+
+#[test]
+fn capacitated_cost_only_grows_as_network_fills() {
+    // Track the running mean cost in two halves of the admission
+    // sequence: as cheap routes saturate, later admissions pay at least
+    // roughly as much (allowing slack for workload noise).
+    let n = 50;
+    let mut sdn = waxman_fixture(n, 90);
+    let mut early = Vec::new();
+    let mut late = Vec::new();
+    let requests = request_batch(n, 200, 91);
+    for (i, req) in requests.iter().enumerate() {
+        if let Some(tree) = appro_multi_cap(&sdn, req, 3).into_tree() {
+            sdn.allocate(&tree.allocation(req)).expect("fits");
+            // Normalize by bandwidth and destination count to compare
+            // across heterogeneous requests.
+            let norm = tree.total_cost() / (req.bandwidth * req.destination_count() as f64);
+            if i < 100 {
+                early.push(norm);
+            } else {
+                late.push(norm);
+            }
+        }
+    }
+    assert!(!early.is_empty() && !late.is_empty());
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&late) >= 0.8 * mean(&early),
+        "late admissions became drastically cheaper: early {} late {}",
+        mean(&early),
+        mean(&late)
+    );
+}

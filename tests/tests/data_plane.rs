@@ -1,0 +1,151 @@
+//! Data-plane validation: compile every algorithm's pseudo-multicast
+//! trees into forwarding rules and *execute* them packet by packet —
+//! every destination must receive a processed packet, no destination may
+//! see an unprocessed one, and Steiner-based trees' physical traffic must
+//! equal their reserved allocation exactly.
+
+use integration_tests::{request_batch, waxman_fixture};
+use nfv_multicast::{appro_multi, appro_multi_cap, compile_rules, one_server, simulate_delivery};
+use nfv_online::{OnlineAlgorithm, OnlineCp, ShortestPathBaseline};
+
+#[test]
+fn offline_trees_execute_correctly() {
+    let n = 40;
+    let sdn = waxman_fixture(n, 200);
+    let mut checked = 0;
+    for req in request_batch(n, 25, 201) {
+        let Some(tree) = appro_multi(&sdn, &req, 3) else {
+            continue;
+        };
+        let rules = compile_rules(&sdn, &req, &tree).expect("compilable");
+        let report = simulate_delivery(&sdn, &req, &rules).expect("executes");
+        assert!(report.covers(&req), "request {} not delivered", req.id);
+        assert_eq!(
+            report.instances_used,
+            tree.servers_used(),
+            "instances mismatch for {}",
+            req.id
+        );
+        // Physical traffic equals the reservation, link by link.
+        let alloc = tree.allocation(&req);
+        for (e, load) in alloc.links() {
+            let physical =
+                report.link_traversals.get(&e).copied().unwrap_or(0) as f64 * req.bandwidth;
+            assert!(
+                (load - physical).abs() < 1e-6,
+                "request {}: link {e} reserves {load} but carries {physical}",
+                req.id
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 20, "only {checked} trees checked");
+}
+
+#[test]
+fn online_trees_with_sendback_execute_correctly() {
+    let n = 40;
+    let mut sdn = waxman_fixture(n, 210);
+    let mut cp = OnlineCp::new();
+    let mut with_sendback = 0;
+    for req in request_batch(n, 60, 211) {
+        let Some(tree) = cp.admit(&sdn, &req) else {
+            continue;
+        };
+        let rules = compile_rules(&sdn, &req, &tree).expect("compilable");
+        let report = simulate_delivery(&sdn, &req, &rules).expect("executes");
+        assert!(report.covers(&req), "request {} not delivered", req.id);
+        let alloc = tree.allocation(&req);
+        for (e, load) in alloc.links() {
+            let physical =
+                report.link_traversals.get(&e).copied().unwrap_or(0) as f64 * req.bandwidth;
+            assert!(
+                (load - physical).abs() < 1e-6,
+                "request {}: link {e} reserves {load} but carries {physical}",
+                req.id
+            );
+        }
+        if !tree.extra_traversals.is_empty() {
+            with_sendback += 1;
+        }
+        sdn.allocate(&alloc).expect("fits");
+    }
+    assert!(
+        with_sendback >= 3,
+        "too few send-back trees exercised ({with_sendback})"
+    );
+}
+
+#[test]
+fn sp_and_capacitated_trees_execute_correctly() {
+    let n = 40;
+    let mut sdn = waxman_fixture(n, 220);
+    let mut sp = ShortestPathBaseline::new();
+    for req in request_batch(n, 30, 221) {
+        if let Some(tree) = sp.admit(&sdn, &req) {
+            let rules = compile_rules(&sdn, &req, &tree).expect("compilable");
+            let report = simulate_delivery(&sdn, &req, &rules).expect("executes");
+            assert!(report.covers(&req));
+            sdn.allocate(&tree.allocation(&req)).expect("fits");
+        }
+        if let Some(tree) = appro_multi_cap(&sdn, &req, 2).into_tree() {
+            let rules = compile_rules(&sdn, &req, &tree).expect("compilable");
+            let report = simulate_delivery(&sdn, &req, &rules).expect("executes");
+            assert!(report.covers(&req));
+        }
+    }
+}
+
+#[test]
+fn forwarding_table_footprint_is_bounded_by_tree_size() {
+    // Rules per request: at most two planes per touched switch.
+    let n = 40;
+    let sdn = waxman_fixture(n, 230);
+    for req in request_batch(n, 15, 231) {
+        let Some(tree) = one_server(&sdn, &req) else {
+            continue;
+        };
+        let rules = compile_rules(&sdn, &req, &tree).expect("compilable");
+        let touched = tree.link_footprint() + 2; // nodes <= links + 1 per plane
+        assert!(
+            rules.len() <= 2 * (touched + 1),
+            "table footprint {} too large for a tree of {} links",
+            rules.len(),
+            tree.link_footprint()
+        );
+    }
+}
+
+#[test]
+fn delay_bounded_routing_respects_hop_budgets() {
+    use nfv_multicast::{appro_multi_delay_bounded, max_delivery_hops, DelayBounded};
+    let n = 40;
+    let sdn = waxman_fixture(n, 240);
+    let mut cost_optimal = 0;
+    let mut fallback = 0;
+    for req in request_batch(n, 25, 241) {
+        // A generous budget first: must match plain appro_multi.
+        match appro_multi_delay_bounded(&sdn, &req, 2, 10 * n) {
+            DelayBounded::CostOptimal(tree) => {
+                let plain = appro_multi(&sdn, &req, 2).expect("feasible");
+                assert!((tree.total_cost() - plain.total_cost()).abs() < 1e-9);
+            }
+            other => panic!("generous budget should be cost-optimal, got {other:?}"),
+        }
+        // A tight budget: whatever comes back must honour it.
+        let budget = 4;
+        match appro_multi_delay_bounded(&sdn, &req, 2, budget) {
+            DelayBounded::CostOptimal(tree) => {
+                assert!(max_delivery_hops(&sdn, &req, &tree).expect("executes") <= budget);
+                cost_optimal += 1;
+            }
+            DelayBounded::LatencyFallback(tree) => {
+                tree.validate(&sdn, &req).expect("valid");
+                assert!(max_delivery_hops(&sdn, &req, &tree).expect("executes") <= budget);
+                fallback += 1;
+            }
+            DelayBounded::Infeasible => {}
+        }
+    }
+    assert!(cost_optimal + fallback > 0, "budget 4 never satisfiable");
+}

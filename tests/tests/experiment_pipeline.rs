@@ -1,0 +1,78 @@
+//! Figure-lite end-to-end runs of the experiment harness: every `fig*`
+//! module executes at reduced scale and produces well-formed tables with
+//! the paper's qualitative relationships.
+
+use sim::experiments::{fig5, fig6, fig7, fig8, fig9};
+use sim::ExperimentScale;
+
+fn tiny() -> ExperimentScale {
+    ExperimentScale {
+        offline_requests: 4,
+        online_requests: 40,
+        repetitions: 1,
+    }
+}
+
+#[test]
+fn fig5_lite_produces_complete_series() {
+    let (cost, time) = fig5::run_with(&[30, 50], &[0.1, 0.2], tiny());
+    assert_eq!(cost.len(), 4);
+    assert_eq!(time.len(), 4);
+    let csv = cost.to_csv();
+    assert!(csv.lines().count() == 5);
+    assert!(csv.contains("Appro_Multi"));
+}
+
+#[test]
+fn fig6_lite_covers_both_topologies() {
+    let (cost, time) = fig6::run_with(&[0.1], tiny());
+    assert_eq!(cost.len(), 2);
+    assert_eq!(time.len(), 2);
+    assert!(cost.to_csv().contains("GEANT"));
+    assert!(cost.to_csv().contains("AS1755"));
+}
+
+#[test]
+fn fig7_lite_admits_and_prices() {
+    let t = fig7::run_with(&[40], tiny());
+    assert_eq!(t.len(), 1);
+    let csv = t.to_csv();
+    let row = csv.lines().nth(1).expect("one data row");
+    let cells: Vec<&str> = row.split(',').collect();
+    let admitted: usize = cells[4].parse().expect("admitted count");
+    assert!(admitted > 0);
+}
+
+#[test]
+fn fig8_lite_reports_both_algorithms() {
+    let t = fig8::run_with(&[40], tiny());
+    assert_eq!(t.len(), 1);
+    let csv = t.to_csv();
+    let row = csv.lines().nth(1).expect("one data row");
+    let cells: Vec<&str> = row.split(',').collect();
+    let cp: f64 = cells[1].parse().expect("cp column");
+    let sp: f64 = cells[2].parse().expect("sp column");
+    assert!(cp > 0.0 && sp > 0.0);
+}
+
+#[test]
+fn fig9_lite_monotone_in_request_count() {
+    let t = fig9::run_with(&[20, 40], tiny());
+    assert_eq!(t.len(), 4);
+    // Admissions at 40 requests >= admissions at 20 (prefix property).
+    let csv = t.to_csv();
+    let rows: Vec<Vec<String>> = csv
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').map(str::to_string).collect())
+        .collect();
+    for pair in rows.chunks(2) {
+        let small: f64 = pair[0][2].parse().expect("cp col");
+        let large: f64 = pair[1][2].parse().expect("cp col");
+        assert!(
+            large >= small,
+            "{}: admitted fell from {small} to {large} with more requests",
+            pair[0][0]
+        );
+    }
+}

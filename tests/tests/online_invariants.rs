@@ -1,0 +1,101 @@
+//! Online-admission invariants on full instances: capacity safety,
+//! determinism, and validity of every admitted tree, for both `Online_CP`
+//! and the `SP` baseline.
+
+use integration_tests::{request_batch, waxman_fixture};
+use nfv_online::{run_online, OnlineAlgorithm, OnlineCp, RequestOutcome, ShortestPathBaseline};
+
+fn check_capacity_safety<A: OnlineAlgorithm>(mut algo: A, seed: u64) {
+    let n = 50;
+    let mut sdn = waxman_fixture(n, seed);
+    let requests = request_batch(n, 120, seed + 1);
+    let result = run_online(&mut sdn, &mut algo, &requests);
+    assert_eq!(result.admitted + result.rejected, 120);
+    for e in sdn.graph().edges() {
+        assert!(
+            sdn.residual_bandwidth(e.id) >= -1e-6,
+            "link {} over-allocated",
+            e.id
+        );
+    }
+    for &v in sdn.servers() {
+        assert!(
+            sdn.residual_computing(v).expect("server") >= -1e-6,
+            "server {v} over-allocated"
+        );
+    }
+    assert!(result.max_link_utilization <= 1.0 + 1e-6);
+}
+
+#[test]
+fn online_cp_never_violates_capacities() {
+    check_capacity_safety(OnlineCp::new(), 21);
+}
+
+#[test]
+fn sp_never_violates_capacities() {
+    check_capacity_safety(ShortestPathBaseline::new(), 22);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let n = 50;
+    let requests = request_batch(n, 80, 31);
+    let run = |_: u32| {
+        let mut sdn = waxman_fixture(n, 30);
+        run_online(&mut sdn, &mut OnlineCp::new(), &requests)
+    };
+    let a = run(0);
+    let b = run(1);
+    assert_eq!(a.admitted, b.admitted);
+    assert_eq!(a.outcomes, b.outcomes);
+    assert!((a.total_cost - b.total_cost).abs() < 1e-9);
+}
+
+#[test]
+fn admission_is_monotone_in_prefix() {
+    // Admitting a prefix of the sequence admits a prefix of the outcomes:
+    // outcomes for the first m requests are identical to a run on just
+    // those m (online algorithms are causal).
+    let n = 50;
+    let requests = request_batch(n, 100, 41);
+    let mut full_sdn = waxman_fixture(n, 40);
+    let full = run_online(&mut full_sdn, &mut OnlineCp::new(), &requests);
+    let mut prefix_sdn = waxman_fixture(n, 40);
+    let prefix = run_online(&mut prefix_sdn, &mut OnlineCp::new(), &requests[..60]);
+    assert_eq!(&full.outcomes[..60], &prefix.outcomes[..]);
+}
+
+#[test]
+fn admitted_costs_are_positive_and_recorded() {
+    let n = 50;
+    let mut sdn = waxman_fixture(n, 50);
+    let requests = request_batch(n, 100, 51);
+    let result = run_online(&mut sdn, &mut OnlineCp::new(), &requests);
+    let mut sum = 0.0;
+    for o in &result.outcomes {
+        if let RequestOutcome::Admitted { cost, .. } = o {
+            assert!(*cost > 0.0);
+            sum += cost;
+        }
+    }
+    assert!((sum - result.total_cost).abs() < 1e-6);
+}
+
+#[test]
+fn heavier_load_never_admits_more() {
+    // Doubling every request's bandwidth cannot increase the admitted
+    // count under SP (same trees, tighter capacity). A coarse sanity
+    // check of resource accounting.
+    let n = 50;
+    let requests = request_batch(n, 100, 61);
+    let mut heavy = requests.clone();
+    for r in &mut heavy {
+        r.bandwidth *= 4.0;
+    }
+    let mut sdn1 = waxman_fixture(n, 60);
+    let light = run_online(&mut sdn1, &mut ShortestPathBaseline::new(), &requests);
+    let mut sdn2 = waxman_fixture(n, 60);
+    let heavy = run_online(&mut sdn2, &mut ShortestPathBaseline::new(), &heavy);
+    assert!(heavy.admitted <= light.admitted);
+}

@@ -1,0 +1,59 @@
+//! Large-instance stress tests. The default-run versions keep CI quick;
+//! the `#[ignore]`d ones push to the paper's maximum scale and beyond
+//! (`cargo test -p integration-tests --test stress -- --ignored`).
+
+use integration_tests::waxman_fixture;
+use nfv_multicast::{appro_multi, appro_multi_cap, compile_rules, simulate_delivery};
+use nfv_online::{run_online, OnlineCp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workload::RequestGenerator;
+
+#[test]
+fn paper_scale_request_round_trip() {
+    // One full-size instance (n = 250, ratio 0.2) through the whole
+    // pipeline: route, validate, compile, execute, admit.
+    let n = 250;
+    let mut sdn = waxman_fixture(n, 300);
+    let mut rng = StdRng::seed_from_u64(301);
+    let mut gen = RequestGenerator::new(n).with_dmax_ratio(0.2);
+    let req = gen.generate(&mut rng);
+    let tree = appro_multi(&sdn, &req, 3).expect("connected topology");
+    tree.validate(&sdn, &req).expect("valid");
+    let rules = compile_rules(&sdn, &req, &tree).expect("compilable");
+    let report = simulate_delivery(&sdn, &req, &rules).expect("executes");
+    assert!(report.covers(&req));
+    sdn.allocate(&tree.allocation(&req))
+        .expect("fresh network fits");
+}
+
+#[test]
+#[ignore = "minutes-long: full 300-request online run at n = 250"]
+fn online_full_scale() {
+    let n = 250;
+    let mut sdn = waxman_fixture(n, 310);
+    let mut rng = StdRng::seed_from_u64(311);
+    let mut gen = RequestGenerator::new(n);
+    let requests = gen.generate_batch(300, &mut rng);
+    let result = run_online(&mut sdn, &mut OnlineCp::new(), &requests);
+    assert!(result.admitted > 100);
+    assert!(result.max_link_utilization <= 1.0 + 1e-6);
+}
+
+#[test]
+#[ignore = "minutes-long: 500-node network beyond the paper's range"]
+fn beyond_paper_scale() {
+    let n = 500;
+    let mut sdn = waxman_fixture(n, 320);
+    let mut rng = StdRng::seed_from_u64(321);
+    let mut gen = RequestGenerator::new(n).with_dmax_ratio(0.1);
+    let mut admitted = 0;
+    for _ in 0..20 {
+        let req = gen.generate(&mut rng);
+        if let Some(tree) = appro_multi_cap(&sdn, &req, 3).into_tree() {
+            sdn.allocate(&tree.allocation(&req)).expect("fits");
+            admitted += 1;
+        }
+    }
+    assert!(admitted > 10, "only {admitted} admitted at n = 500");
+}
