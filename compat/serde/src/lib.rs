@@ -1,0 +1,21 @@
+//! Marker-trait stand-in for `serde`, used for hermetic offline builds.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data model as a
+//! forward-compatible annotation but never serializes through serde at
+//! runtime, so the traits here are empty markers and the derives (from the
+//! sibling `serde_derive` stub) expand to nothing. Swapping the real serde
+//! back in is a one-line change in the workspace `Cargo.toml`.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that would be serializable with the real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable with the real serde.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op replacements for serde's `Serialize`/`Deserialize` derives.
+//!
+//! The workspace only uses the derives as forward-compatible annotations —
+//! nothing serializes through serde at runtime (CSV/DOT output is
+//! hand-rolled) — so in the hermetic offline build the derives expand to
+//! nothing. The `serde(...)` helper attribute is accepted and ignored.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` invocation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` invocation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,49 @@
+//! Batch admission engine: wall-clock of the parallel speculative
+//! planner + sequential commit against the one-at-a-time reference, per
+//! batch size, on the Fig. 7 Waxman setting. The two paths produce
+//! byte-identical decisions, so any gap is pure engine overhead/savings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfv_engine::{admit_batch, admit_sequential, EngineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim::waxman_sdn;
+use workload::RequestGenerator;
+
+fn bench_batch_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_engine");
+    group.sample_size(10);
+    let n = 100;
+    let sdn = waxman_sdn(n, 0);
+    for batch_size in [64usize, 256] {
+        let mut rng = StdRng::seed_from_u64(9_001);
+        let mut gen = RequestGenerator::new(n).with_dmax_ratio(0.2);
+        let requests = gen.generate_batch(batch_size, &mut rng);
+
+        group.bench_with_input(
+            BenchmarkId::new("sequential", batch_size),
+            &requests,
+            |b, requests| {
+                b.iter(|| {
+                    let mut sdn = sdn.clone();
+                    admit_sequential(&mut sdn, requests, 3)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batch", batch_size),
+            &requests,
+            |b, requests| {
+                let config = EngineConfig::new(3);
+                b.iter(|| {
+                    let mut sdn = sdn.clone();
+                    admit_batch(&mut sdn, requests, &config)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_engine);
+criterion_main!(benches);

@@ -2,7 +2,9 @@
 //! higher-level algorithm is built from.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use netgraph::{bellman_ford, dijkstra, kruskal, prim, NodeId};
+use netgraph::{
+    bellman_ford, dijkstra, dijkstra_csr, kruskal, prim, CsrGraph, DijkstraScratch, NodeId,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use topology::Waxman;
@@ -17,6 +19,11 @@ fn bench_shortest_paths(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("bellman_ford", n), &g, |b, g| {
             b.iter(|| bellman_ford(g, NodeId::new(0)));
+        });
+        let csr = CsrGraph::from_graph(&g);
+        group.bench_with_input(BenchmarkId::new("dijkstra_csr", n), &csr, |b, csr| {
+            let mut scratch = DijkstraScratch::default();
+            b.iter(|| dijkstra_csr(csr, NodeId::new(0), &mut scratch));
         });
     }
     group.finish();

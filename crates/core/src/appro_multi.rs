@@ -63,8 +63,6 @@ pub fn appro_multi_on(
         return None;
     }
     let g = sdn.graph();
-    let b = request.bandwidth;
-    let demand = request.computing_demand();
 
     // One SPT from the source (ingress paths / virtual weights)...
     let spt_source = dijkstra(g, request.source);
@@ -78,6 +76,35 @@ pub fn appro_multi_on(
         .iter()
         .map(|&d| dijkstra_with_targets(g, d, &targets))
         .collect();
+    let dest_refs: Vec<&ShortestPathTree> = spt_dests.iter().collect();
+    appro_multi_with_spts(sdn, request, k, servers, &spt_source, &dest_refs)
+}
+
+/// The combination-enumeration core of `Appro_Multi`, evaluated against
+/// caller-supplied shortest-path trees.
+///
+/// `spt_source` must be (equivalent to) `dijkstra(g, request.source)` and
+/// `spt_dests[i]` to a Dijkstra run from `request.destinations[i]` that
+/// settled every destination, the source, and every candidate server.
+/// A *full* tree satisfies that trivially, which is what lets the
+/// per-source SPT cache drive this path: early-exit and full runs agree
+/// exactly on all settled nodes, so the result is byte-identical either
+/// way.
+pub(crate) fn appro_multi_with_spts(
+    sdn: &Sdn,
+    request: &MulticastRequest,
+    k: usize,
+    servers: &[NodeId],
+    spt_source: &ShortestPathTree,
+    spt_dests: &[&ShortestPathTree],
+) -> Option<PseudoMulticastTree> {
+    assert!(k >= 1, "at least one server is required (K >= 1)");
+    if servers.is_empty() {
+        return None;
+    }
+    let g = sdn.graph();
+    let b = request.bandwidth;
+    let demand = request.computing_demand();
 
     // Virtual-edge weight per candidate server; unreachable servers drop.
     let virt: Vec<(NodeId, f64)> = servers
@@ -97,10 +124,10 @@ pub fn appro_multi_on(
     let mut best: Option<PseudoMulticastTree> = None;
     let indices: Vec<usize> = (0..virt.len()).collect();
     for combo in combinations_up_to(&indices, k) {
-        let Some((_, tree)) = eval_combination(g, b, &virt, &combo, request, &spt_dests) else {
+        let Some((_, tree)) = eval_combination(g, b, &virt, &combo, request, spt_dests) else {
             continue;
         };
-        let pseudo = tree.into_pseudo(sdn, request, &virt, &spt_source, demand);
+        let pseudo = tree.into_pseudo(sdn, request, &virt, spt_source, demand);
         if best
             .as_ref()
             .is_none_or(|b| pseudo.total_cost() < b.total_cost())
@@ -185,7 +212,7 @@ fn eval_combination(
     virt: &[(NodeId, f64)],
     combo: &[usize],
     request: &MulticastRequest,
-    spt_dests: &[ShortestPathTree],
+    spt_dests: &[&ShortestPathTree],
 ) -> Option<(f64, MiniTree)> {
     let dests = &request.destinations;
     let t = dests.len() + 1; // virtual source + destinations

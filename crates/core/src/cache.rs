@@ -1,0 +1,359 @@
+//! Per-source shortest-path caching for the admission hot path.
+//!
+//! `Appro_Multi` spends almost all of its time in Dijkstra runs whose
+//! inputs are *unit costs* — which never change — yet the sequential
+//! admission loop recomputes them for every request. [`PathCache`] holds
+//! a CSR snapshot of the topology plus one full [`ShortestPathTree`] per
+//! requested source, and [`appro_multi_cached`] /
+//! [`appro_multi_cap_cached`] drive the algorithms from it.
+//!
+//! ## Why the cached results are byte-identical
+//!
+//! * The CSR snapshot preserves adjacency order, so its Dijkstra relaxes
+//!   edges in the same order as [`netgraph::dijkstra`] and produces
+//!   bit-identical distance/predecessor arrays.
+//! * `appro_multi` normally runs *early-exit* Dijkstra from each
+//!   destination; the cache substitutes *full* trees. A settled node's
+//!   distance and predecessor are final, and the algorithm only reads
+//!   nodes that the early-exit run settles (destinations, source,
+//!   candidate servers), so both variants agree exactly on every value
+//!   read.
+//! * Topology trees ignore residual capacities, so
+//!   [`appro_multi_cap_cached`] may use them only when the request's
+//!   residual-feasible subgraph *is* the full topology. The cache keeps a
+//!   feasibility fingerprint — the minimum residual bandwidth over all
+//!   links and minimum residual computing over all servers, keyed by
+//!   [`Sdn::version`] and recomputed whenever residual capacities change
+//!   (the invalidation rule) — making that check `O(1)` per request.
+//!   Requests whose feasible subgraph is strictly smaller fall back to
+//!   the uncached [`appro_multi_cap`], which is the definition of the
+//!   sequential result.
+
+use crate::appro_multi::appro_multi_with_spts;
+use crate::{appro_multi_cap, Admission, PseudoMulticastTree};
+use netgraph::{CsrGraph, NodeId, ShortestPathTree, SptCache};
+use sdn::{MulticastRequest, Sdn};
+use std::sync::Arc;
+
+/// Residual-capacity fingerprint of one [`Sdn::version`].
+#[derive(Debug, Clone, Copy)]
+struct Fingerprint {
+    version: u64,
+    /// `min_e B_e(k)`: a request with `b_k` at most this loses no link.
+    min_residual_bandwidth: f64,
+    /// `min_{v ∈ V_S} C_v(k)`: a chain demanding at most this loses no
+    /// server.
+    min_residual_computing: f64,
+}
+
+impl Fingerprint {
+    fn of(sdn: &Sdn) -> Self {
+        let min_residual_bandwidth = sdn
+            .graph()
+            .edges()
+            .map(|e| sdn.residual_bandwidth(e.id))
+            .fold(f64::INFINITY, f64::min);
+        let min_residual_computing = sdn
+            .servers()
+            .iter()
+            .map(|&v| sdn.residual_computing(v).expect("server"))
+            .fold(f64::INFINITY, f64::min);
+        Fingerprint {
+            version: sdn.version(),
+            min_residual_bandwidth,
+            min_residual_computing,
+        }
+    }
+}
+
+/// A per-source shortest-path tree cache over one network's topology.
+///
+/// Build it once per network (or per worker over a shared snapshot) and
+/// pass it to the `*_cached` admission entry points. The topology trees
+/// themselves never go stale — unit costs are immutable — while the
+/// residual-capacity fingerprint is re-read whenever [`Sdn::version`]
+/// moves.
+#[derive(Debug, Clone)]
+pub struct PathCache {
+    cache: SptCache,
+    fingerprint: Fingerprint,
+    /// Requests answered entirely from cached trees.
+    fast_path: u64,
+    /// Requests that fell back to the uncached capacitated algorithm.
+    slow_path: u64,
+}
+
+impl PathCache {
+    /// Creates a cache over `sdn`'s topology.
+    #[must_use]
+    pub fn new(sdn: &Sdn) -> Self {
+        PathCache {
+            cache: SptCache::new(CsrGraph::from_graph(sdn.graph())),
+            fingerprint: Fingerprint::of(sdn),
+            fast_path: 0,
+            slow_path: 0,
+        }
+    }
+
+    /// Refreshes the residual fingerprint if `sdn` mutated since the last
+    /// query.
+    fn sync(&mut self, sdn: &Sdn) {
+        if sdn.version() != self.fingerprint.version {
+            self.fingerprint = Fingerprint::of(sdn);
+        }
+    }
+
+    /// Returns `true` when a request with bandwidth `b` and computing
+    /// demand `demand` keeps every link and server of `sdn` — i.e. its
+    /// residual-feasible subgraph is the full topology.
+    fn full_graph_feasible(&mut self, sdn: &Sdn, b: f64, demand: f64) -> bool {
+        self.sync(sdn);
+        self.fingerprint.min_residual_bandwidth + 1e-9 >= b
+            && self.fingerprint.min_residual_computing + 1e-9 >= demand
+    }
+
+    /// The cached full shortest-path tree rooted at `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not a node of the cached topology.
+    pub fn spt(&mut self, source: NodeId) -> Arc<ShortestPathTree> {
+        self.cache.spt(source)
+    }
+
+    /// Shortest-path tree cache hits (per-source queries answered without
+    /// a Dijkstra run).
+    #[must_use]
+    pub fn spt_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Shortest-path tree cache misses.
+    #[must_use]
+    pub fn spt_misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// Requests served entirely from cached trees by
+    /// [`appro_multi_cap_cached`].
+    #[must_use]
+    pub fn fast_path_count(&self) -> u64 {
+        self.fast_path
+    }
+
+    /// Requests that fell back to the uncached algorithm.
+    #[must_use]
+    pub fn slow_path_count(&self) -> u64 {
+        self.slow_path
+    }
+}
+
+/// [`crate::appro_multi`] driven by cached shortest-path trees.
+///
+/// Byte-identical to the uncached version; `cache` must have been built
+/// from (a clone of) `sdn`'s topology.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or if `cache` was built from a different topology.
+#[must_use]
+pub fn appro_multi_cached(
+    sdn: &Sdn,
+    request: &MulticastRequest,
+    k: usize,
+    cache: &mut PathCache,
+) -> Option<PseudoMulticastTree> {
+    assert!(k >= 1, "at least one server is required (K >= 1)");
+    assert_eq!(
+        cache.cache.csr().node_count(),
+        sdn.node_count(),
+        "cache topology does not match the network"
+    );
+    let spt_source = cache.spt(request.source);
+    let spt_dests: Vec<Arc<ShortestPathTree>> =
+        request.destinations.iter().map(|&d| cache.spt(d)).collect();
+    let dest_refs: Vec<&ShortestPathTree> = spt_dests.iter().map(Arc::as_ref).collect();
+    appro_multi_with_spts(sdn, request, k, sdn.servers(), &spt_source, &dest_refs)
+}
+
+/// [`appro_multi_cap`] driven by cached shortest-path trees where valid.
+///
+/// Byte-identical to the uncached version: the cached fast path runs only
+/// when the request's residual-feasible subgraph equals the full topology
+/// (checked in `O(1)` against the version-keyed fingerprint); every other
+/// request is delegated to [`appro_multi_cap`] unchanged.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn appro_multi_cap_cached(
+    sdn: &Sdn,
+    request: &MulticastRequest,
+    k: usize,
+    cache: &mut PathCache,
+) -> Admission {
+    assert!(k >= 1, "at least one server is required (K >= 1)");
+    let b = request.bandwidth;
+    let demand = request.computing_demand();
+    if !cache.full_graph_feasible(sdn, b, demand) {
+        cache.slow_path += 1;
+        return appro_multi_cap(sdn, request, k);
+    }
+    cache.fast_path += 1;
+    // Nothing is filtered: the feasible subgraph is the full network, so
+    // Algorithm 1 over cached topology trees reproduces the capacitated
+    // run exactly (edge ids map to themselves).
+    let Some(tree) = appro_multi_cached(sdn, request, k, cache) else {
+        return Admission::Rejected;
+    };
+    // Accumulated loads (ingress overlapping distribution) are still
+    // checked against the live residual state, exactly as the uncached
+    // path does.
+    if !sdn.can_allocate(&tree.allocation(request)) {
+        return Admission::Rejected;
+    }
+    Admission::Admitted(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::appro_multi;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sdn::{Allocation, NfvType, RequestId, SdnBuilder, ServiceChain};
+
+    fn chain() -> ServiceChain {
+        ServiceChain::new(vec![NfvType::Firewall])
+    }
+
+    fn random_net(seed: u64, n: usize) -> Sdn {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bld = SdnBuilder::new();
+        let nodes: Vec<NodeId> = (0..n).map(|_| bld.add_switch()).collect();
+        for i in 0..n {
+            bld.add_link(
+                nodes[i],
+                nodes[(i + 1) % n],
+                1_000.0,
+                rng.gen_range(0.5..2.0),
+            )
+            .unwrap();
+        }
+        for _ in 0..n / 2 {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                bld.add_link(nodes[u], nodes[v], 1_000.0, rng.gen_range(0.5..2.0))
+                    .unwrap();
+            }
+        }
+        for i in (0..n).step_by(3) {
+            bld.attach_server(nodes[i], 4_000.0, rng.gen_range(0.5..2.0))
+                .unwrap();
+        }
+        bld.build().unwrap()
+    }
+
+    fn random_request(rng: &mut StdRng, id: u64, n: usize) -> MulticastRequest {
+        let src = rng.gen_range(0..n);
+        let mut dests = Vec::new();
+        while dests.len() < 2 {
+            let d = rng.gen_range(0..n);
+            if d != src {
+                dests.push(NodeId::new(d));
+            }
+        }
+        MulticastRequest::new(
+            RequestId(id),
+            NodeId::new(src),
+            dests,
+            rng.gen_range(20.0..120.0),
+            chain(),
+        )
+    }
+
+    #[test]
+    fn cached_appro_multi_matches_uncached() {
+        for seed in 0..8u64 {
+            let sdn = random_net(seed, 15);
+            let mut cache = PathCache::new(&sdn);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+            for i in 0..12 {
+                let req = random_request(&mut rng, i, 15);
+                for k in 1..=2 {
+                    let fresh = appro_multi(&sdn, &req, k);
+                    let cached = appro_multi_cached(&sdn, &req, k, &mut cache);
+                    assert_eq!(fresh, cached, "seed {seed} req {i} k {k}");
+                }
+            }
+            assert!(cache.spt_hits() > 0, "repeated sources should hit");
+        }
+    }
+
+    #[test]
+    fn cached_cap_matches_uncached_under_load() {
+        for seed in 0..6u64 {
+            let mut plain = random_net(seed, 12);
+            let mut cached_net = plain.clone();
+            let mut cache = PathCache::new(&cached_net);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xCAFE);
+            for i in 0..30 {
+                let req = random_request(&mut rng, i, 12);
+                let fresh = appro_multi_cap(&plain, &req, 2);
+                let fast = appro_multi_cap_cached(&cached_net, &req, 2, &mut cache);
+                assert_eq!(fresh, fast, "seed {seed} req {i}");
+                if let Admission::Admitted(tree) = &fresh {
+                    plain.allocate(&tree.allocation(&req)).unwrap();
+                    cached_net.allocate(&tree.allocation(&req)).unwrap();
+                }
+            }
+            // As the network fills, both the fast and slow paths must have
+            // been exercised for the comparison to mean anything.
+            assert!(cache.fast_path_count() > 0, "seed {seed}: no fast path");
+        }
+    }
+
+    #[test]
+    fn fingerprint_invalidates_on_capacity_change() {
+        let sdn0 = random_net(1, 9);
+        let mut sdn = sdn0.clone();
+        let mut cache = PathCache::new(&sdn);
+        let req = MulticastRequest::new(
+            RequestId(0),
+            NodeId::new(1),
+            vec![NodeId::new(4)],
+            900.0,
+            chain(),
+        );
+        assert!(cache.full_graph_feasible(&sdn, 900.0, 1.0));
+        // Saturate one link: the fingerprint must pick it up.
+        let mut a = Allocation::new(RequestId(9));
+        a.add_link(netgraph::EdgeId::new(0), 500.0);
+        sdn.allocate(&a).unwrap();
+        assert!(!cache.full_graph_feasible(&sdn, 900.0, 1.0));
+        // And the cached admission still equals the fresh one.
+        assert_eq!(
+            appro_multi_cap(&sdn, &req, 1),
+            appro_multi_cap_cached(&sdn, &req, 1, &mut cache)
+        );
+        assert!(cache.slow_path_count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn topology_mismatch_is_rejected() {
+        let small = random_net(0, 6);
+        let big = random_net(0, 12);
+        let mut cache = PathCache::new(&small);
+        let req = MulticastRequest::new(
+            RequestId(0),
+            NodeId::new(0),
+            vec![NodeId::new(5)],
+            10.0,
+            chain(),
+        );
+        let _ = appro_multi_cached(&big, &req, 1, &mut cache);
+    }
+}

@@ -52,6 +52,7 @@
 
 mod appro_multi;
 mod auxiliary;
+mod cache;
 mod capacitated;
 mod combinations;
 mod delay;
@@ -65,6 +66,7 @@ pub use appro_multi::{
     appro_multi, appro_multi_on, appro_multi_reference, appro_multi_with_steiner, SteinerRoutine,
 };
 pub use auxiliary::AuxiliaryGraph;
+pub use cache::{appro_multi_cached, appro_multi_cap_cached, PathCache};
 pub use capacitated::{appro_multi_cap, Admission};
 pub use combinations::combinations_up_to;
 pub use delay::{appro_multi_delay_bounded, max_delivery_hops, DelayBounded};

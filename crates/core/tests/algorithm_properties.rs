@@ -10,7 +10,7 @@ use nfv_multicast::{
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sdn::{MulticastRequest, RequestId, Sdn, SdnBuilder, ServiceChain};
+use sdn::{MulticastRequest, RequestId, Sdn, SdnBuilder};
 use workload::random_chain;
 
 /// Random connected SDN with `n` switches, ring + chords, `servers`

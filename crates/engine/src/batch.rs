@@ -1,0 +1,373 @@
+//! Batch admission: parallel speculative planning + sequential commit.
+
+use nfv_multicast::{appro_multi_cap, Admission};
+use sdn::{MulticastRequest, Sdn};
+
+/// Tuning knobs for [`admit_batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Maximum servers per request (the paper's `K`).
+    pub k: usize,
+    /// Worker threads for the planning phase (`0` = available parallelism).
+    pub workers: usize,
+    /// Maximum parallel planning waves before the remainder of the batch
+    /// is finished with inline sequential replans. Bounds the worst-case
+    /// planning work under heavy contention.
+    pub max_waves: usize,
+}
+
+impl EngineConfig {
+    /// A config with `k` servers, automatic worker count, and the default
+    /// wave bound.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        EngineConfig {
+            k,
+            workers: 0,
+            max_waves: 4,
+        }
+    }
+
+    /// Overrides the worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the planning-wave bound.
+    #[must_use]
+    pub fn with_max_waves(mut self, max_waves: usize) -> Self {
+        self.max_waves = max_waves.max(1);
+        self
+    }
+
+    fn effective_workers(&self, batch_len: usize) -> usize {
+        let auto = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let w = if self.workers == 0 {
+            auto
+        } else {
+            self.workers
+        };
+        w.clamp(1, batch_len.max(1))
+    }
+}
+
+/// Statistics from one [`admit_batch`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Requests admitted.
+    pub admitted: usize,
+    /// Requests rejected.
+    pub rejected: usize,
+    /// Commits taken straight from a parallel speculative plan.
+    pub speculative_hits: usize,
+    /// Extra planning passes beyond each request's first: deferred
+    /// requests re-planned by later waves plus inline sequential replans,
+    /// all caused by an earlier commit moving a feasible subgraph.
+    pub replanned: usize,
+}
+
+/// The reference implementation: admits `requests` strictly one at a time,
+/// committing each admitted allocation before planning the next request.
+pub fn admit_sequential(sdn: &mut Sdn, requests: &[MulticastRequest], k: usize) -> Vec<Admission> {
+    requests
+        .iter()
+        .map(|req| {
+            let adm = appro_multi_cap(sdn, req, k);
+            if let Admission::Admitted(tree) = &adm {
+                sdn.allocate(&tree.allocation(req))
+                    .expect("admitted tree fits residual capacities");
+            }
+            adm
+        })
+        .collect()
+}
+
+/// Admits a batch of requests with parallel speculative planning and a
+/// deterministic sequential commit phase.
+///
+/// Decisions (admit/reject **and** the chosen trees) are byte-identical to
+/// [`admit_sequential`] on the same request order: a speculative plan is
+/// committed only when no earlier commit changed the request's feasible
+/// subgraph (the set of links with residual bandwidth ≥ `b_k` and servers
+/// with residual computing ≥ `C(SC_k)`); otherwise the request is
+/// re-planned against the live state, exactly as the sequential loop
+/// would.
+///
+/// Planning runs in **waves**: each wave plans the undecided tail of the
+/// batch in parallel against the live state, then commits the longest
+/// prefix whose feasible subgraphs the wave's own commits did not
+/// disturb. A disturbed suffix is deferred to the next wave (so replans
+/// are parallel too); after [`EngineConfig::max_waves`] waves — or when a
+/// wave is not worth its thread overhead — the remainder is finished
+/// inline, one sequential replan at a time.
+pub fn admit_batch(
+    sdn: &mut Sdn,
+    requests: &[MulticastRequest],
+    config: &EngineConfig,
+) -> (Vec<Admission>, BatchReport) {
+    let mut report = BatchReport::default();
+    if requests.is_empty() {
+        return (Vec::new(), report);
+    }
+    if config.effective_workers(requests.len()) == 1 {
+        // No parallelism to exploit: speculation would only add wasted
+        // planning work on top of the sequential loop it must replay.
+        let decisions = admit_sequential(sdn, requests, config.k);
+        report.admitted = decisions
+            .iter()
+            .filter(|d| matches!(d, Admission::Admitted(_)))
+            .count();
+        report.rejected = decisions.len() - report.admitted;
+        return (decisions, report);
+    }
+
+    let mut decisions: Vec<Option<Admission>> = Vec::new();
+    decisions.resize_with(requests.len(), || None);
+    // Indices of requests not yet decided, always in batch order.
+    let mut pending: Vec<usize> = (0..requests.len()).collect();
+    let mut wave = 0usize;
+
+    while !pending.is_empty() {
+        wave += 1;
+        let workers = config.effective_workers(pending.len());
+
+        // Snapshot of the residual state this wave's plans are based on.
+        let snap_bandwidth: Vec<f64> = sdn
+            .graph()
+            .edges()
+            .map(|e| sdn.residual_bandwidth(e.id))
+            .collect();
+        let snap_computing: Vec<Option<f64>> = sdn
+            .graph()
+            .nodes()
+            .map(|v| sdn.residual_computing(v))
+            .collect();
+
+        // Plan the pending tail in parallel against the live state. Each
+        // worker owns a contiguous slice and its own scratch; the network
+        // is shared read-only.
+        let mut plans: Vec<Option<Admission>> = Vec::new();
+        plans.resize_with(pending.len(), || None);
+        let chunk = pending.len().div_ceil(workers);
+        {
+            let snapshot: &Sdn = sdn;
+            std::thread::scope(|scope| {
+                for (idx_chunk, plan_chunk) in pending.chunks(chunk).zip(plans.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        let mut cache = nfv_multicast::PathCache::new(snapshot);
+                        for (&i, slot) in idx_chunk.iter().zip(plan_chunk.iter_mut()) {
+                            *slot = Some(nfv_multicast::appro_multi_cap_cached(
+                                snapshot,
+                                &requests[i],
+                                config.k,
+                                &mut cache,
+                            ));
+                        }
+                    });
+                }
+            });
+        }
+        if wave > 1 {
+            report.replanned += pending.len();
+        }
+
+        // Commit in batch order. Track which links/servers this wave's
+        // commits touched; a plan is valid only if none of them crossed
+        // the request's feasibility threshold since the wave snapshot.
+        let mut touched_links: Vec<netgraph::EdgeId> = Vec::new();
+        let mut touched_servers: Vec<netgraph::NodeId> = Vec::new();
+        // Deferring a disturbed suffix to another parallel wave only pays
+        // when there are threads to spread it over and waves left.
+        let defer_allowed = workers > 1 && wave < config.max_waves;
+        let mut committed = 0usize;
+        let mut inline_tail = false;
+        for (pos, (&i, plan)) in pending.iter().zip(plans).enumerate() {
+            let req = &requests[i];
+            let b = req.bandwidth;
+            let demand = req.computing_demand();
+            let link_feasibility_changed = touched_links.iter().any(|&e| {
+                let feasible_then = snap_bandwidth[e.index()] + 1e-9 >= b;
+                let feasible_now = sdn.residual_bandwidth(e) + 1e-9 >= b;
+                feasible_then != feasible_now
+            });
+            let server_feasibility_changed = touched_servers.iter().any(|&v| {
+                let feasible_then = snap_computing[v.index()].is_some_and(|r| r + 1e-9 >= demand);
+                let feasible_now = sdn
+                    .residual_computing(v)
+                    .is_some_and(|r| r + 1e-9 >= demand);
+                feasible_then != feasible_now
+            });
+
+            let disturbed = link_feasibility_changed || server_feasibility_changed;
+            if disturbed && defer_allowed && !inline_tail {
+                // Defer the rest of the batch to the next parallel wave.
+                break;
+            }
+            let decision = if disturbed {
+                // The feasible subgraph moved under this request: replay
+                // the sequential decision exactly, inline.
+                inline_tail = true;
+                report.replanned += 1;
+                appro_multi_cap(sdn, req, config.k)
+            } else {
+                // Identical feasible subgraph => the plan is the tree the
+                // sequential loop would have computed. Its final
+                // accumulated-load check must run against the *live*
+                // state.
+                report.speculative_hits += 1;
+                match plan.expect("every pending request was planned") {
+                    Admission::Admitted(tree) => {
+                        if sdn.can_allocate(&tree.allocation(req)) {
+                            Admission::Admitted(tree)
+                        } else {
+                            Admission::Rejected
+                        }
+                    }
+                    Admission::Rejected => Admission::Rejected,
+                }
+            };
+
+            if let Admission::Admitted(tree) = &decision {
+                let alloc = tree.allocation(req);
+                sdn.allocate(&alloc)
+                    .expect("admitted tree fits residual capacities");
+                for (e, _) in alloc.links() {
+                    touched_links.push(e);
+                }
+                for (v, _) in alloc.servers() {
+                    touched_servers.push(v);
+                }
+                report.admitted += 1;
+            } else {
+                report.rejected += 1;
+            }
+            decisions[i] = Some(decision);
+            committed = pos + 1;
+        }
+        pending.drain(..committed);
+    }
+
+    let decisions = decisions
+        .into_iter()
+        .map(|d| d.expect("every request was decided"))
+        .collect();
+    (decisions, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sdn::{NfvType, RequestId, SdnBuilder, ServiceChain};
+
+    fn chain() -> ServiceChain {
+        ServiceChain::new(vec![NfvType::Firewall])
+    }
+
+    /// A ring of `n` switches with servers sprinkled every 4 nodes and
+    /// moderate capacities so contention is real.
+    fn ring_sdn(n: usize, seed: u64) -> Sdn {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bld = SdnBuilder::new();
+        let nodes: Vec<_> = (0..n).map(|_| bld.add_switch()).collect();
+        for i in 0..n {
+            bld.add_link(nodes[i], nodes[(i + 1) % n], 600.0, rng.gen_range(0.5..2.0))
+                .unwrap();
+        }
+        for i in (0..n).step_by(4) {
+            bld.attach_server(nodes[i], 2_000.0, rng.gen_range(0.5..2.0))
+                .unwrap();
+        }
+        bld.build().unwrap()
+    }
+
+    fn random_requests(n_nodes: usize, count: usize, seed: u64) -> Vec<MulticastRequest> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        (0..count)
+            .map(|i| {
+                let src = rng.gen_range(0..n_nodes);
+                let mut dests = Vec::new();
+                for _ in 0..rng.gen_range(1..=3) {
+                    let d = rng.gen_range(0..n_nodes);
+                    if d != src && !dests.contains(&netgraph::NodeId::new(d)) {
+                        dests.push(netgraph::NodeId::new(d));
+                    }
+                }
+                if dests.is_empty() {
+                    dests.push(netgraph::NodeId::new((src + 1) % n_nodes));
+                }
+                MulticastRequest::new(
+                    RequestId(i as u64),
+                    netgraph::NodeId::new(src),
+                    dests,
+                    rng.gen_range(50.0..200.0),
+                    chain(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_equals_sequential_under_contention() {
+        for seed in 0..6u64 {
+            let requests = random_requests(24, 40, seed);
+            let mut seq_net = ring_sdn(24, seed);
+            let mut batch_net = seq_net.clone();
+            let seq = admit_sequential(&mut seq_net, &requests, 2);
+            let (batch, report) = admit_batch(
+                &mut batch_net,
+                &requests,
+                &EngineConfig::new(2).with_workers(4),
+            );
+            assert_eq!(seq, batch, "seed {seed}: decisions diverged");
+            assert_eq!(seq_net, batch_net, "seed {seed}: residual state diverged");
+            assert_eq!(report.admitted + report.rejected, requests.len());
+        }
+    }
+
+    #[test]
+    fn single_worker_batch_also_matches() {
+        let requests = random_requests(16, 20, 7);
+        let mut seq_net = ring_sdn(16, 7);
+        let mut batch_net = seq_net.clone();
+        let seq = admit_sequential(&mut seq_net, &requests, 1);
+        let (batch, _) = admit_batch(
+            &mut batch_net,
+            &requests,
+            &EngineConfig::new(1).with_workers(1),
+        );
+        assert_eq!(seq, batch);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut net = ring_sdn(8, 0);
+        let before = net.clone();
+        let (decisions, report) = admit_batch(&mut net, &[], &EngineConfig::new(2));
+        assert!(decisions.is_empty());
+        assert_eq!(report, BatchReport::default());
+        assert_eq!(net, before);
+    }
+
+    #[test]
+    fn uncontended_batch_commits_speculatively() {
+        // Huge capacities: no commit ever crosses a feasibility threshold,
+        // so every plan is a speculative hit.
+        let mut bld = SdnBuilder::new();
+        let nodes: Vec<_> = (0..8).map(|_| bld.add_switch()).collect();
+        for i in 0..8 {
+            bld.add_link(nodes[i], nodes[(i + 1) % 8], 1e9, 1.0)
+                .unwrap();
+        }
+        bld.attach_server(nodes[0], 1e9, 1.0).unwrap();
+        let mut net = bld.build().unwrap();
+        let requests = random_requests(8, 16, 3);
+        let (_, report) = admit_batch(&mut net, &requests, &EngineConfig::new(1).with_workers(2));
+        assert_eq!(report.replanned, 0);
+        assert_eq!(report.speculative_hits, 16);
+        assert_eq!(report.admitted, 16);
+    }
+}

@@ -1,0 +1,429 @@
+//! Read-only compressed-sparse-row snapshot of a [`Graph`] and the
+//! allocation-free Dijkstra that runs against it.
+//!
+//! [`Graph`] stores adjacency as `Vec<Vec<Neighbor>>` — one heap
+//! allocation per node, and every relaxation chases `edges[..]` for the
+//! weight. [`CsrGraph`] flattens that into four parallel arrays
+//! (`offsets`, `targets`, `edge_ids`, `weights`) so a shortest-path run
+//! touches contiguous memory and, paired with a [`DijkstraScratch`],
+//! performs **zero allocations after warm-up**. Arc order within a node
+//! is exactly the adjacency order of the source graph, so
+//! [`dijkstra_csr`] relaxes edges in the same order as
+//! [`crate::dijkstra`] and produces bit-identical distance and
+//! predecessor arrays.
+//!
+//! [`SptCache`] memoizes full shortest-path trees per source on top of a
+//! snapshot; callers invalidate it when the weights they derived the
+//! snapshot from change.
+
+use crate::paths::ShortestPathTree;
+use crate::{EdgeId, Graph, NodeId, TotalCost};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// A read-only compressed-sparse-row view of a [`Graph`].
+///
+/// Node and edge ids are shared with the source graph; only the adjacency
+/// layout differs. Building the snapshot is `O(n + m)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v + 1]` indexes the arcs leaving `v`.
+    offsets: Vec<usize>,
+    /// Head node of each arc.
+    targets: Vec<NodeId>,
+    /// Edge id of each arc (both arcs of an undirected edge share it).
+    edge_ids: Vec<EdgeId>,
+    /// Weight of each arc, copied from the edge.
+    weights: Vec<f64>,
+}
+
+impl CsrGraph {
+    /// Snapshots `g`, preserving the adjacency order of every node.
+    #[must_use]
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.node_count();
+        let arcs = 2 * g.edge_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(arcs);
+        let mut edge_ids = Vec::with_capacity(arcs);
+        let mut weights = Vec::with_capacity(arcs);
+        offsets.push(0);
+        for v in g.nodes() {
+            for nb in g.neighbors(v) {
+                targets.push(nb.node);
+                edge_ids.push(nb.edge);
+                weights.push(g.edge(nb.edge).weight);
+            }
+            offsets.push(targets.len());
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            edge_ids,
+            weights,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed arcs (twice the undirected edge count).
+    #[must_use]
+    pub fn arc_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Returns `true` if `n` is a node of this snapshot.
+    #[must_use]
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        n.index() < self.node_count()
+    }
+
+    /// The arcs leaving `n`, as `(head, edge, weight)` triples in the
+    /// source graph's adjacency order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a node of this snapshot.
+    pub fn arcs(&self, n: NodeId) -> impl Iterator<Item = (NodeId, EdgeId, f64)> + '_ {
+        let lo = self.offsets[n.index()];
+        let hi = self.offsets[n.index() + 1];
+        (lo..hi).map(move |i| (self.targets[i], self.edge_ids[i], self.weights[i]))
+    }
+}
+
+/// Reusable working memory for [`dijkstra_csr`].
+///
+/// One scratch per worker thread; repeated runs on graphs of the same
+/// size perform no allocations (the heap and the per-node arrays are
+/// recycled).
+#[derive(Debug, Clone, Default)]
+pub struct DijkstraScratch {
+    dist: Vec<f64>,
+    pred: Vec<Option<(NodeId, EdgeId)>>,
+    settled: Vec<bool>,
+    is_target: Vec<bool>,
+    heap: BinaryHeap<Reverse<(TotalCost, NodeId)>>,
+}
+
+impl DijkstraScratch {
+    /// Creates an empty scratch; arrays grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        DijkstraScratch::default()
+    }
+
+    fn prepare(&mut self, n: usize) {
+        self.dist.clear();
+        self.dist.resize(n, f64::INFINITY);
+        self.pred.clear();
+        self.pred.resize(n, None);
+        self.settled.clear();
+        self.settled.resize(n, false);
+        self.is_target.clear();
+        self.is_target.resize(n, false);
+        self.heap.clear();
+    }
+}
+
+/// Dijkstra over a CSR snapshot: identical results to [`crate::dijkstra`]
+/// on the source graph, with all working memory drawn from `scratch`.
+///
+/// # Panics
+///
+/// Panics if `source` is not a node of `csr`.
+#[must_use]
+pub fn dijkstra_csr(
+    csr: &CsrGraph,
+    source: NodeId,
+    scratch: &mut DijkstraScratch,
+) -> ShortestPathTree {
+    dijkstra_csr_impl(csr, source, None, scratch)
+}
+
+/// [`dijkstra_csr`] with early exit once every node in `targets` is
+/// settled — the CSR analogue of [`crate::dijkstra_with_targets`].
+///
+/// # Panics
+///
+/// Panics if `source` is not a node of `csr`.
+#[must_use]
+pub fn dijkstra_csr_with_targets(
+    csr: &CsrGraph,
+    source: NodeId,
+    targets: &[NodeId],
+    scratch: &mut DijkstraScratch,
+) -> ShortestPathTree {
+    dijkstra_csr_impl(csr, source, Some(targets), scratch)
+}
+
+fn dijkstra_csr_impl(
+    csr: &CsrGraph,
+    source: NodeId,
+    targets: Option<&[NodeId]>,
+    scratch: &mut DijkstraScratch,
+) -> ShortestPathTree {
+    assert!(csr.contains_node(source), "source {source} not in graph");
+    let n = csr.node_count();
+    scratch.prepare(n);
+    let mut remaining = usize::MAX;
+    if let Some(ts) = targets {
+        let mut uniq = 0usize;
+        for &t in ts {
+            if !scratch.is_target[t.index()] {
+                scratch.is_target[t.index()] = true;
+                uniq += 1;
+            }
+        }
+        remaining = uniq;
+    }
+
+    scratch.dist[source.index()] = 0.0;
+    scratch.heap.push(Reverse((TotalCost::new(0.0), source)));
+
+    while let Some(Reverse((d, u))) = scratch.heap.pop() {
+        let ui = u.index();
+        if scratch.settled[ui] {
+            continue;
+        }
+        scratch.settled[ui] = true;
+        if targets.is_some() && scratch.is_target[ui] {
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
+        }
+        let du = d.get();
+        let lo = csr.offsets[ui];
+        let hi = csr.offsets[ui + 1];
+        for i in lo..hi {
+            let w = csr.weights[i];
+            let cand = du + w;
+            let v = csr.targets[i];
+            let vi = v.index();
+            if cand < scratch.dist[vi] {
+                scratch.dist[vi] = cand;
+                scratch.pred[vi] = Some((u, csr.edge_ids[i]));
+                scratch.heap.push(Reverse((TotalCost::new(cand), v)));
+            }
+        }
+    }
+
+    ShortestPathTree::from_parts(source, scratch.dist.clone(), scratch.pred.clone())
+}
+
+/// A per-source cache of full shortest-path trees over one CSR snapshot.
+///
+/// The cache answers every source with an `Arc` so workers can hold trees
+/// across further queries without cloning the arrays. It knows nothing
+/// about *why* its snapshot might go stale — the owner calls
+/// [`SptCache::invalidate`] when the weights underlying the snapshot
+/// change (in the SDN crates: when residual capacities move).
+#[derive(Debug, Clone)]
+pub struct SptCache {
+    csr: CsrGraph,
+    scratch: DijkstraScratch,
+    trees: Vec<Option<Arc<ShortestPathTree>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SptCache {
+    /// Creates an empty cache over `csr`.
+    #[must_use]
+    pub fn new(csr: CsrGraph) -> Self {
+        let n = csr.node_count();
+        SptCache {
+            csr,
+            scratch: DijkstraScratch::new(),
+            trees: vec![None; n],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Convenience: snapshot `g` and cache over it.
+    #[must_use]
+    pub fn for_graph(g: &Graph) -> Self {
+        SptCache::new(CsrGraph::from_graph(g))
+    }
+
+    /// The underlying snapshot.
+    #[must_use]
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// The full shortest-path tree rooted at `source`, computing it on
+    /// first request. Identical to `dijkstra(g, source)` on the snapshot's
+    /// source graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not a node of the snapshot.
+    pub fn spt(&mut self, source: NodeId) -> Arc<ShortestPathTree> {
+        if let Some(t) = &self.trees[source.index()] {
+            self.hits += 1;
+            return Arc::clone(t);
+        }
+        self.misses += 1;
+        let tree = Arc::new(dijkstra_csr(&self.csr, source, &mut self.scratch));
+        self.trees[source.index()] = Some(Arc::clone(&tree));
+        tree
+    }
+
+    /// Drops every cached tree (the snapshot itself is retained — edge
+    /// weights in this codebase are immutable unit costs).
+    pub fn invalidate(&mut self) {
+        for t in &mut self.trees {
+            *t = None;
+        }
+    }
+
+    /// Number of sources currently cached.
+    #[must_use]
+    pub fn cached_sources(&self) -> usize {
+        self.trees.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Cache hits since creation.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses since creation.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dijkstra, dijkstra_with_targets};
+
+    fn diamond() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let v: Vec<NodeId> = (0..5).map(|_| g.add_node()).collect();
+        g.add_edge(v[0], v[1], 1.0).unwrap();
+        g.add_edge(v[0], v[2], 4.0).unwrap();
+        g.add_edge(v[1], v[2], 2.0).unwrap();
+        g.add_edge(v[1], v[3], 6.0).unwrap();
+        g.add_edge(v[2], v[3], 3.0).unwrap();
+        (g, v)
+    }
+
+    fn assert_same_tree(a: &ShortestPathTree, b: &ShortestPathTree, n: usize) {
+        for i in 0..n {
+            let v = NodeId::new(i);
+            assert_eq!(a.distance(v), b.distance(v), "distance to {v}");
+            assert_eq!(a.predecessor(v), b.predecessor(v), "predecessor of {v}");
+        }
+    }
+
+    #[test]
+    fn csr_preserves_adjacency_order() {
+        let (g, v) = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.node_count(), g.node_count());
+        assert_eq!(csr.arc_count(), 2 * g.edge_count());
+        for node in g.nodes() {
+            let flat: Vec<(NodeId, EdgeId)> = csr.arcs(node).map(|(t, e, _)| (t, e)).collect();
+            let orig: Vec<(NodeId, EdgeId)> = g
+                .neighbors(node)
+                .iter()
+                .map(|nb| (nb.node, nb.edge))
+                .collect();
+            assert_eq!(flat, orig, "adjacency order of {node}");
+        }
+        assert!(csr.contains_node(v[4]));
+        assert!(!csr.contains_node(NodeId::new(5)));
+    }
+
+    #[test]
+    fn csr_dijkstra_matches_graph_dijkstra() {
+        let (g, v) = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        let mut scratch = DijkstraScratch::new();
+        for &s in &v {
+            let fresh = dijkstra(&g, s);
+            let flat = dijkstra_csr(&csr, s, &mut scratch);
+            assert_same_tree(&fresh, &flat, g.node_count());
+        }
+    }
+
+    #[test]
+    fn csr_targets_match_graph_targets() {
+        let (g, v) = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        let mut scratch = DijkstraScratch::new();
+        let targets = [v[1], v[3]];
+        let fresh = dijkstra_with_targets(&g, v[0], &targets);
+        let flat = dijkstra_csr_with_targets(&csr, v[0], &targets, &mut scratch);
+        for &t in &targets {
+            assert_eq!(fresh.distance(t), flat.distance(t));
+            assert_eq!(
+                fresh.path_to(t).map(|p| p.edges().to_vec()),
+                flat.path_to(t).map(|p| p.edges().to_vec())
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_sizes() {
+        let (g1, _) = diamond();
+        let mut g2 = Graph::new();
+        let a = g2.add_node();
+        let b = g2.add_node();
+        g2.add_edge(a, b, 1.5).unwrap();
+        let csr1 = CsrGraph::from_graph(&g1);
+        let csr2 = CsrGraph::from_graph(&g2);
+        let mut scratch = DijkstraScratch::new();
+        let t1 = dijkstra_csr(&csr1, NodeId::new(0), &mut scratch);
+        let t2 = dijkstra_csr(&csr2, a, &mut scratch);
+        let t1_again = dijkstra_csr(&csr1, NodeId::new(0), &mut scratch);
+        assert_eq!(t2.distance(b), Some(1.5));
+        assert_same_tree(&t1, &t1_again, g1.node_count());
+    }
+
+    #[test]
+    fn cache_hits_and_invalidation() {
+        let (g, v) = diamond();
+        let mut cache = SptCache::for_graph(&g);
+        let a = cache.spt(v[0]);
+        let b = cache.spt(v[0]);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.cached_sources(), 1);
+        cache.invalidate();
+        assert_eq!(cache.cached_sources(), 0);
+        let c = cache.spt(v[0]);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_same_tree(&a, &c, g.node_count());
+    }
+
+    #[test]
+    fn cache_matches_fresh_dijkstra_for_every_source() {
+        let (g, v) = diamond();
+        let mut cache = SptCache::for_graph(&g);
+        for &s in &v {
+            let cached = cache.spt(s);
+            let fresh = dijkstra(&g, s);
+            assert_same_tree(&cached, &fresh, g.node_count());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in graph")]
+    fn csr_dijkstra_rejects_unknown_source() {
+        let csr = CsrGraph::from_graph(&Graph::new());
+        let _ = dijkstra_csr(&csr, NodeId::new(0), &mut DijkstraScratch::new());
+    }
+}

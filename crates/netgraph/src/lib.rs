@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod csr;
 mod error;
 mod graph;
 mod ids;
@@ -48,6 +49,7 @@ mod traversal;
 mod tree;
 mod unionfind;
 
+pub use csr::{dijkstra_csr, dijkstra_csr_with_targets, CsrGraph, DijkstraScratch, SptCache};
 pub use error::GraphError;
 pub use graph::{EdgeRef, Graph, Neighbor};
 pub use ids::{EdgeId, NodeId};

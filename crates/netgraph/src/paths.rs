@@ -95,6 +95,17 @@ pub struct ShortestPathTree {
 }
 
 impl ShortestPathTree {
+    /// Assembles a tree from raw distance/predecessor arrays (used by the
+    /// CSR-based Dijkstra, which fills its own scratch buffers).
+    pub(crate) fn from_parts(
+        source: NodeId,
+        dist: Vec<f64>,
+        pred: Vec<Option<(NodeId, EdgeId)>>,
+    ) -> Self {
+        debug_assert_eq!(dist.len(), pred.len());
+        ShortestPathTree { source, dist, pred }
+    }
+
     /// The source node this tree is rooted at.
     #[must_use]
     pub fn source(&self) -> NodeId {

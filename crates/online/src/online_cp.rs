@@ -2,7 +2,7 @@
 //! model and LCA-based pseudo-multicast trees.
 
 use crate::OnlineAlgorithm;
-use netgraph::{induced_subgraph, EdgeId};
+use netgraph::{induced_subgraph, EdgeId, FilteredGraph, Graph};
 use nfv_multicast::{PseudoMulticastTree, ServerUse};
 use sdn::{ExponentialCostModel, LinearCostModel, MulticastRequest, Sdn};
 
@@ -44,11 +44,29 @@ pub enum ThresholdRule {
     TreeSum,
 }
 
+/// Cached admission graph `G_k`: the residual-feasible subgraph and its
+/// weighted copy for one `(Sdn::version, bandwidth)` pair.
+///
+/// The exponential weights are a pure function of the residual state, so
+/// the cache stays valid exactly until the next successful allocation,
+/// release, or reset bumps [`Sdn::version`]. Rejections do not move the
+/// version — under saturation, where most arrivals are rejected, this
+/// removes the full graph rebuild from the hot path.
+#[derive(Debug, Clone)]
+struct AdmissionGraphCache {
+    version: u64,
+    bandwidth_bits: u64,
+    filtered: FilteredGraph,
+    weighted: Graph,
+}
+
 /// The `Online_CP` admission algorithm (Algorithm 2, `K = 1`).
 #[derive(Debug, Clone, Default)]
 pub struct OnlineCp {
     mode: CostMode,
     rule: ThresholdRule,
+    cache: Option<AdmissionGraphCache>,
+    cache_hits: u64,
 }
 
 impl OnlineCp {
@@ -56,10 +74,7 @@ impl OnlineCp {
     /// threshold rule).
     #[must_use]
     pub fn new() -> Self {
-        OnlineCp {
-            mode: CostMode::Exponential,
-            rule: ThresholdRule::PerEdge,
-        }
+        OnlineCp::default()
     }
 
     /// Creates an `Online_CP` variant with an explicit cost mode
@@ -68,7 +83,7 @@ impl OnlineCp {
     pub fn with_mode(mode: CostMode) -> Self {
         OnlineCp {
             mode,
-            rule: ThresholdRule::PerEdge,
+            ..OnlineCp::default()
         }
     }
 
@@ -89,6 +104,70 @@ impl OnlineCp {
     #[must_use]
     pub fn threshold_rule(&self) -> ThresholdRule {
         self.rule
+    }
+
+    /// Admission-graph cache hits: requests whose `G_k` was reused from a
+    /// previous request with the same bandwidth against the same network
+    /// version.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Returns (building if needed) the admission graph for bandwidth `b`
+    /// against the current residual state.
+    fn admission_graph(&mut self, sdn: &Sdn, b: f64) -> (&FilteredGraph, &Graph) {
+        let version = sdn.version();
+        let bandwidth_bits = b.to_bits();
+        let fresh = self
+            .cache
+            .as_ref()
+            .is_some_and(|c| c.version == version && c.bandwidth_bits == bandwidth_bits);
+        if fresh {
+            self.cache_hits += 1;
+        } else {
+            let model = ExponentialCostModel::for_network(sdn);
+            let linear = LinearCostModel::new();
+            // G_k: links with enough residual bandwidth, weighted by the
+            // chosen cost mode. (A link on the send-back path needs 2·b_k;
+            // that stricter joint check happens on the final allocation.)
+            let filtered = induced_subgraph(
+                sdn.graph(),
+                |_| true,
+                |e| sdn.residual_bandwidth(e) + 1e-9 >= b,
+            );
+            let g = filtered.graph();
+            // Weighted copy of the filtered graph. A fresh network has
+            // every exponential weight at exactly zero, which would leave
+            // the Steiner routine picking among ties arbitrarily (and
+            // wastefully); an infinitesimal unit-cost term breaks those
+            // ties toward cost-efficient trees without ever influencing a
+            // loaded decision or the admission thresholds.
+            let c_max = g
+                .edges()
+                .map(|e| sdn.unit_bandwidth_cost(filtered.parent_edge(e.id)))
+                .fold(1e-12, f64::max);
+            let mut weighted = Graph::with_nodes(g.node_count());
+            for e in g.edges() {
+                let orig = filtered.parent_edge(e.id);
+                let tiebreak = 1e-6 * sdn.unit_bandwidth_cost(orig) / c_max;
+                let w = match self.mode {
+                    CostMode::Exponential => model.edge_weight(sdn, orig) + tiebreak,
+                    CostMode::Linear => linear.edge_cost(sdn, orig, 1.0),
+                };
+                weighted
+                    .add_edge(e.u, e.v, w)
+                    .expect("filtered edges are valid");
+            }
+            self.cache = Some(AdmissionGraphCache {
+                version,
+                bandwidth_bits,
+                filtered,
+                weighted,
+            });
+        }
+        let c = self.cache.as_ref().expect("cache was just filled");
+        (&c.filtered, &c.weighted)
     }
 }
 
@@ -113,39 +192,11 @@ impl OnlineAlgorithm for OnlineCp {
         let linear = LinearCostModel::new();
         let sigma = ExponentialCostModel::threshold(sdn);
 
-        // G_k: links with enough residual bandwidth, weighted by the
-        // chosen cost mode. (A link on the send-back path needs 2·b_k;
-        // that stricter joint check happens on the final allocation.)
-        let filtered = induced_subgraph(
-            sdn.graph(),
-            |_| true,
-            |e| sdn.residual_bandwidth(e) + 1e-9 >= b,
-        );
-        let g = filtered.graph();
-        if g.edge_count() == 0 {
+        let mode = self.mode;
+        let rule = self.rule;
+        let (filtered, weighted) = self.admission_graph(sdn, b);
+        if weighted.edge_count() == 0 {
             return None;
-        }
-        // Weighted copy of the filtered graph. A fresh network has every
-        // exponential weight at exactly zero, which would leave the
-        // Steiner routine picking among ties arbitrarily (and wastefully);
-        // an infinitesimal unit-cost term breaks those ties toward
-        // cost-efficient trees without ever influencing a loaded decision
-        // or the admission thresholds.
-        let c_max = g
-            .edges()
-            .map(|e| sdn.unit_bandwidth_cost(filtered.parent_edge(e.id)))
-            .fold(1e-12, f64::max);
-        let mut weighted = netgraph::Graph::with_nodes(g.node_count());
-        for e in g.edges() {
-            let orig = filtered.parent_edge(e.id);
-            let tiebreak = 1e-6 * sdn.unit_bandwidth_cost(orig) / c_max;
-            let w = match self.mode {
-                CostMode::Exponential => model.edge_weight(sdn, orig) + tiebreak,
-                CostMode::Linear => linear.edge_cost(sdn, orig, 1.0),
-            };
-            weighted
-                .add_edge(e.u, e.v, w)
-                .expect("filtered edges are valid");
         }
 
         let mut candidates: Vec<Candidate> = Vec::new();
@@ -154,24 +205,24 @@ impl OnlineAlgorithm for OnlineCp {
             if sdn.residual_computing(v).expect("server") + 1e-9 < demand {
                 continue;
             }
-            let wv = match self.mode {
+            let wv = match mode {
                 CostMode::Exponential => model.server_weight(sdn, v).expect("server"),
                 CostMode::Linear => linear.server_cost(sdn, v, 1.0).expect("server"),
             };
             // Step 7: server-side admission threshold.
-            if self.mode == CostMode::Exponential && wv >= sigma {
+            if mode == CostMode::Exponential && wv >= sigma {
                 continue;
             }
             // Step 8: Steiner tree over {s_k, v} ∪ D_k in G_k.
             let mut terminals = vec![request.source, v];
             terminals.extend(request.destinations.iter().copied());
-            let Some(tree) = steiner::kmb(&weighted, &terminals) else {
+            let Some(tree) = steiner::kmb(weighted, &terminals) else {
                 continue;
             };
             // Step 9: link-side admission threshold.
             let tree_weight: f64 = tree.cost();
-            if self.mode == CostMode::Exponential {
-                let violates = match self.rule {
+            if mode == CostMode::Exponential {
+                let violates = match rule {
                     ThresholdRule::TreeSum => tree_weight >= sigma,
                     ThresholdRule::PerEdge => tree
                         .edges()
@@ -183,7 +234,7 @@ impl OnlineAlgorithm for OnlineCp {
                 }
             }
             // Steps 10-12: LCA send-back construction.
-            let Some(rooted) = tree.root_at(&weighted, request.source) else {
+            let Some(rooted) = tree.root_at(weighted, request.source) else {
                 continue;
             };
             let lca = rooted.lca();
@@ -382,6 +433,47 @@ mod tests {
         let tree = OnlineCp::new().admit(&sdn, &req).unwrap();
         tree.validate(&sdn, &req).unwrap();
         assert!(tree.extra_traversals.is_empty());
+    }
+
+    #[test]
+    fn admission_graph_cache_reused_across_rejections() {
+        let (mut sdn, v, e) = sendback_fixture();
+        // Leave too little bandwidth for any 100 Mbps request.
+        let mut pre = Allocation::new(RequestId(9));
+        pre.add_link(e[0], 950.0);
+        sdn.allocate(&pre).unwrap();
+        let mut algo = OnlineCp::new();
+        for i in 0..5 {
+            let req = MulticastRequest::new(RequestId(i), v[0], vec![v[3]], 100.0, chain());
+            assert!(algo.admit(&sdn, &req).is_none());
+        }
+        // First rejection builds G_k; the other four reuse it (the network
+        // version never moves on rejection).
+        assert_eq!(algo.cache_hits(), 4);
+    }
+
+    #[test]
+    fn caching_is_transparent_to_decisions() {
+        // A warm cache must admit exactly what a cold one does.
+        let (sdn0, v, _) = sendback_fixture();
+        let reqs: Vec<MulticastRequest> = (0..12)
+            .map(|i| MulticastRequest::new(RequestId(i), v[0], vec![v[3]], 100.0, chain()))
+            .collect();
+        let mut warm_net = sdn0.clone();
+        let mut cold_net = sdn0.clone();
+        let mut warm = OnlineCp::new();
+        for req in &reqs {
+            let warm_tree = warm.admit(&warm_net, req);
+            let cold_tree = OnlineCp::new().admit(&cold_net, req);
+            assert_eq!(warm_tree, cold_tree, "request {}", req.id);
+            if let Some(t) = warm_tree {
+                warm_net.allocate(&t.allocation(req)).unwrap();
+                cold_net
+                    .allocate(&cold_tree.unwrap().allocation(req))
+                    .unwrap();
+            }
+        }
+        assert_eq!(warm_net, cold_net);
     }
 
     #[test]

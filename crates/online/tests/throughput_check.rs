@@ -8,7 +8,7 @@ use workload::RequestGenerator;
 fn online_cp_beats_sp_at_scale() {
     let mut total_cp = 0usize;
     let mut total_sp = 0usize;
-    for seed in 0..3u64 {
+    for seed in 0..10u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = 100;
         let (g, _) = Waxman::new(n).generate(&mut rng);

@@ -127,6 +127,7 @@ impl SdnBuilder {
             bandwidth_capacity: self.bandwidth_capacity,
             residual_bandwidth,
             residual_computing,
+            version: 0,
         })
     }
 }
@@ -137,7 +138,7 @@ impl SdnBuilder {
 /// The ledger is the mutable part: [`Sdn::allocate`] and [`Sdn::release`]
 /// move residual capacity atomically (an allocation either fully applies
 /// or the network is left untouched).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Sdn {
     graph: Graph,
     servers: Vec<NodeId>,
@@ -146,6 +147,26 @@ pub struct Sdn {
     bandwidth_capacity: Vec<f64>,
     residual_bandwidth: Vec<f64>,
     residual_computing: Vec<f64>,
+    /// Bumped on every successful residual-capacity mutation; shortest-path
+    /// caches compare it to detect staleness.
+    version: u64,
+}
+
+impl PartialEq for Sdn {
+    /// Structural equality: two networks are equal when topology,
+    /// capacities, costs, and residual state match. The mutation counter
+    /// [`Sdn::version`] is deliberately excluded — it tracks *history*,
+    /// not state (a network reached by allocate+release equals one that
+    /// was never touched).
+    fn eq(&self, other: &Self) -> bool {
+        self.graph == other.graph
+            && self.servers == other.servers
+            && self.computing_capacity == other.computing_capacity
+            && self.unit_computing_cost == other.unit_computing_cost
+            && self.bandwidth_capacity == other.bandwidth_capacity
+            && self.residual_bandwidth == other.residual_bandwidth
+            && self.residual_computing == other.residual_computing
+    }
 }
 
 impl Sdn {
@@ -261,6 +282,19 @@ impl Sdn {
             .map(|c| 1.0 - self.residual_computing[v.index()] / c)
     }
 
+    /// The residual-state mutation counter: incremented by every
+    /// successful [`Sdn::allocate`], [`Sdn::release`], and [`Sdn::reset`].
+    ///
+    /// Caches keyed on residual capacities (e.g. per-source shortest-path
+    /// trees over the feasible subgraph) store the version they were
+    /// computed at and invalidate when it moves. Cloning preserves the
+    /// counter, so a cache built from a snapshot stays valid for the
+    /// snapshot.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Checks whether `alloc` fits in the current residual capacities.
     #[must_use]
     pub fn can_allocate(&self, alloc: &Allocation) -> bool {
@@ -314,6 +348,7 @@ impl Sdn {
             let r = &mut self.residual_computing[v.index()];
             *r = (*r - load).max(0.0);
         }
+        self.version = self.version.wrapping_add(1);
         Ok(())
     }
 
@@ -357,6 +392,7 @@ impl Sdn {
             let r = &mut self.residual_computing[v.index()];
             *r = (*r + load).min(cap);
         }
+        self.version = self.version.wrapping_add(1);
         Ok(())
     }
 
@@ -366,6 +402,7 @@ impl Sdn {
             .copy_from_slice(&self.bandwidth_capacity);
         self.residual_computing
             .copy_from_slice(&self.computing_capacity);
+        self.version = self.version.wrapping_add(1);
     }
 
     /// Sum of all link bandwidth capacities (Mbps).
@@ -513,6 +550,29 @@ mod tests {
         let sdn = b.build().unwrap();
         assert!(sdn.is_server(v0));
         assert_eq!(sdn.servers(), &[v0]);
+    }
+
+    #[test]
+    fn version_tracks_mutations_but_not_equality() {
+        let (mut sdn, v, e) = small();
+        assert_eq!(sdn.version(), 0);
+        let pristine = sdn.clone();
+        let mut a = Allocation::new(RequestId(1));
+        a.add_link(e[0], 60.0);
+        a.add_server(v[1], 400.0);
+        sdn.allocate(&a).unwrap();
+        assert_eq!(sdn.version(), 1);
+        sdn.release(&a).unwrap();
+        assert_eq!(sdn.version(), 2);
+        sdn.reset();
+        assert_eq!(sdn.version(), 3);
+        // Failed mutations leave the counter alone.
+        let mut too_big = Allocation::new(RequestId(2));
+        too_big.add_server(v[1], 5000.0);
+        assert!(sdn.allocate(&too_big).is_err());
+        assert_eq!(sdn.version(), 3);
+        // Equality ignores history.
+        assert_eq!(sdn, pristine);
     }
 
     #[test]

@@ -1,0 +1,11 @@
+//! Runs the batch-engine throughput sweep:
+//! `cargo run -p sim --release --bin batch [quick|default|paper]`.
+
+use sim::{experiments::batch, write_csv, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let table = batch::run(scale);
+    println!("{}", table.render());
+    write_csv(&table, "batch_engine").expect("write results/batch_engine.csv");
+}

@@ -1,0 +1,114 @@
+//! Batch-engine throughput: wall-clock of [`nfv_engine::admit_batch`]
+//! (parallel speculative planning + sequential commit) against the
+//! one-at-a-time [`nfv_engine::admit_sequential`] reference, on the same
+//! Waxman setting as Fig. 7. Decisions are byte-identical by
+//! construction; this sweep measures how much wall-clock the speculative
+//! phase saves and how often commits survive without re-planning.
+
+use crate::{waxman_sdn, ExperimentScale, Table};
+use nfv_engine::{admit_batch, admit_sequential, EngineConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workload::RequestGenerator;
+
+/// Network sizes of the sweep.
+pub const SIZES: [usize; 2] = [100, 200];
+/// Batch sizes of the sweep (the acceptance target is ≥ 64).
+pub const BATCHES: [usize; 2] = [64, 256];
+/// The destination ratio (matches Fig. 7).
+pub const RATIO: f64 = 0.2;
+
+/// Runs the batch-engine sweep. Returns one table with sequential and
+/// batch wall-clock per batch, the speedup, and the commit-phase
+/// statistics. Panics if batch and sequential decisions ever diverge —
+/// the sweep doubles as an end-to-end equivalence check.
+#[must_use]
+pub fn run(scale: ExperimentScale) -> Table {
+    run_with(&SIZES, &BATCHES, scale)
+}
+
+/// [`run`] with explicit sizes (tests use reduced sweeps).
+#[must_use]
+pub fn run_with(sizes: &[usize], batches: &[usize], scale: ExperimentScale) -> Table {
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut table = Table::new(
+        &format!("Batch admission engine vs sequential ({workers} workers, Dmax/|V| = 0.2)"),
+        &[
+            "n",
+            "batch",
+            "seq [ms]",
+            "batch [ms]",
+            "speedup",
+            "admitted",
+            "spec hits",
+            "replanned",
+        ],
+    );
+    for &n in sizes {
+        for &batch_size in batches {
+            let mut seq_ms = 0.0;
+            let mut batch_ms = 0.0;
+            let mut admitted = 0usize;
+            let mut spec = 0usize;
+            let mut replanned = 0usize;
+            for rep in 0..scale.repetitions {
+                let fresh = waxman_sdn(n, rep as u64);
+                let mut rng = StdRng::seed_from_u64(9_000 + rep as u64);
+                let mut gen = RequestGenerator::new(n).with_dmax_ratio(RATIO);
+                let requests = gen.generate_batch(batch_size, &mut rng);
+
+                let mut seq_sdn = fresh.clone();
+                let t0 = std::time::Instant::now();
+                let seq = admit_sequential(&mut seq_sdn, &requests, super::K);
+                seq_ms += t0.elapsed().as_secs_f64() * 1e3;
+
+                let mut batch_sdn = fresh.clone();
+                let config = EngineConfig::new(super::K);
+                let t0 = std::time::Instant::now();
+                let (par, report) = admit_batch(&mut batch_sdn, &requests, &config);
+                batch_ms += t0.elapsed().as_secs_f64() * 1e3;
+
+                assert_eq!(seq, par, "batch diverged from sequential (n {n})");
+                assert_eq!(seq_sdn, batch_sdn, "network state diverged (n {n})");
+                admitted += report.admitted;
+                spec += report.speculative_hits;
+                replanned += report.replanned;
+            }
+            eprintln!(
+                "batch: n {n} batch {batch_size}: seq {seq_ms:.0} ms batch {batch_ms:.0} ms \
+                 ({:.2}x), {spec} speculative / {replanned} replanned",
+                seq_ms / batch_ms
+            );
+            table.add_row(vec![
+                n.to_string(),
+                batch_size.to_string(),
+                format!("{seq_ms:.1}"),
+                format!("{batch_ms:.1}"),
+                format!("{:.2}", seq_ms / batch_ms),
+                admitted.to_string(),
+                spec.to_string(),
+                replanned.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_run_fills_all_points() {
+        let t = run_with(
+            &[30],
+            &[8],
+            ExperimentScale {
+                offline_requests: 3,
+                online_requests: 1,
+                repetitions: 1,
+            },
+        );
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -4,7 +4,7 @@
 //! capacities (and hence rejections and detours) accumulate.
 
 use crate::{mean, time_it, waxman_sdn, ExperimentScale, Table};
-use nfv_multicast::{appro_multi, appro_multi_cap};
+use nfv_multicast::{appro_multi, appro_multi_cap_cached, PathCache};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use workload::RequestGenerator;
@@ -54,9 +54,12 @@ pub fn run_with(sizes: &[usize], scale: ExperimentScale) -> Table {
             let mut sdn = fresh.clone();
             let mut rng = StdRng::seed_from_u64(3_000 + rep as u64);
             let mut gen = RequestGenerator::new(n).with_dmax_ratio(RATIO);
+            // Exercises the engine's capacitated fast path: full-graph
+            // SPTs are reused until residual capacities start binding.
+            let mut cache = PathCache::new(&sdn);
             for _ in 0..requests_per_rep {
                 let req = gen.generate(&mut rng);
-                let (adm, t) = time_it(|| appro_multi_cap(&sdn, &req, super::K));
+                let (adm, t) = time_it(|| appro_multi_cap_cached(&sdn, &req, super::K, &mut cache));
                 times.push(t);
                 match adm.into_tree() {
                     Some(tree) => {

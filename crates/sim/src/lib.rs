@@ -14,6 +14,7 @@
 //! | `fig8` | Fig. 8     | requests admitted by `Online_CP` vs `SP`, vs network size |
 //! | `fig9` | Fig. 9     | admitted vs number of requests on GÉANT / AS1755 |
 //! | `ablation` | §VII design choices | cost model, threshold rule, K sweep, Steiner routine |
+//! | `batch` | engine throughput | batch vs sequential admission wall-clock, per batch size |
 //! | `all` | everything | runs the full suite |
 //!
 //! Experiment scale (requests per data point, repetitions) is tunable via
