@@ -1,0 +1,62 @@
+//! The `Appro_Multi` hot path: pruned + scratch-reusing combination scan
+//! vs. the unpruned audit scan, and cold-scratch vs. warm-scratch runs,
+//! on the paper's Fig. 5 Waxman configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nfv_multicast::{appro_multi, appro_multi_unpruned, appro_multi_with_scratch, ApproScratch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim::waxman_sdn;
+use workload::RequestGenerator;
+
+fn bench_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("appro_multi_hot");
+    group.sample_size(10);
+    for n in [100usize, 250] {
+        let sdn = waxman_sdn(n, 0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut gen = RequestGenerator::new(n).with_dmax_ratio(0.15);
+        let requests = gen.generate_batch(8, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("pruned", n),
+            &(&sdn, &requests),
+            |b, (sdn, requests)| {
+                let mut scratch = ApproScratch::new();
+                let mut i = 0;
+                b.iter(|| {
+                    let req = &requests[i % requests.len()];
+                    i += 1;
+                    appro_multi_with_scratch(sdn, req, 3, &mut scratch)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pruned_cold_scratch", n),
+            &(&sdn, &requests),
+            |b, (sdn, requests)| {
+                let mut i = 0;
+                b.iter(|| {
+                    let req = &requests[i % requests.len()];
+                    i += 1;
+                    appro_multi(sdn, req, 3)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unpruned", n),
+            &(&sdn, &requests),
+            |b, (sdn, requests)| {
+                let mut i = 0;
+                b.iter(|| {
+                    let req = &requests[i % requests.len()];
+                    i += 1;
+                    appro_multi_unpruned(sdn, req, 3)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

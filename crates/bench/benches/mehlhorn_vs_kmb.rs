@@ -1,0 +1,42 @@
+//! Mehlhorn's single-sweep Steiner construction vs. the per-terminal KMB
+//! it replaces, across graph sizes and terminal counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netgraph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use steiner::{kmb, mehlhorn};
+use topology::Waxman;
+
+fn terminals(n: usize, count: usize) -> Vec<NodeId> {
+    (0..count).map(|i| NodeId::new((i * n) / count)).collect()
+}
+
+fn bench_mehlhorn_vs_kmb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mehlhorn_vs_kmb");
+    for n in [50usize, 150, 250] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let (g, _) = Waxman::new(n).generate(&mut rng);
+        for t in [5usize, 15, 30] {
+            let terms = terminals(n, t);
+            group.bench_with_input(
+                BenchmarkId::new("mehlhorn", format!("n{n}_t{t}")),
+                &(&g, &terms),
+                |b, (g, terms)| {
+                    b.iter(|| mehlhorn(g, terms).expect("connected"));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("kmb", format!("n{n}_t{t}")),
+                &(&g, &terms),
+                |b, (g, terms)| {
+                    b.iter(|| kmb(g, terms).expect("connected"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mehlhorn_vs_kmb);
+criterion_main!(benches);

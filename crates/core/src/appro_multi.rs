@@ -11,17 +11,22 @@
 //!   source and every destination are computed **once per request** and
 //!   shared across all combinations; each combination then reduces to a
 //!   metric-closure MST over `|D_k| + 1` points plus a small expansion
-//!   subgraph. Orders of magnitude faster on the paper's 250-node
-//!   networks. The only semantic divergence from the literal version is
-//!   that the zero-cost rule for a direct `(s_k, v)` edge is not applied
-//!   (it would invalidate the shared distances); the unit tests pin the
-//!   two implementations against each other on instances where the rule
+//!   subgraph. The combination scan is branch-and-bound pruned: two
+//!   admissible lower bounds (derived in DESIGN.md, "Hot path anatomy")
+//!   skip any combination that provably cannot beat the incumbent, and a
+//!   reusable [`ApproScratch`] removes per-combination allocations.
+//!   [`appro_multi_unpruned`] runs the same scan with pruning disabled —
+//!   the audit path the property tests pin byte-identity against.
+//!   Orders of magnitude faster on the paper's 250-node networks. The
+//!   only semantic divergence from the literal version is that the
+//!   zero-cost rule for a direct `(s_k, v)` edge is not applied (it would
+//!   invalidate the shared distances); the unit tests pin the two
+//!   implementations against each other on instances where the rule
 //!   cannot fire, and bound their gap elsewhere.
 
-use crate::{combinations_up_to, AuxiliaryGraph, PseudoMulticastTree, ServerUse};
+use crate::{AuxiliaryGraph, Combinations, PseudoMulticastTree, ServerUse};
 use netgraph::{dijkstra, dijkstra_with_targets, kruskal, EdgeId, Graph, NodeId, ShortestPathTree};
 use sdn::{MulticastRequest, Sdn};
-use std::collections::HashMap;
 
 /// Which Steiner tree routine the literal implementation uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -29,8 +34,132 @@ pub enum SteinerRoutine {
     /// Kou–Markowsky–Berman (the paper's choice \[12\]).
     #[default]
     Kmb,
+    /// Mehlhorn's single-sweep construction — same `< 2` guarantee as
+    /// KMB from one multi-source Dijkstra instead of one per terminal.
+    Mehlhorn,
     /// Takahashi–Matsuyama shortest-path heuristic (ablation).
     Sph,
+}
+
+/// One candidate server as seen by the combination scan.
+#[derive(Debug, Clone, Copy)]
+struct VirtEdge {
+    /// The server node.
+    node: NodeId,
+    /// Full virtual-edge weight: `dist(s, v)·b + computing`.
+    weight: f64,
+    /// The computing-cost component alone (used by the pruning bounds).
+    computing: f64,
+}
+
+/// Interned original-node → mini-graph-node slot, valid when its stamp
+/// equals the scratch's current epoch.
+#[derive(Debug, Clone, Copy)]
+struct InternSlot {
+    stamp: u32,
+    id: NodeId,
+}
+
+impl Default for InternSlot {
+    fn default() -> Self {
+        InternSlot {
+            stamp: 0,
+            id: NodeId::new(0),
+        }
+    }
+}
+
+/// How an edge of the per-combination mini graph maps back to the SDN.
+#[derive(Debug, Clone, Copy)]
+enum Tag {
+    Real(EdgeId),
+    Virtual(usize),
+}
+
+/// Reusable working memory for the `Appro_Multi` combination scan.
+///
+/// One scratch per worker (or per sequential loop); after the first
+/// request every per-combination structure — the metric closure, the
+/// expansion mini graph, the intern table, and all edge buffers — is
+/// recycled, so the scan's inner loop performs no allocations beyond the
+/// candidate trees themselves. Also counts evaluated vs. pruned
+/// combinations for observability.
+#[derive(Debug, Clone, Default)]
+pub struct ApproScratch {
+    /// Best `(aux distance, virt index)` per destination, this combo.
+    to_virtual: Vec<(f64, usize)>,
+    /// Metric closure over `{s'} ∪ D`, rebuilt in place per combo.
+    closure: Graph,
+    /// Realization of closure edge `(i, j)` at flat index `i·|D| + j`.
+    realization: Vec<Realization>,
+    /// Real SDN edges of the expanded closure MST (sorted, deduped).
+    real_edges: Vec<EdgeId>,
+    /// Virt indices whose virtual legs the expansion used.
+    used_virtual: Vec<usize>,
+    /// The mini auxiliary subgraph, rebuilt in place per combo.
+    mini: Graph,
+    /// Mini edge index → SDN edge / virtual tag.
+    tags: Vec<Tag>,
+    /// Epoch-stamped original-node → mini-node intern table.
+    intern: Vec<InternSlot>,
+    /// Current intern epoch; bumping it invalidates the whole table O(1).
+    epoch: u32,
+    /// Terminal list (`s'` + interned destinations) for the prune step.
+    terminals: Vec<NodeId>,
+    /// Winner vector (chosen server per destination) of the current combo.
+    winners: Vec<u32>,
+    /// Winner vectors already evaluated this request. Two combinations
+    /// with the same winner vector produce the *same* tree, so the
+    /// duplicate can never strictly improve the incumbent.
+    seen: std::collections::HashSet<Vec<u32>>,
+    /// Combinations fully evaluated since construction.
+    evaluated: u64,
+    /// Combinations skipped by the lower-bound test since construction.
+    pruned: u64,
+    /// Combinations skipped because their winner vector was already seen.
+    deduped: u64,
+}
+
+impl ApproScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        ApproScratch::default()
+    }
+
+    /// Combinations fully evaluated through this scratch.
+    #[must_use]
+    pub fn evaluated_combinations(&self) -> u64 {
+        self.evaluated
+    }
+
+    /// Combinations skipped by the branch-and-bound lower-bound test.
+    #[must_use]
+    pub fn pruned_combinations(&self) -> u64 {
+        self.pruned
+    }
+
+    /// Combinations skipped because an earlier combination produced the
+    /// same per-destination server assignment (and therefore the same
+    /// tree).
+    #[must_use]
+    pub fn deduped_combinations(&self) -> u64 {
+        self.deduped
+    }
+
+    /// Starts a fresh intern epoch sized for `n` original nodes.
+    fn begin_intern(&mut self, n: usize) {
+        if self.intern.len() < n {
+            self.intern.resize(n, InternSlot::default());
+        }
+        if self.epoch == u32::MAX {
+            for s in &mut self.intern {
+                s.stamp = 0;
+            }
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
 }
 
 /// Runs `Appro_Multi` with the optimized shared-SPT evaluation.
@@ -44,8 +173,26 @@ pub enum SteinerRoutine {
 /// Panics if `k == 0`.
 #[must_use]
 pub fn appro_multi(sdn: &Sdn, request: &MulticastRequest, k: usize) -> Option<PseudoMulticastTree> {
+    let mut scratch = ApproScratch::new();
+    appro_multi_with_scratch(sdn, request, k, &mut scratch)
+}
+
+/// [`appro_multi`] with caller-owned working memory — the form the batch
+/// planner and the admission caches use so repeated requests reuse every
+/// buffer.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn appro_multi_with_scratch(
+    sdn: &Sdn,
+    request: &MulticastRequest,
+    k: usize,
+    scratch: &mut ApproScratch,
+) -> Option<PseudoMulticastTree> {
     assert!(k >= 1, "at least one server is required (K >= 1)");
-    appro_multi_on(sdn, request, k, sdn.servers())
+    appro_multi_on_scratch(sdn, request, k, sdn.servers(), scratch)
 }
 
 /// [`appro_multi`] restricted to an explicit candidate server set — the
@@ -57,6 +204,23 @@ pub fn appro_multi_on(
     request: &MulticastRequest,
     k: usize,
     servers: &[NodeId],
+) -> Option<PseudoMulticastTree> {
+    let mut scratch = ApproScratch::new();
+    appro_multi_on_scratch(sdn, request, k, servers, &mut scratch)
+}
+
+/// [`appro_multi_on`] with caller-owned working memory.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn appro_multi_on_scratch(
+    sdn: &Sdn,
+    request: &MulticastRequest,
+    k: usize,
+    servers: &[NodeId],
+    scratch: &mut ApproScratch,
 ) -> Option<PseudoMulticastTree> {
     assert!(k >= 1, "at least one server is required (K >= 1)");
     if servers.is_empty() {
@@ -77,7 +241,60 @@ pub fn appro_multi_on(
         .map(|&d| dijkstra_with_targets(g, d, &targets))
         .collect();
     let dest_refs: Vec<&ShortestPathTree> = spt_dests.iter().collect();
-    appro_multi_with_spts(sdn, request, k, servers, &spt_source, &dest_refs)
+    appro_multi_scan(
+        sdn,
+        request,
+        k,
+        servers,
+        &spt_source,
+        &dest_refs,
+        scratch,
+        true,
+    )
+}
+
+/// [`appro_multi`] with the branch-and-bound pruning disabled: every
+/// combination is evaluated. Byte-identical output to [`appro_multi`] by
+/// construction (the bounds are admissible, so pruning only skips
+/// combinations that cannot improve the incumbent); the property tests
+/// and benches pin the two against each other.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn appro_multi_unpruned(
+    sdn: &Sdn,
+    request: &MulticastRequest,
+    k: usize,
+) -> Option<PseudoMulticastTree> {
+    assert!(k >= 1, "at least one server is required (K >= 1)");
+    let servers = sdn.servers();
+    if servers.is_empty() {
+        return None;
+    }
+    let g = sdn.graph();
+    let spt_source = dijkstra(g, request.source);
+    let mut targets: Vec<NodeId> = request.destinations.clone();
+    targets.push(request.source);
+    targets.extend_from_slice(servers);
+    let spt_dests: Vec<ShortestPathTree> = request
+        .destinations
+        .iter()
+        .map(|&d| dijkstra_with_targets(g, d, &targets))
+        .collect();
+    let dest_refs: Vec<&ShortestPathTree> = spt_dests.iter().collect();
+    let mut scratch = ApproScratch::new();
+    appro_multi_scan(
+        sdn,
+        request,
+        k,
+        servers,
+        &spt_source,
+        &dest_refs,
+        &mut scratch,
+        false,
+    )
 }
 
 /// The combination-enumeration core of `Appro_Multi`, evaluated against
@@ -97,6 +314,140 @@ pub(crate) fn appro_multi_with_spts(
     servers: &[NodeId],
     spt_source: &ShortestPathTree,
     spt_dests: &[&ShortestPathTree],
+    scratch: &mut ApproScratch,
+) -> Option<PseudoMulticastTree> {
+    appro_multi_scan(
+        sdn, request, k, servers, spt_source, spt_dests, scratch, true,
+    )
+}
+
+/// Per-request scan tables: flat distance lookups shared by every
+/// combination, plus the combination-independent half of the pruning
+/// bound. Computed once per request in `O(|D|·(|V_S| + |D|))`.
+struct ScanTables {
+    b: f64,
+    dlen: usize,
+    /// `dist(d_i, virt[vi].node)` at flat index `i·|virt| + vi`
+    /// (`∞` when unreachable).
+    dist_dv: Vec<f64>,
+    /// `dist(d_i, d_j)` at flat index `i·|D| + j`, `i < j` populated
+    /// (`∞` when unreachable).
+    dist_dd: Vec<f64>,
+    /// `(b/2) · MST(closure({s} ∪ D))`: ingress ∪ distribution is a
+    /// connected subgraph spanning the source and all destinations, and a
+    /// Steiner tree is at least half its terminal-closure MST.
+    span_lb: f64,
+}
+
+impl ScanTables {
+    fn compute(
+        b: f64,
+        virt: &[VirtEdge],
+        request: &MulticastRequest,
+        spt_dests: &[&ShortestPathTree],
+    ) -> ScanTables {
+        let dests = &request.destinations;
+        let dlen = dests.len();
+
+        // Destination-to-candidate distance table.
+        let mut dist_dv = vec![f64::INFINITY; dlen * virt.len()];
+        for di in 0..dlen {
+            for (vi, ve) in virt.iter().enumerate() {
+                if let Some(dv) = spt_dests[di].distance(ve.node) {
+                    dist_dv[di * virt.len() + vi] = dv;
+                }
+            }
+        }
+
+        // Destination-pair distances, and the metric-closure MST over
+        // {source} ∪ D whose half lower-bounds any connected subgraph
+        // spanning those nodes.
+        let mut dist_dd = vec![f64::INFINITY; dlen * dlen];
+        let mut closure = Graph::with_nodes(dlen + 1); // node 0 = source
+        let mut complete = true;
+        for i in 0..dlen {
+            match spt_dests[i].distance(request.source) {
+                Some(d) => {
+                    closure
+                        .add_edge(NodeId::new(0), NodeId::new(i + 1), d)
+                        .expect("finite distance");
+                }
+                None => complete = false,
+            }
+            for j in (i + 1)..dlen {
+                match spt_dests[i].distance(dests[j]) {
+                    Some(d) => {
+                        dist_dd[i * dlen + j] = d;
+                        closure
+                            .add_edge(NodeId::new(i + 1), NodeId::new(j + 1), d)
+                            .expect("finite distance");
+                    }
+                    None => complete = false,
+                }
+            }
+        }
+        let span_lb = if complete {
+            let mst = kruskal(&closure);
+            if mst.is_spanning_tree() {
+                0.5 * b * mst.total_weight
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+
+        ScanTables {
+            b,
+            dlen,
+            dist_dv,
+            dist_dd,
+            span_lb,
+        }
+    }
+
+    /// An admissible lower bound on the pseudo-tree cost of `combo`.
+    fn lower_bound(&self, virt: &[VirtEdge], combo: &[usize]) -> f64 {
+        let mut min_virt = f64::INFINITY;
+        let mut min_comp = f64::INFINITY;
+        for &vi in combo {
+            min_virt = min_virt.min(virt[vi].weight);
+            min_comp = min_comp.min(virt[vi].computing);
+        }
+        // Every destination's distribution path reaches *some* server of
+        // the combo, so the worst destination pays at least its distance
+        // to the nearest combo server in bandwidth.
+        let mut attach = 0.0_f64;
+        for di in 0..self.dlen {
+            let mut nearest = f64::INFINITY;
+            for &vi in combo {
+                nearest = nearest.min(self.dist_dv[di * virt.len() + vi]);
+            }
+            attach = attach.max(nearest);
+        }
+        // LB1: some used server pays its full virtual weight (its ingress
+        // path is a subset of the ingress union, its computing a term of
+        // the total), plus the attachment bound on distribution edges.
+        // An unreachable destination makes `attach` infinite — the combo
+        // would fail evaluation anyway, so pruning it is exact too.
+        // LB2: computing of some used server plus the spanning bound on
+        // ingress ∪ distribution bandwidth.
+        (min_virt + self.b * attach).max(min_comp + self.span_lb)
+    }
+}
+
+/// The shared scan driving both the pruned production path and the
+/// unpruned audit path.
+#[allow(clippy::too_many_arguments)] // internal; public wrappers are narrow
+fn appro_multi_scan(
+    sdn: &Sdn,
+    request: &MulticastRequest,
+    k: usize,
+    servers: &[NodeId],
+    spt_source: &ShortestPathTree,
+    spt_dests: &[&ShortestPathTree],
+    scratch: &mut ApproScratch,
+    prune: bool,
 ) -> Option<PseudoMulticastTree> {
     assert!(k >= 1, "at least one server is required (K >= 1)");
     if servers.is_empty() {
@@ -107,31 +458,103 @@ pub(crate) fn appro_multi_with_spts(
     let demand = request.computing_demand();
 
     // Virtual-edge weight per candidate server; unreachable servers drop.
-    let virt: Vec<(NodeId, f64)> = servers
+    let virt: Vec<VirtEdge> = servers
         .iter()
         .filter_map(|&v| {
             let dist = spt_source.distance(v)?;
             let computing = sdn.unit_computing_cost(v)? * demand;
-            Some((v, dist * b + computing))
+            Some(VirtEdge {
+                node: v,
+                weight: dist * b + computing,
+                computing,
+            })
         })
         .collect();
     if virt.is_empty() {
         return None;
     }
 
+    let tables = ScanTables::compute(b, &virt, request, spt_dests);
+    let dlen = request.destinations.len();
+    scratch.seen.clear();
+
     // Candidates are compared by their *pseudo-tree* cost (ingress union
     // shared across servers), the physically carried traffic of Fig. 3.
     let mut best: Option<PseudoMulticastTree> = None;
+    let mut best_cost = f64::INFINITY;
     let indices: Vec<usize> = (0..virt.len()).collect();
-    for combo in combinations_up_to(&indices, k) {
-        let Some((_, tree)) = eval_combination(g, b, &virt, &combo, request, spt_dests) else {
+    let mut combos = Combinations::new(&indices, k);
+    while let Some(combo) = combos.next() {
+        if prune && best.is_some() {
+            // The incumbent can only be *replaced* by a strictly
+            // cheaper tree; a combination whose admissible bound
+            // clears the incumbent (with float headroom) cannot
+            // change the result, so skipping it is byte-exact.
+            let lb = tables.lower_bound(&virt, combo);
+            if lb > best_cost * (1.0 + 1e-9) + 1e-9 {
+                scratch.pruned += 1;
+                continue;
+            }
+        }
+
+        // Best server (and aux distance) for each destination — the
+        // *winner assignment*. The rest of the evaluation depends on the
+        // combination only through this vector.
+        scratch.to_virtual.clear();
+        let mut feasible = true;
+        for di in 0..dlen {
+            let mut best_v: Option<(f64, usize)> = None;
+            for &vi in combo {
+                let dv = tables.dist_dv[di * virt.len() + vi];
+                if !dv.is_finite() {
+                    continue;
+                }
+                let cand = virt[vi].weight + dv * b;
+                if best_v.is_none_or(|(bc, _)| cand < bc) {
+                    best_v = Some((cand, vi));
+                }
+            }
+            match best_v {
+                Some(x) => scratch.to_virtual.push(x),
+                None => {
+                    // Some destination reaches no server of this combo.
+                    feasible = false;
+                    break;
+                }
+            }
+        }
+        if !feasible {
+            continue;
+        }
+
+        if prune {
+            // Two combinations with the same winner assignment build the
+            // same closure, the same expansion, the same tree — and a
+            // duplicate tree can never *strictly* beat the incumbent it
+            // (or a predecessor) set, so skipping it is byte-exact.
+            let ApproScratch {
+                winners,
+                seen,
+                to_virtual,
+                deduped,
+                ..
+            } = &mut *scratch;
+            winners.clear();
+            winners.extend(to_virtual.iter().map(|&(_, vi)| vi as u32));
+            if seen.contains(&*winners) {
+                *deduped += 1;
+                continue;
+            }
+            seen.insert(winners.clone());
+        }
+
+        scratch.evaluated += 1;
+        let Some(tree) = eval_combination(g, b, &virt, request, spt_dests, &tables, scratch) else {
             continue;
         };
         let pseudo = tree.into_pseudo(sdn, request, &virt, spt_source, demand);
-        if best
-            .as_ref()
-            .is_none_or(|b| pseudo.total_cost() < b.total_cost())
-        {
+        if pseudo.total_cost() < best_cost {
+            best_cost = pseudo.total_cost();
             best = Some(pseudo);
         }
     }
@@ -151,7 +574,7 @@ impl MiniTree {
         self,
         sdn: &Sdn,
         request: &MulticastRequest,
-        virt: &[(NodeId, f64)],
+        virt: &[VirtEdge],
         spt_source: &ShortestPathTree,
         demand: f64,
     ) -> PseudoMulticastTree {
@@ -159,7 +582,7 @@ impl MiniTree {
         let mut servers = Vec::new();
         let mut computing_cost = 0.0;
         for &vi in &self.used_servers {
-            let (v, _) = virt[vi];
+            let v = virt[vi].node;
             let path = spt_source
                 .path_to(v)
                 .expect("virtual weight implies reachability");
@@ -203,48 +626,66 @@ enum Realization {
     ViaVirtual,
 }
 
+/// Interns `orig` into the current epoch, assigning mini-graph ids in
+/// first-encounter order — the same order `HashMap::entry().or_insert_with`
+/// produced before the table became reusable, so the mini graph (and with
+/// it Kruskal's tie-breaking) is byte-identical.
+fn intern_node(slots: &mut [InternSlot], epoch: u32, count: &mut usize, orig: NodeId) -> NodeId {
+    let slot = &mut slots[orig.index()];
+    if slot.stamp != epoch {
+        slot.stamp = epoch;
+        slot.id = NodeId::new(*count);
+        *count += 1;
+    }
+    slot.id
+}
+
 /// Evaluates one server combination: KMB over the (implicit) auxiliary
-/// graph using the precomputed shortest-path trees. Returns the pruned
-/// tree cost and its composition.
+/// graph using the precomputed shortest-path trees, all working memory
+/// drawn from `scratch`. Returns the pruned tree's composition.
 fn eval_combination(
     g: &Graph,
     b: f64,
-    virt: &[(NodeId, f64)],
-    combo: &[usize],
+    virt: &[VirtEdge],
     request: &MulticastRequest,
     spt_dests: &[&ShortestPathTree],
-) -> Option<(f64, MiniTree)> {
+    tables: &ScanTables,
+    scratch: &mut ApproScratch,
+) -> Option<MiniTree> {
     let dests = &request.destinations;
-    let t = dests.len() + 1; // virtual source + destinations
+    let dlen = dests.len();
+    let t = dlen + 1; // virtual source + destinations
 
-    // Best server (and aux distance) for each destination.
-    let mut to_virtual: Vec<(f64, usize)> = Vec::with_capacity(dests.len());
-    for (di, _) in dests.iter().enumerate() {
-        let mut best: Option<(f64, usize)> = None;
-        for &vi in combo {
-            let (v, w) = virt[vi];
-            let Some(dv) = spt_dests[di].distance(v) else {
-                continue;
-            };
-            let cand = w + dv * b;
-            if best.is_none_or(|(bc, _)| cand < bc) {
-                best = Some((cand, vi));
-            }
-        }
-        to_virtual.push(best?); // any unreachable destination kills the combo
-    }
+    scratch.begin_intern(g.node_count());
+    let epoch = scratch.epoch;
+    // `to_virtual` arrives pre-filled by the scan loop (the winner
+    // assignment for the current combination).
+    let ApproScratch {
+        to_virtual,
+        closure,
+        realization,
+        real_edges,
+        used_virtual,
+        mini,
+        tags,
+        intern,
+        terminals,
+        ..
+    } = scratch;
 
-    // Metric closure over {s'} ∪ D (node 0 = s').
-    let mut closure = Graph::with_nodes(t);
-    let mut realizations: HashMap<(usize, usize), Realization> = HashMap::new();
+    // Metric closure over {s'} ∪ D (node 0 = s'), rebuilt in place.
+    closure.reset(t);
+    realization.clear();
+    realization.resize(dlen * dlen, Realization::Direct);
     for (di, &(dcost, _)) in to_virtual.iter().enumerate() {
         closure
             .add_edge(NodeId::new(0), NodeId::new(di + 1), dcost)
             .expect("finite closure weight");
     }
-    for i in 0..dests.len() {
-        for j in (i + 1)..dests.len() {
-            let direct = spt_dests[i].distance(dests[j]).map(|d| d * b);
+    for i in 0..dlen {
+        for j in (i + 1)..dlen {
+            let raw = tables.dist_dd[i * dlen + j];
+            let direct = if raw.is_finite() { Some(raw * b) } else { None };
             let via = to_virtual[i].0 + to_virtual[j].0;
             let (w, real) = match direct {
                 Some(d) if d <= via => (d, Realization::Direct),
@@ -253,32 +694,39 @@ fn eval_combination(
             closure
                 .add_edge(NodeId::new(i + 1), NodeId::new(j + 1), w)
                 .expect("finite closure weight");
-            realizations.insert((i, j), real);
+            realization[i * dlen + j] = real;
         }
     }
-    let closure_mst = kruskal(&closure);
+    let closure_mst = kruskal(closure);
     debug_assert!(closure_mst.is_spanning_tree());
 
     // Expand closure MST edges into real edges + virtual edges.
-    let mut real_edges: Vec<EdgeId> = Vec::new();
-    let mut used_virtual: Vec<usize> = Vec::new();
-    let add_virtual_leg = |di: usize, real_edges: &mut Vec<EdgeId>, used: &mut Vec<usize>| {
+    real_edges.clear();
+    used_virtual.clear();
+    fn add_virtual_leg(
+        di: usize,
+        to_virtual: &[(f64, usize)],
+        virt: &[VirtEdge],
+        spt_dests: &[&ShortestPathTree],
+        real_edges: &mut Vec<EdgeId>,
+        used: &mut Vec<usize>,
+    ) {
         let (_, vi) = to_virtual[di];
         used.push(vi);
         let path = spt_dests[di]
-            .path_to(virt[vi].0)
+            .path_to(virt[vi].node)
             .expect("virtual leg implies reachability");
         real_edges.extend(path.edges().iter().copied());
-    };
+    }
     for &ce in &closure_mst.edges {
         let er = closure.edge(ce);
         let (a, c) = (er.u.index(), er.v.index());
         let (a, c) = (a.min(c), a.max(c));
         if a == 0 {
-            add_virtual_leg(c - 1, &mut real_edges, &mut used_virtual);
+            add_virtual_leg(c - 1, to_virtual, virt, spt_dests, real_edges, used_virtual);
         } else {
             let (i, j) = (a - 1, c - 1);
-            match realizations[&(i, j)] {
+            match realization[i * dlen + j] {
                 Realization::Direct => {
                     let path = spt_dests[i]
                         .path_to(dests[j])
@@ -286,8 +734,8 @@ fn eval_combination(
                     real_edges.extend(path.edges().iter().copied());
                 }
                 Realization::ViaVirtual => {
-                    add_virtual_leg(i, &mut real_edges, &mut used_virtual);
-                    add_virtual_leg(j, &mut real_edges, &mut used_virtual);
+                    add_virtual_leg(i, to_virtual, virt, spt_dests, real_edges, used_virtual);
+                    add_virtual_leg(j, to_virtual, virt, spt_dests, real_edges, used_virtual);
                 }
             }
         }
@@ -298,41 +746,46 @@ fn eval_combination(
     used_virtual.dedup();
 
     // Mini auxiliary subgraph: interned nodes, real + virtual edges.
-    let mut mini = Graph::new();
-    let mut intern: HashMap<usize, NodeId> = HashMap::new(); // orig node idx -> mini
-    let node_of = |orig: NodeId, mini: &mut Graph, intern: &mut HashMap<usize, NodeId>| {
-        *intern
-            .entry(orig.index())
-            .or_insert_with(|| mini.add_node())
-    };
-    #[derive(Clone, Copy)]
-    enum Tag {
-        Real(EdgeId),
-        Virtual(usize),
-    }
-    let mut tags: Vec<Tag> = Vec::new();
-    for &e in &real_edges {
+    // Pass 1 assigns mini node ids (first-encounter order, identical to
+    // the old on-the-fly interning); pass 2 rebuilds the graph in place.
+    let mut count = 0usize;
+    for &e in real_edges.iter() {
         let er = g.edge(e);
-        let u = node_of(er.u, &mut mini, &mut intern);
-        let v = node_of(er.v, &mut mini, &mut intern);
+        intern_node(intern, epoch, &mut count, er.u);
+        intern_node(intern, epoch, &mut count, er.v);
+    }
+    let s_prime = NodeId::new(count); // virtual source, outside the intern map
+    count += 1;
+    for &vi in used_virtual.iter() {
+        intern_node(intern, epoch, &mut count, virt[vi].node);
+    }
+
+    mini.reset(count);
+    tags.clear();
+    for &e in real_edges.iter() {
+        let er = g.edge(e);
+        let u = intern[er.u.index()].id;
+        let v = intern[er.v.index()].id;
         mini.add_edge(u, v, er.weight * b).expect("valid mini edge");
         tags.push(Tag::Real(e));
     }
-    let s_prime = mini.add_node(); // virtual source, outside the intern map
-    for &vi in &used_virtual {
-        let (v, w) = virt[vi];
-        let vm = node_of(v, &mut mini, &mut intern);
-        mini.add_edge(s_prime, vm, w).expect("valid virtual edge");
+    for &vi in used_virtual.iter() {
+        let vm = intern[virt[vi].node.index()].id;
+        mini.add_edge(s_prime, vm, virt[vi].weight)
+            .expect("valid virtual edge");
         tags.push(Tag::Virtual(vi));
     }
 
     // KMB steps 4-5: MST of the expansion subgraph, then prune.
-    let mst = kruskal(&mini);
-    let mut terminals: Vec<NodeId> = vec![s_prime];
+    let mst = kruskal(mini);
+    terminals.clear();
+    terminals.push(s_prime);
     for d in dests {
-        terminals.push(*intern.get(&d.index()).expect("destinations are on paths"));
+        let slot = intern[d.index()];
+        assert!(slot.stamp == epoch, "destinations are on paths");
+        terminals.push(slot.id);
     }
-    let (kept, cost) = steiner::prune_non_terminal_leaves(&mini, &mst.edges, &terminals);
+    let (kept, _cost) = steiner::prune_non_terminal_leaves(mini, &mst.edges, terminals);
 
     let mut distribution = Vec::new();
     let mut used_servers = Vec::new();
@@ -347,13 +800,10 @@ fn eval_combination(
         // no destination exists, which requests forbid).
         return None;
     }
-    Some((
-        cost,
-        MiniTree {
-            distribution,
-            used_servers,
-        },
-    ))
+    Some(MiniTree {
+        distribution,
+        used_servers,
+    })
 }
 
 /// Runs the literal Algorithm 1: materialize `G_k^i` per combination and
@@ -368,13 +818,15 @@ pub fn appro_multi_with_steiner(
     assert!(k >= 1, "at least one server is required (K >= 1)");
     let spt_source = dijkstra(sdn.graph(), request.source);
     let mut best: Option<PseudoMulticastTree> = None;
-    for combo in combinations_up_to(sdn.servers(), k) {
-        let Some(aux) = AuxiliaryGraph::build_with_spt(sdn, request, &combo, &spt_source) else {
+    let mut combos = Combinations::new(sdn.servers(), k);
+    while let Some(combo) = combos.next() {
+        let Some(aux) = AuxiliaryGraph::build_with_spt(sdn, request, combo, &spt_source) else {
             continue;
         };
         let terminals = aux.terminals(request);
         let tree = match routine {
             SteinerRoutine::Kmb => steiner::kmb(aux.graph(), &terminals),
+            SteinerRoutine::Mehlhorn => steiner::mehlhorn(aux.graph(), &terminals),
             SteinerRoutine::Sph => steiner::sph(aux.graph(), &terminals),
         };
         let Some(tree) = tree else { continue };
@@ -623,5 +1075,116 @@ mod tests {
         let (sdn, req) = line_fixture();
         let t = appro_multi_with_steiner(&sdn, &req, 2, SteinerRoutine::Sph).unwrap();
         t.validate(&sdn, &req).unwrap();
+    }
+
+    #[test]
+    fn mehlhorn_routine_matches_kmb_on_line() {
+        let (sdn, req) = line_fixture();
+        let m = appro_multi_with_steiner(&sdn, &req, 2, SteinerRoutine::Mehlhorn).unwrap();
+        let k = appro_multi_with_steiner(&sdn, &req, 2, SteinerRoutine::Kmb).unwrap();
+        m.validate(&sdn, &req).unwrap();
+        assert!((m.total_cost() - k.total_cost()).abs() < 1e-9);
+    }
+
+    /// Larger random instance with many servers, so the combination scan
+    /// is wide enough for the branch-and-bound pruning to fire.
+    fn dense_random_instance(seed: u64, n: usize) -> (Sdn, MulticastRequest) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bld = SdnBuilder::new();
+        let nodes: Vec<NodeId> = (0..n).map(|_| bld.add_switch()).collect();
+        for i in 0..n {
+            bld.add_link(
+                nodes[i],
+                nodes[(i + 1) % n],
+                10_000.0,
+                rng.gen_range(0.5..2.0),
+            )
+            .unwrap();
+        }
+        for _ in 0..2 * n {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u != v {
+                bld.add_link(nodes[u], nodes[v], 10_000.0, rng.gen_range(0.5..2.0))
+                    .unwrap();
+            }
+        }
+        for i in (1..n).step_by(3) {
+            bld.attach_server(nodes[i], 8_000.0, rng.gen_range(0.5..2.0))
+                .unwrap();
+        }
+        let sdn = bld.build().unwrap();
+        let mut dests = Vec::new();
+        while dests.len() < 4 {
+            let d = rng.gen_range(1..n);
+            let d = nodes[d];
+            if d != nodes[0] && !dests.contains(&d) {
+                dests.push(d);
+            }
+        }
+        let req = MulticastRequest::new(
+            RequestId(seed),
+            nodes[0],
+            dests,
+            rng.gen_range(50.0..200.0),
+            chain(),
+        );
+        (sdn, req)
+    }
+
+    #[test]
+    fn pruned_matches_unpruned_byte_identical() {
+        // The branch-and-bound bounds are admissible, so the pruned scan
+        // must return the *exact same* tree (same edges, same servers,
+        // same costs bit for bit) as evaluating every combination.
+        for seed in 0..12u64 {
+            let (sdn, req) = dense_random_instance(seed, 24);
+            for k in 1..=3 {
+                let pruned = appro_multi(&sdn, &req, k);
+                let unpruned = appro_multi_unpruned(&sdn, &req, k);
+                assert_eq!(pruned, unpruned, "seed {seed} k {k}");
+                if let Some(t) = &pruned {
+                    t.validate(&sdn, &req).unwrap();
+                }
+            }
+        }
+        // And on the sparser corpus shared with the reference tests.
+        for seed in 0..20u64 {
+            let Some((sdn, req)) = random_instance(seed, 14) else {
+                continue;
+            };
+            for k in 1..=3 {
+                assert_eq!(
+                    appro_multi(&sdn, &req, k),
+                    appro_multi_unpruned(&sdn, &req, k),
+                    "seed {seed} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_fires_and_scratch_reuse_is_transparent() {
+        let mut scratch = ApproScratch::new();
+        for seed in 0..6u64 {
+            let (sdn, req) = dense_random_instance(seed, 24);
+            let reused = appro_multi_with_scratch(&sdn, &req, 3, &mut scratch);
+            let fresh = appro_multi(&sdn, &req, 3);
+            assert_eq!(reused, fresh, "seed {seed}");
+        }
+        let total = scratch.evaluated_combinations()
+            + scratch.pruned_combinations()
+            + scratch.deduped_combinations();
+        assert!(total > 0, "scan never ran");
+        assert!(
+            scratch.pruned_combinations() > 0,
+            "pruning never fired across {} combinations",
+            total
+        );
+        assert!(
+            scratch.deduped_combinations() > 0,
+            "winner-vector dedup never fired across {} combinations",
+            total
+        );
     }
 }

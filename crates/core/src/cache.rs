@@ -30,7 +30,7 @@
 //!   sequential result.
 
 use crate::appro_multi::appro_multi_with_spts;
-use crate::{appro_multi_cap, Admission, PseudoMulticastTree};
+use crate::{appro_multi_cap_with_scratch, Admission, ApproScratch, PseudoMulticastTree};
 use netgraph::{CsrGraph, NodeId, ShortestPathTree, SptCache};
 use sdn::{MulticastRequest, Sdn};
 use std::sync::Arc;
@@ -77,6 +77,8 @@ impl Fingerprint {
 pub struct PathCache {
     cache: SptCache,
     fingerprint: Fingerprint,
+    /// Combination-scan working memory, reused across requests.
+    scratch: ApproScratch,
     /// Requests answered entirely from cached trees.
     fast_path: u64,
     /// Requests that fell back to the uncached capacitated algorithm.
@@ -90,6 +92,7 @@ impl PathCache {
         PathCache {
             cache: SptCache::new(CsrGraph::from_graph(sdn.graph())),
             fingerprint: Fingerprint::of(sdn),
+            scratch: ApproScratch::new(),
             fast_path: 0,
             slow_path: 0,
         }
@@ -173,7 +176,15 @@ pub fn appro_multi_cached(
     let spt_dests: Vec<Arc<ShortestPathTree>> =
         request.destinations.iter().map(|&d| cache.spt(d)).collect();
     let dest_refs: Vec<&ShortestPathTree> = spt_dests.iter().map(Arc::as_ref).collect();
-    appro_multi_with_spts(sdn, request, k, sdn.servers(), &spt_source, &dest_refs)
+    appro_multi_with_spts(
+        sdn,
+        request,
+        k,
+        sdn.servers(),
+        &spt_source,
+        &dest_refs,
+        &mut cache.scratch,
+    )
 }
 
 /// [`appro_multi_cap`] driven by cached shortest-path trees where valid.
@@ -198,7 +209,7 @@ pub fn appro_multi_cap_cached(
     let demand = request.computing_demand();
     if !cache.full_graph_feasible(sdn, b, demand) {
         cache.slow_path += 1;
-        return appro_multi_cap(sdn, request, k);
+        return appro_multi_cap_with_scratch(sdn, request, k, &mut cache.scratch);
     }
     cache.fast_path += 1;
     // Nothing is filtered: the feasible subgraph is the full network, so
@@ -219,7 +230,7 @@ pub fn appro_multi_cap_cached(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::appro_multi;
+    use crate::{appro_multi, appro_multi_cap};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use sdn::{Allocation, NfvType, RequestId, SdnBuilder, ServiceChain};

@@ -6,7 +6,7 @@
 //! runs on `G'`. If no connected component of `G'` contains the source,
 //! all destinations, and a usable server, the request is rejected.
 
-use crate::{appro_multi_on, PseudoMulticastTree};
+use crate::{appro_multi_on_scratch, ApproScratch, PseudoMulticastTree};
 use netgraph::{EdgeId, NodeId};
 use sdn::{MulticastRequest, Sdn, SdnBuilder};
 
@@ -61,6 +61,23 @@ impl Admission {
 /// Panics if `k == 0`.
 #[must_use]
 pub fn appro_multi_cap(sdn: &Sdn, request: &MulticastRequest, k: usize) -> Admission {
+    let mut scratch = ApproScratch::new();
+    appro_multi_cap_with_scratch(sdn, request, k, &mut scratch)
+}
+
+/// [`appro_multi_cap`] with caller-owned working memory, so admission
+/// loops reuse the combination-scan buffers across requests.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn appro_multi_cap_with_scratch(
+    sdn: &Sdn,
+    request: &MulticastRequest,
+    k: usize,
+    scratch: &mut ApproScratch,
+) -> Admission {
     assert!(k >= 1, "at least one server is required (K >= 1)");
     let b = request.bandwidth;
     let demand = request.computing_demand();
@@ -97,7 +114,7 @@ pub fn appro_multi_cap(sdn: &Sdn, request: &MulticastRequest, k: usize) -> Admis
     }
     let filtered = bld.build().expect("filtered SDN is well-formed");
 
-    let Some(tree) = appro_multi_on(&filtered, request, k, &usable_servers) else {
+    let Some(tree) = appro_multi_on_scratch(&filtered, request, k, &usable_servers, scratch) else {
         return Admission::Rejected;
     };
 

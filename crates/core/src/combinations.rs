@@ -1,9 +1,92 @@
 //! Enumeration of server combinations.
 
+/// A lending enumerator over every non-empty subset of `items` with at
+/// most `k` elements, smallest subsets first and lexicographic within
+/// each size class — the combination loop of Algorithm 1.
+///
+/// Each call to [`Combinations::next`] yields the next subset as a slice
+/// into an internal buffer, so the whole scan allocates two small vectors
+/// total (no `Vec<Vec<T>>` materialization) and a pruning caller can
+/// abandon the scan at any point. This cannot implement the std
+/// `Iterator` trait (the yielded slice borrows the enumerator), hence the
+/// inherent method.
+///
+/// ```
+/// use nfv_multicast::Combinations;
+/// let mut combos = Combinations::new(&['a', 'b', 'c'], 2);
+/// let mut count = 0;
+/// while let Some(c) = combos.next() {
+///     assert!(!c.is_empty() && c.len() <= 2);
+///     count += 1;
+/// }
+/// assert_eq!(count, 6); // {a} {b} {c} {ab} {ac} {bc}
+/// ```
+#[derive(Debug, Clone)]
+pub struct Combinations<'a, T> {
+    items: &'a [T],
+    k: usize,
+    /// Size class currently being enumerated.
+    size: usize,
+    /// Index tuple of the *next* subset (valid when `primed`).
+    idx: Vec<usize>,
+    /// Backing storage for the yielded slice.
+    buf: Vec<T>,
+    /// Whether `idx` holds a subset not yet yielded.
+    primed: bool,
+}
+
+impl<'a, T: Copy> Combinations<'a, T> {
+    /// Creates the enumerator; `k` is clamped to `items.len()`.
+    #[must_use]
+    pub fn new(items: &'a [T], k: usize) -> Self {
+        let k = k.min(items.len());
+        let primed = k >= 1;
+        Combinations {
+            items,
+            k,
+            size: 1,
+            idx: vec![0],
+            buf: Vec::with_capacity(k),
+            primed,
+        }
+    }
+
+    /// Yields the next subset, or `None` when the scan is exhausted.
+    #[allow(clippy::should_implement_trait)] // lending: the slice borrows self
+    pub fn next(&mut self) -> Option<&[T]> {
+        if !self.primed {
+            return None;
+        }
+        self.buf.clear();
+        self.buf.extend(self.idx.iter().map(|&i| self.items[i]));
+        self.advance();
+        Some(&self.buf)
+    }
+
+    /// Moves `idx` to the successor subset, rolling over to the next size
+    /// class when the current one is exhausted.
+    fn advance(&mut self) {
+        let n = self.items.len();
+        let size = self.size;
+        // Rightmost index that can still move.
+        if let Some(pos) = (0..size).rev().find(|&p| self.idx[p] < n - size + p) {
+            self.idx[pos] += 1;
+            for j in (pos + 1)..size {
+                self.idx[j] = self.idx[j - 1] + 1;
+            }
+        } else if size < self.k {
+            self.size = size + 1;
+            self.idx.clear();
+            self.idx.extend(0..self.size);
+        } else {
+            self.primed = false;
+        }
+    }
+}
+
 /// Returns every non-empty subset of `items` with at most `k` elements,
-/// smallest subsets first. This is the combination loop of Algorithm 1:
-/// the optimal tree may use any `l ∈ [1, K]` servers, so all sizes up to
-/// `K` are tried.
+/// smallest subsets first — a thin `collect()` over [`Combinations`],
+/// kept for tests and callers that want the materialized list.
 ///
 /// The result is deterministic: subsets are emitted in lexicographic order
 /// of their index tuples within each size class.
@@ -15,22 +98,10 @@
 /// ```
 #[must_use]
 pub fn combinations_up_to<T: Copy>(items: &[T], k: usize) -> Vec<Vec<T>> {
-    let n = items.len();
-    let k = k.min(n);
+    let mut combos = Combinations::new(items, k);
     let mut out = Vec::new();
-    for size in 1..=k {
-        let mut idx: Vec<usize> = (0..size).collect();
-        loop {
-            out.push(idx.iter().map(|&i| items[i]).collect());
-            // Find the rightmost index that can still advance.
-            let Some(pos) = (0..size).rev().find(|&p| idx[p] < n - size + p) else {
-                break;
-            };
-            idx[pos] += 1;
-            for j in (pos + 1)..size {
-                idx[j] = idx[j - 1] + 1;
-            }
-        }
+    while let Some(c) = combos.next() {
+        out.push(c.to_vec());
     }
     out
 }
@@ -91,6 +162,33 @@ mod tests {
     fn empty_items_give_nothing() {
         let combos: Vec<Vec<u8>> = combinations_up_to(&[], 3);
         assert!(combos.is_empty());
+        let mut it: Combinations<'_, u8> = Combinations::new(&[], 3);
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn k_zero_gives_nothing() {
+        let mut it = Combinations::new(&[1, 2, 3], 0);
+        assert!(it.next().is_none());
+        assert!(combinations_up_to(&[1, 2, 3], 0).is_empty());
+    }
+
+    #[test]
+    fn lending_iterator_matches_materialized_order() {
+        for n in 0..=6usize {
+            let items: Vec<usize> = (0..n).map(|i| i * 10).collect();
+            for k in 0..=n + 1 {
+                let collected = combinations_up_to(&items, k);
+                let mut it = Combinations::new(&items, k);
+                let mut streamed: Vec<Vec<usize>> = Vec::new();
+                while let Some(c) = it.next() {
+                    streamed.push(c.to_vec());
+                }
+                assert_eq!(streamed, collected, "n={n} k={k}");
+                // Exhausted enumerators stay exhausted.
+                assert!(it.next().is_none());
+            }
+        }
     }
 
     #[test]

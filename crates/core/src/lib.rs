@@ -63,12 +63,14 @@ mod rules;
 mod viz;
 
 pub use appro_multi::{
-    appro_multi, appro_multi_on, appro_multi_reference, appro_multi_with_steiner, SteinerRoutine,
+    appro_multi, appro_multi_on, appro_multi_on_scratch, appro_multi_reference,
+    appro_multi_unpruned, appro_multi_with_scratch, appro_multi_with_steiner, ApproScratch,
+    SteinerRoutine,
 };
 pub use auxiliary::AuxiliaryGraph;
 pub use cache::{appro_multi_cached, appro_multi_cap_cached, PathCache};
-pub use capacitated::{appro_multi_cap, Admission};
-pub use combinations::combinations_up_to;
+pub use capacitated::{appro_multi_cap, appro_multi_cap_with_scratch, Admission};
+pub use combinations::{combinations_up_to, Combinations};
 pub use delay::{appro_multi_delay_bounded, max_delivery_hops, DelayBounded};
 pub use exact::exact_pseudo_multicast;
 pub use one_server::one_server;

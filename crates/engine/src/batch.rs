@@ -1,6 +1,6 @@
 //! Batch admission: parallel speculative planning + sequential commit.
 
-use nfv_multicast::{appro_multi_cap, Admission};
+use nfv_multicast::{appro_multi_cap_with_scratch, Admission, ApproScratch};
 use sdn::{MulticastRequest, Sdn};
 
 /// Tuning knobs for [`admit_batch`].
@@ -71,10 +71,11 @@ pub struct BatchReport {
 /// The reference implementation: admits `requests` strictly one at a time,
 /// committing each admitted allocation before planning the next request.
 pub fn admit_sequential(sdn: &mut Sdn, requests: &[MulticastRequest], k: usize) -> Vec<Admission> {
+    let mut scratch = ApproScratch::new();
     requests
         .iter()
         .map(|req| {
-            let adm = appro_multi_cap(sdn, req, k);
+            let adm = appro_multi_cap_with_scratch(sdn, req, k, &mut scratch);
             if let Admission::Admitted(tree) = &adm {
                 sdn.allocate(&tree.allocation(req))
                     .expect("admitted tree fits residual capacities");
@@ -128,6 +129,8 @@ pub fn admit_batch(
     // Indices of requests not yet decided, always in batch order.
     let mut pending: Vec<usize> = (0..requests.len()).collect();
     let mut wave = 0usize;
+    // Working memory for inline sequential replans, reused across waves.
+    let mut inline_scratch = ApproScratch::new();
 
     while !pending.is_empty() {
         wave += 1;
@@ -210,7 +213,7 @@ pub fn admit_batch(
                 // the sequential decision exactly, inline.
                 inline_tail = true;
                 report.replanned += 1;
-                appro_multi_cap(sdn, req, config.k)
+                appro_multi_cap_with_scratch(sdn, req, config.k, &mut inline_scratch)
             } else {
                 // Identical feasible subgraph => the plan is the tree the
                 // sequential loop would have computed. Its final

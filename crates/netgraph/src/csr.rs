@@ -16,10 +16,9 @@
 //! snapshot; callers invalidate it when the weights they derived the
 //! snapshot from change.
 
+use crate::heap::IndexedQuadHeap;
 use crate::paths::ShortestPathTree;
-use crate::{EdgeId, Graph, NodeId, TotalCost};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::{EdgeId, Graph, NodeId};
 use std::sync::Arc;
 
 /// A read-only compressed-sparse-row view of a [`Graph`].
@@ -105,9 +104,8 @@ impl CsrGraph {
 pub struct DijkstraScratch {
     dist: Vec<f64>,
     pred: Vec<Option<(NodeId, EdgeId)>>,
-    settled: Vec<bool>,
     is_target: Vec<bool>,
-    heap: BinaryHeap<Reverse<(TotalCost, NodeId)>>,
+    heap: IndexedQuadHeap,
 }
 
 impl DijkstraScratch {
@@ -122,11 +120,9 @@ impl DijkstraScratch {
         self.dist.resize(n, f64::INFINITY);
         self.pred.clear();
         self.pred.resize(n, None);
-        self.settled.clear();
-        self.settled.resize(n, false);
         self.is_target.clear();
         self.is_target.resize(n, false);
-        self.heap.clear();
+        self.heap.reset(n);
     }
 }
 
@@ -183,21 +179,18 @@ fn dijkstra_csr_impl(
     }
 
     scratch.dist[source.index()] = 0.0;
-    scratch.heap.push(Reverse((TotalCost::new(0.0), source)));
+    scratch.heap.push_or_decrease(source, 0.0);
 
-    while let Some(Reverse((d, u))) = scratch.heap.pop() {
+    // One live heap entry per node (decrease-key), so each pop settles;
+    // pop order matches the old lazy-deletion BinaryHeap exactly.
+    while let Some((du, u)) = scratch.heap.pop() {
         let ui = u.index();
-        if scratch.settled[ui] {
-            continue;
-        }
-        scratch.settled[ui] = true;
         if targets.is_some() && scratch.is_target[ui] {
             remaining -= 1;
             if remaining == 0 {
                 break;
             }
         }
-        let du = d.get();
         let lo = csr.offsets[ui];
         let hi = csr.offsets[ui + 1];
         for i in lo..hi {
@@ -208,7 +201,7 @@ fn dijkstra_csr_impl(
             if cand < scratch.dist[vi] {
                 scratch.dist[vi] = cand;
                 scratch.pred[vi] = Some((u, csr.edge_ids[i]));
-                scratch.heap.push(Reverse((TotalCost::new(cand), v)));
+                scratch.heap.push_or_decrease(v, cand);
             }
         }
     }

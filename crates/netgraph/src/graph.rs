@@ -94,6 +94,23 @@ impl Graph {
         }
     }
 
+    /// Resets the graph to `n` isolated nodes, retaining every allocation
+    /// (the outer adjacency vector, each node's neighbor list, and the
+    /// edge arena). Repeatedly built scratch graphs — the closure and
+    /// mini graphs inside the `Appro_Multi` combination scan — reuse one
+    /// `Graph` this way instead of allocating a fresh one per candidate.
+    pub fn reset(&mut self, n: usize) {
+        for adj in &mut self.adjacency {
+            adj.clear();
+        }
+        if self.adjacency.len() > n {
+            self.adjacency.truncate(n);
+        } else {
+            self.adjacency.resize_with(n, Vec::new);
+        }
+        self.edges.clear();
+    }
+
     /// Adds a node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId::new(self.adjacency.len());

@@ -38,6 +38,7 @@
 mod csr;
 mod error;
 mod graph;
+mod heap;
 mod ids;
 mod ksp;
 mod mst;
@@ -48,10 +49,12 @@ mod total;
 mod traversal;
 mod tree;
 mod unionfind;
+mod voronoi;
 
 pub use csr::{dijkstra_csr, dijkstra_csr_with_targets, CsrGraph, DijkstraScratch, SptCache};
 pub use error::GraphError;
 pub use graph::{EdgeRef, Graph, Neighbor};
+pub use heap::IndexedQuadHeap;
 pub use ids::{EdgeId, NodeId};
 pub use ksp::k_shortest_paths;
 pub use mst::{kruskal, prim, MstResult};
@@ -62,3 +65,4 @@ pub use total::TotalCost;
 pub use traversal::{bfs_order, connected_components, dfs_order, is_connected, same_component};
 pub use tree::{Lca, RootedTree};
 pub use unionfind::UnionFind;
+pub use voronoi::{voronoi_closure, ClosureEdge, VoronoiClosure};

@@ -1,8 +1,7 @@
 //! Single-source shortest paths: Dijkstra and Bellman–Ford.
 
-use crate::{EdgeId, Graph, NodeId, TotalCost};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use crate::heap::IndexedQuadHeap;
+use crate::{EdgeId, Graph, NodeId};
 
 /// A concrete path through a graph: an alternating node/edge walk.
 #[derive(Debug, Clone, PartialEq)]
@@ -185,7 +184,6 @@ fn dijkstra_impl(g: &Graph, source: NodeId, targets: Option<&[NodeId]>) -> Short
     let n = g.node_count();
     let mut dist = vec![f64::INFINITY; n];
     let mut pred: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
-    let mut settled = vec![false; n];
     let mut remaining: usize = targets.map_or(usize::MAX, <[NodeId]>::len);
     let mut is_target = vec![false; n];
     if let Some(ts) = targets {
@@ -199,23 +197,23 @@ fn dijkstra_impl(g: &Graph, source: NodeId, targets: Option<&[NodeId]>) -> Short
         remaining = uniq;
     }
 
-    let mut heap: BinaryHeap<Reverse<(TotalCost, NodeId)>> = BinaryHeap::new();
+    // The indexed heap holds at most one live entry per node, so every
+    // pop settles a node — no stale-entry skip needed. Pops come out in
+    // (distance, node id) order, exactly matching the old lazy-deletion
+    // BinaryHeap, so distances *and* predecessors are bit-identical.
+    let mut heap = IndexedQuadHeap::new();
+    heap.reset(n);
     dist[source.index()] = 0.0;
-    heap.push(Reverse((TotalCost::new(0.0), source)));
+    heap.push_or_decrease(source, 0.0);
 
-    while let Some(Reverse((d, u))) = heap.pop() {
+    while let Some((du, u)) = heap.pop() {
         let ui = u.index();
-        if settled[ui] {
-            continue;
-        }
-        settled[ui] = true;
         if targets.is_some() && is_target[ui] {
             remaining -= 1;
             if remaining == 0 {
                 break;
             }
         }
-        let du = d.get();
         for nb in g.neighbors(u) {
             let w = g.edge(nb.edge).weight;
             let cand = du + w;
@@ -223,7 +221,7 @@ fn dijkstra_impl(g: &Graph, source: NodeId, targets: Option<&[NodeId]>) -> Short
             if cand < dist[vi] {
                 dist[vi] = cand;
                 pred[vi] = Some((u, nb.edge));
-                heap.push(Reverse((TotalCost::new(cand), nb.node)));
+                heap.push_or_decrease(nb.node, cand);
             }
         }
     }

@@ -5,8 +5,8 @@
 //! act as oracles for each other.
 
 use netgraph::{
-    bellman_ford, connected_components, dijkstra, is_connected, kruskal, prim, Graph, NodeId,
-    RootedTree, UnionFind,
+    bellman_ford, connected_components, dijkstra, dijkstra_with_targets, is_connected, kruskal,
+    prim, voronoi_closure, Graph, NodeId, RootedTree, UnionFind,
 };
 use proptest::prelude::*;
 
@@ -84,6 +84,65 @@ proptest! {
                     "edge {e} does not connect {a}-{b}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn targeted_dijkstra_matches_full_run_on_targets(
+        g in arb_graph(),
+        picks in proptest::collection::vec(0usize..20, 1..8),
+    ) {
+        // The early-exit variant underlies the shared-SPT fast path that
+        // the Appro_Multi pruning leans on: for every requested target it
+        // must report exactly the full-run distance, predecessor chain
+        // cost, and reachability — settled or not by the time it stopped.
+        let n = g.node_count();
+        let src = NodeId::new(0);
+        let targets: Vec<NodeId> = picks.iter().map(|&p| NodeId::new(p % n)).collect();
+        let full = dijkstra(&g, src);
+        let fast = dijkstra_with_targets(&g, src, &targets);
+        for &t in &targets {
+            prop_assert_eq!(full.distance(t), fast.distance(t), "distance to {}", t);
+            prop_assert_eq!(full.is_reachable(t), fast.is_reachable(t));
+            match (full.path_to(t), fast.path_to(t)) {
+                (Some(a), Some(b)) => {
+                    prop_assert!((a.cost() - b.cost()).abs() < 1e-12);
+                    prop_assert_eq!(a.edges(), b.edges(), "path to {}", t);
+                }
+                (None, None) => {}
+                (a, b) => prop_assert!(false, "path mismatch at {}: {:?} vs {:?}", t, a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn voronoi_closure_agrees_with_per_terminal_dijkstra(g in arb_connected_graph()) {
+        // Ownership means "nearest terminal": for every node, the distance
+        // to its owner equals the minimum over terminals of the true
+        // shortest-path distance.
+        let n = g.node_count();
+        let terminals: Vec<NodeId> = (0..n).step_by(3).map(NodeId::new).collect();
+        let vc = voronoi_closure(&g, &terminals);
+        let spts: Vec<_> = terminals.iter().map(|&t| dijkstra(&g, t)).collect();
+        for v in g.nodes() {
+            let best = spts
+                .iter()
+                .filter_map(|s| s.distance(v))
+                .fold(f64::INFINITY, f64::min);
+            let owned = vc.distance_to_owner(v).expect("connected graph");
+            prop_assert!((owned - best).abs() < 1e-9, "node {}: {} vs {}", v, owned, best);
+            let owner = vc.owner(v).unwrap();
+            prop_assert!((spts[owner].distance(v).unwrap() - best).abs() < 1e-9);
+        }
+        // Every closure edge is realizable and no cheaper than the true
+        // terminal-to-terminal distance.
+        for ce in vc.edges() {
+            let true_d = spts[ce.a].distance(terminals[ce.b]).unwrap();
+            prop_assert!(ce.cost + 1e-9 >= true_d);
+            let mut path = Vec::new();
+            vc.expand_edge(ce, &mut path);
+            let realized: f64 = path.iter().map(|&e| g.edge(e).weight).sum();
+            prop_assert!((realized - ce.cost).abs() < 1e-9);
         }
     }
 

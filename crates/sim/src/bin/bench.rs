@@ -1,0 +1,192 @@
+//! Hot-path benchmark snapshot: `cargo run -p sim --release --bin bench
+//! [quick|full] [--check]`.
+//!
+//! Times the `Appro_Multi` combination scan — pruned + warm scratch vs.
+//! the unpruned audit scan — on the paper's Fig. 5 configuration
+//! (250-switch Waxman network, `K = 3`, one sweep per `D_max/|V|`
+//! ratio), plus Mehlhorn vs. KMB on the same topology, and writes the
+//! measurements to `BENCH_2.json` (hand-rolled JSON; the workspace has
+//! no serde_json).
+//!
+//! With `--check`, the committed `BENCH_2.json` is read *first* and the
+//! run fails (exit 1) if the freshly measured pruned-vs-unpruned speedup
+//! regressed by more than 25% against the committed baseline — the CI
+//! `bench-smoke` gate. Speedup ratios, not absolute times, are compared,
+//! so the gate is robust to slow CI machines.
+
+use nfv_multicast::{appro_multi_unpruned, appro_multi_with_scratch, ApproScratch};
+use sim::{mean, time_it, waxman_sdn};
+use std::fmt::Write as _;
+use workload::RequestGenerator;
+
+const N: usize = 250;
+const K: usize = 3;
+const RATIOS: [f64; 3] = [0.10, 0.15, 0.20];
+/// Committed-baseline path, relative to the repo root (the working
+/// directory of `cargo run`).
+const SNAPSHOT: &str = "BENCH_2.json";
+/// A run fails `--check` when its speedup drops below `baseline / 1.25`.
+const MAX_REGRESSION: f64 = 1.25;
+
+struct RatioPoint {
+    ratio: f64,
+    pruned_ms: f64,
+    unpruned_ms: f64,
+}
+
+fn run_hot_sweep(requests_per_ratio: usize) -> Vec<RatioPoint> {
+    use rand::SeedableRng;
+    let sdn = waxman_sdn(N, 0);
+    let mut points = Vec::new();
+    for &ratio in &RATIOS {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut gen = RequestGenerator::new(N).with_dmax_ratio(ratio);
+        let requests = gen.generate_batch(requests_per_ratio, &mut rng);
+        let mut scratch = ApproScratch::new();
+        let mut pruned_ms = Vec::new();
+        let mut unpruned_ms = Vec::new();
+        for req in &requests {
+            let (fast, t_fast) = time_it(|| appro_multi_with_scratch(&sdn, req, K, &mut scratch));
+            let (slow, t_slow) = time_it(|| appro_multi_unpruned(&sdn, req, K));
+            assert_eq!(fast, slow, "pruned and unpruned scans diverged");
+            pruned_ms.push(t_fast);
+            unpruned_ms.push(t_slow);
+        }
+        points.push(RatioPoint {
+            ratio,
+            pruned_ms: mean(&pruned_ms),
+            unpruned_ms: mean(&unpruned_ms),
+        });
+    }
+    points
+}
+
+fn run_steiner_point() -> (f64, f64) {
+    let sdn = waxman_sdn(N, 0);
+    let g = sdn.graph();
+    let terms: Vec<netgraph::NodeId> = (0..25).map(|i| netgraph::NodeId::new(i * 10)).collect();
+    // Warm up, then average a few runs of each routine.
+    let mut m_ms = Vec::new();
+    let mut k_ms = Vec::new();
+    for _ in 0..5 {
+        let (mt, t) = time_it(|| steiner::mehlhorn(g, &terms).expect("connected"));
+        m_ms.push(t);
+        let (kt, t) = time_it(|| steiner::kmb(g, &terms).expect("connected"));
+        k_ms.push(t);
+        assert!(mt.cost() <= 2.0 * kt.cost() + 1e-6 && kt.cost() <= 2.0 * mt.cost() + 1e-6);
+    }
+    (mean(&m_ms), mean(&k_ms))
+}
+
+fn render_json(
+    mode: &str,
+    requests_per_ratio: usize,
+    points: &[RatioPoint],
+    mehlhorn_ms: f64,
+    kmb_ms: f64,
+) -> String {
+    let pruned_total: f64 = points.iter().map(|p| p.pruned_ms).sum();
+    let unpruned_total: f64 = points.iter().map(|p| p.unpruned_ms).sum();
+    let hot_speedup = unpruned_total / pruned_total;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"bench-v2\",");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{ \"n\": {N}, \"k\": {K}, \"mode\": \"{mode}\", \"requests_per_ratio\": {requests_per_ratio} }},"
+    );
+    let _ = writeln!(out, "  \"hot_speedup\": {hot_speedup:.4},");
+    out.push_str("  \"appro_multi_hot\": {\n    \"per_ratio\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{ \"ratio\": {:.2}, \"pruned_ms\": {:.3}, \"unpruned_ms\": {:.3}, \"speedup\": {:.4} }}{comma}",
+            p.ratio,
+            p.pruned_ms,
+            p.unpruned_ms,
+            p.unpruned_ms / p.pruned_ms
+        );
+    }
+    out.push_str("    ],\n");
+    let _ = writeln!(out, "    \"pruned_total_ms\": {pruned_total:.3},");
+    let _ = writeln!(out, "    \"unpruned_total_ms\": {unpruned_total:.3}");
+    out.push_str("  },\n");
+    let _ = writeln!(
+        out,
+        "  \"mehlhorn_vs_kmb\": {{ \"n\": {N}, \"terminals\": 25, \"mehlhorn_ms\": {mehlhorn_ms:.3}, \"kmb_ms\": {kmb_ms:.3}, \"speedup\": {:.4} }}",
+        kmb_ms / mehlhorn_ms
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts the `"hot_speedup"` value from a committed snapshot without a
+/// JSON parser dependency.
+fn parse_hot_speedup(json: &str) -> Option<f64> {
+    let key = "\"hot_speedup\":";
+    let start = json.find(key)? + key.len();
+    let rest = &json[start..];
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let mode = if args.iter().any(|a| a == "full") {
+        "full"
+    } else {
+        "quick"
+    };
+    let requests_per_ratio = if mode == "full" { 8 } else { 4 };
+
+    let baseline = if check {
+        let json = std::fs::read_to_string(SNAPSHOT)
+            .unwrap_or_else(|e| panic!("--check needs a committed {SNAPSHOT}: {e}"));
+        let b = parse_hot_speedup(&json).expect("baseline has a hot_speedup field");
+        println!("baseline hot_speedup: {b:.2}x");
+        Some(b)
+    } else {
+        None
+    };
+
+    println!("bench: Appro_Multi hot path, n={N}, K={K}, mode={mode}");
+    let points = run_hot_sweep(requests_per_ratio);
+    for p in &points {
+        println!(
+            "  ratio {:.2}: pruned {:8.2} ms  unpruned {:8.2} ms  speedup {:.2}x",
+            p.ratio,
+            p.pruned_ms,
+            p.unpruned_ms,
+            p.unpruned_ms / p.pruned_ms
+        );
+    }
+    let (mehlhorn_ms, kmb_ms) = run_steiner_point();
+    println!(
+        "  mehlhorn {mehlhorn_ms:.2} ms vs kmb {kmb_ms:.2} ms ({:.2}x)",
+        kmb_ms / mehlhorn_ms
+    );
+
+    let json = render_json(mode, requests_per_ratio, &points, mehlhorn_ms, kmb_ms);
+    let hot_speedup = parse_hot_speedup(&json).expect("own JSON is parseable");
+    println!("hot_speedup: {hot_speedup:.2}x");
+
+    if let Some(baseline) = baseline {
+        // Artifact for inspection, without clobbering the committed
+        // baseline the comparison ran against.
+        std::fs::write("BENCH_2.new.json", &json).expect("write BENCH_2.new.json");
+        let floor = baseline / MAX_REGRESSION;
+        if hot_speedup < floor {
+            eprintln!(
+                "FAIL: hot_speedup {hot_speedup:.2}x regressed below {floor:.2}x \
+                 (baseline {baseline:.2}x / {MAX_REGRESSION})"
+            );
+            std::process::exit(1);
+        }
+        println!("OK: within 25% of the committed baseline ({baseline:.2}x)");
+    } else {
+        std::fs::write(SNAPSHOT, &json).expect("write BENCH_2.json");
+        println!("wrote {SNAPSHOT}");
+    }
+}

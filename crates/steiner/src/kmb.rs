@@ -16,7 +16,6 @@
 
 use crate::{prune_non_terminal_leaves, SteinerTree};
 use netgraph::{dijkstra_with_targets, kruskal, Graph, NodeId, ShortestPathTree};
-use std::collections::HashSet;
 
 /// Computes an approximate minimum Steiner tree spanning `terminals`.
 ///
@@ -29,13 +28,16 @@ use std::collections::HashSet;
 /// Complexity: `O(t·(m + n) log n + m log m)` with `t` terminals.
 #[must_use]
 pub fn kmb(g: &Graph, terminals: &[NodeId]) -> Option<SteinerTree> {
-    let mut uniq: Vec<NodeId> = Vec::new();
-    let mut seen = HashSet::new();
+    // Dense node ids make a bool vector the cheapest dedup set — no
+    // hashing, and iteration order stays the caller's terminal order.
+    let mut seen = vec![false; g.node_count()];
+    let mut uniq: Vec<NodeId> = Vec::with_capacity(terminals.len());
     for &t in terminals {
         if !g.contains_node(t) {
             return None;
         }
-        if seen.insert(t) {
+        if !seen[t.index()] {
+            seen[t.index()] = true;
             uniq.push(t);
         }
     }
@@ -68,8 +70,9 @@ pub fn kmb(g: &Graph, terminals: &[NodeId]) -> Option<SteinerTree> {
     let mst1 = kruskal(&closure);
     debug_assert!(mst1.is_spanning_tree());
 
-    // Step 3: expand closure edges into shortest paths; collect edge set.
-    let mut subgraph_edges: HashSet<netgraph::EdgeId> = HashSet::new();
+    // Step 3: expand closure edges into shortest paths; collect edge set
+    // as a bool vector keyed by the dense edge ids.
+    let mut in_subgraph = vec![false; g.edge_count()];
     for &ce in &mst1.edges {
         let cer = closure.edge(ce);
         let i = cer.u.index();
@@ -77,12 +80,14 @@ pub fn kmb(g: &Graph, terminals: &[NodeId]) -> Option<SteinerTree> {
         let path = spts[i]
             .path_to(uniq[j.index()])
             .expect("closure edge implies reachability");
-        subgraph_edges.extend(path.edges().iter().copied());
+        for &e in path.edges() {
+            in_subgraph[e.index()] = true;
+        }
     }
 
     // Step 4: MST of the expanded subgraph. Build a filtered view containing
     // exactly the collected edges.
-    let sub = netgraph::induced_subgraph(g, |_| true, |e| subgraph_edges.contains(&e));
+    let sub = netgraph::induced_subgraph(g, |_| true, |e| in_subgraph[e.index()]);
     let mst2 = kruskal(sub.graph());
     let tree_edges = sub.parent_edges(&mst2.edges);
 

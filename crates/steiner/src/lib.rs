@@ -6,6 +6,10 @@
 //!   1981), the routine invoked by both algorithms of the ICDCS 2017 paper.
 //!   Guarantee: `2(1 − 1/ℓ) < 2` times optimal, where `ℓ` is the number of
 //!   leaves of the optimal tree.
+//! * [`mehlhorn`] — Mehlhorn's `O(m log n)` construction (Inf. Proc. Lett.
+//!   1988) with the same guarantee as [`kmb`]: one multi-source Dijkstra
+//!   replaces the per-terminal sweeps. The hot-path default; KMB stays as
+//!   the audit path.
 //! * [`sph`] — the Takahashi–Matsuyama shortest-path heuristic, used by the
 //!   ablation benches as an alternative tree routine.
 //! * [`dreyfus_wagner`] — the exact dynamic program, exponential in the
@@ -38,6 +42,7 @@
 mod exact;
 mod improve;
 mod kmb;
+mod mehlhorn;
 mod prune;
 mod sph;
 mod tree;
@@ -45,6 +50,7 @@ mod tree;
 pub use exact::{dreyfus_wagner, MAX_TERMINALS};
 pub use improve::improve;
 pub use kmb::kmb;
+pub use mehlhorn::mehlhorn;
 pub use prune::prune_non_terminal_leaves;
 pub use sph::sph;
 pub use tree::SteinerTree;

@@ -6,7 +6,7 @@
 
 use netgraph::{Graph, NodeId};
 use proptest::prelude::*;
-use steiner::{dreyfus_wagner, kmb, sph};
+use steiner::{dreyfus_wagner, kmb, mehlhorn, sph};
 
 fn arb_instance() -> impl Strategy<Value = (Graph, Vec<NodeId>)> {
     (4usize..=12).prop_flat_map(|n| {
@@ -50,6 +50,29 @@ proptest! {
             "approx {} below exact {}", approx.cost(), exact.cost());
         prop_assert!(approx.cost() <= 2.0 * exact.cost() + 1e-6,
             "approx {} exceeds 2x exact {}", approx.cost(), exact.cost());
+    }
+
+    #[test]
+    fn mehlhorn_within_factor_two_of_exact((g, terms) in arb_instance()) {
+        // Same guarantee as KMB (Mehlhorn 1988): the sparse Voronoi
+        // closure loses nothing relative to the full metric closure.
+        let exact = dreyfus_wagner(&g, &terms).expect("connected");
+        let approx = mehlhorn(&g, &terms).expect("connected");
+        approx.validate(&g).unwrap();
+        prop_assert!(approx.cost() >= exact.cost() - 1e-6,
+            "mehlhorn {} below exact {}", approx.cost(), exact.cost());
+        prop_assert!(approx.cost() <= 2.0 * exact.cost() + 1e-6,
+            "mehlhorn {} exceeds 2x exact {}", approx.cost(), exact.cost());
+    }
+
+    #[test]
+    fn mehlhorn_and_kmb_share_the_approximation_class((g, terms) in arb_instance()) {
+        // The two constructions may return different trees; both must sit
+        // in [OPT, 2·OPT], so neither can exceed twice the other.
+        let m = mehlhorn(&g, &terms).expect("connected");
+        let k = kmb(&g, &terms).expect("connected");
+        prop_assert!(m.cost() <= 2.0 * k.cost() + 1e-6);
+        prop_assert!(k.cost() <= 2.0 * m.cost() + 1e-6);
     }
 
     #[test]
