@@ -44,24 +44,32 @@ struct Fingerprint {
     /// `min_{v ∈ V_S} C_v(k)`: a chain demanding at most this loses no
     /// server.
     min_residual_computing: f64,
+    /// `false` while any link or server is failed — the full topology is
+    /// then never the feasible subgraph, regardless of demands.
+    all_alive: bool,
 }
 
 impl Fingerprint {
+    /// Minima are taken over the **alive-masked** residual view: a failed
+    /// link or server contributes `0.0`, so any request with positive
+    /// demand fails the full-graph test and falls back to the (alive-aware)
+    /// uncached algorithm. Topology trees never see dead elements.
     fn of(sdn: &Sdn) -> Self {
         let min_residual_bandwidth = sdn
             .graph()
             .edges()
-            .map(|e| sdn.residual_bandwidth(e.id))
+            .map(|e| sdn.usable_bandwidth(e.id))
             .fold(f64::INFINITY, f64::min);
         let min_residual_computing = sdn
             .servers()
             .iter()
-            .map(|&v| sdn.residual_computing(v).expect("server"))
+            .map(|&v| sdn.usable_computing(v).expect("server"))
             .fold(f64::INFINITY, f64::min);
         Fingerprint {
             version: sdn.version(),
             min_residual_bandwidth,
             min_residual_computing,
+            all_alive: sdn.all_alive(),
         }
     }
 }
@@ -111,8 +119,17 @@ impl PathCache {
     /// residual-feasible subgraph is the full topology.
     fn full_graph_feasible(&mut self, sdn: &Sdn, b: f64, demand: f64) -> bool {
         self.sync(sdn);
-        self.fingerprint.min_residual_bandwidth + 1e-9 >= b
+        self.fingerprint.all_alive
+            && self.fingerprint.min_residual_bandwidth + 1e-9 >= b
             && self.fingerprint.min_residual_computing + 1e-9 >= demand
+    }
+
+    /// The [`Sdn::version`] the cache's residual fingerprint was last
+    /// synced at. The invariant auditor compares this against the live
+    /// network right after a cached admission is served.
+    #[must_use]
+    pub fn synced_version(&self) -> u64 {
+        self.fingerprint.version
     }
 
     /// The cached full shortest-path tree rooted at `source`.
@@ -350,6 +367,37 @@ mod tests {
             appro_multi_cap_cached(&sdn, &req, 1, &mut cache)
         );
         assert!(cache.slow_path_count() > 0);
+    }
+
+    #[test]
+    fn failure_forces_slow_path_and_stays_identical() {
+        let mut sdn = random_net(3, 12);
+        let mut cache = PathCache::new(&sdn);
+        let mut rng = StdRng::seed_from_u64(99);
+        let req = random_request(&mut rng, 0, 12);
+        // Warm run on the healthy network: fast path.
+        let _ = appro_multi_cap_cached(&sdn, &req, 2, &mut cache);
+        assert!(cache.fast_path_count() > 0);
+        // Fail a link: every subsequent request must take the slow path and
+        // still match the uncached decision exactly.
+        sdn.fail_link(netgraph::EdgeId::new(0)).unwrap();
+        let before_slow = cache.slow_path_count();
+        for i in 1..8 {
+            let req = random_request(&mut rng, i, 12);
+            assert_eq!(
+                appro_multi_cap(&sdn, &req, 2),
+                appro_multi_cap_cached(&sdn, &req, 2, &mut cache),
+                "req {i} diverged on failed network"
+            );
+        }
+        assert_eq!(cache.slow_path_count(), before_slow + 7);
+        assert_eq!(cache.synced_version(), sdn.version());
+        // Recovery re-enables the fast path.
+        sdn.recover_link(netgraph::EdgeId::new(0)).unwrap();
+        let fast_before = cache.fast_path_count();
+        let req = random_request(&mut rng, 9, 12);
+        let _ = appro_multi_cap_cached(&sdn, &req, 2, &mut cache);
+        assert_eq!(cache.fast_path_count(), fast_before + 1);
     }
 
     #[test]

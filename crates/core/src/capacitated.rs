@@ -5,6 +5,13 @@
 //! only servers with residual computing ≥ `C_v(SC_k)`; Algorithm 1 then
 //! runs on `G'`. If no connected component of `G'` contains the source,
 //! all destinations, and a usable server, the request is rejected.
+//!
+//! Failed links and servers (see [`Sdn::fail_link`] / [`Sdn::fail_server`])
+//! are excluded from `G'` exactly like saturated ones: admission and
+//! repair planning read the alive-masked residual view, so a tree returned
+//! here never touches a dead element. On a fully-alive network the filter
+//! reduces to the original residual test, keeping decisions byte-identical
+//! to the pre-failure-model code.
 
 use crate::{appro_multi_on_scratch, ApproScratch, PseudoMulticastTree};
 use netgraph::{EdgeId, NodeId};
@@ -91,7 +98,7 @@ pub fn appro_multi_cap_with_scratch(
     }
     let mut usable_servers: Vec<NodeId> = Vec::new();
     for &v in sdn.servers() {
-        if sdn.residual_computing(v).expect("server") + 1e-9 >= demand {
+        if sdn.is_server_alive(v) && sdn.residual_computing(v).expect("server") + 1e-9 >= demand {
             bld.attach_server(
                 v,
                 sdn.computing_capacity(v).expect("server"),
@@ -106,7 +113,7 @@ pub fn appro_multi_cap_with_scratch(
     }
     let mut edge_map: Vec<EdgeId> = Vec::new(); // filtered edge idx -> original id
     for e in g.edges() {
-        if sdn.residual_bandwidth(e.id) + 1e-9 >= b {
+        if sdn.is_link_alive(e.id) && sdn.residual_bandwidth(e.id) + 1e-9 >= b {
             bld.add_link(e.u, e.v, sdn.bandwidth_capacity(e.id), e.weight)
                 .expect("copied link is valid");
             edge_map.push(e.id);
@@ -218,6 +225,35 @@ mod tests {
         sdn.allocate(&a).unwrap();
         let req = MulticastRequest::new(RequestId(0), v[0], vec![v[4]], 100.0, chain());
         assert!(!appro_multi_cap(&sdn, &req, 2).is_admitted());
+    }
+
+    #[test]
+    fn reroutes_around_failed_link_and_server() {
+        let (mut sdn, v, e) = fixture();
+        let req = MulticastRequest::new(RequestId(0), v[0], vec![v[4]], 100.0, chain());
+        // Fail the cheap m1 - d link: the tree must detour via m2.
+        sdn.fail_link(e[1]).unwrap();
+        let tree = appro_multi_cap(&sdn, &req, 1)
+            .into_tree()
+            .expect("feasible via m2");
+        assert_eq!(tree.servers_used(), vec![v[3]]);
+        assert!(tree.distribution_edges.iter().all(|&x| x != e[1]));
+        // Failing m2's server too still leaves m1 processing with the
+        // stream detouring through m2's switch — a dead server keeps
+        // forwarding. Only failing both servers exhausts the request.
+        sdn.fail_server(v[3]).unwrap();
+        let tree = appro_multi_cap(&sdn, &req, 2)
+            .into_tree()
+            .expect("m1 processes, m2's switch still forwards");
+        assert_eq!(tree.servers_used(), vec![v[1]]);
+        sdn.fail_server(v[1]).unwrap();
+        assert_eq!(appro_multi_cap(&sdn, &req, 2), Admission::Rejected);
+        // Recovery restores the original decision.
+        sdn.recover_link(e[1]).unwrap();
+        sdn.recover_server(v[1]).unwrap();
+        sdn.recover_server(v[3]).unwrap();
+        let tree = appro_multi_cap(&sdn, &req, 1).into_tree().unwrap();
+        assert_eq!(tree.servers_used(), vec![v[1]]);
     }
 
     #[test]

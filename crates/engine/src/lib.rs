@@ -18,6 +18,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 mod batch;
+pub mod repair;
 
+pub use audit::{audit, AuditError, Auditor, CacheStamp};
 pub use batch::{admit_batch, admit_sequential, BatchReport, EngineConfig};
+pub use repair::{
+    CommittedSession, Departure, RepairConfig, RepairPolicy, RepairReport, SessionManager,
+};

@@ -1,0 +1,659 @@
+//! Self-healing admission: session bookkeeping, failure impact detection,
+//! and bounded replanning on the surviving residual graph.
+//!
+//! A [`SessionManager`] owns the set of *committed* sessions together with
+//! an inverted membership index (link → sessions, server → sessions), so
+//! that after a failure event the set of broken sessions is found without
+//! scanning every tree. [`SessionManager::repair`] then:
+//!
+//! 1. releases every broken session's allocation (the ledger survives
+//!    failures — see `Sdn::fail_link` — so releases are exact),
+//! 2. replans each one with `Appro_Multi_Cap` on the alive-masked
+//!    residual graph, in **ascending request-id order** with a bounded
+//!    per-session attempt budget, so repair storms are byte-reproducible,
+//! 3. under [`RepairPolicy::Degrade`], a session whose full destination
+//!    set no longer fits is replanned on the subset of destinations still
+//!    reachable from the source — only the unreachable ones are shed.
+//!
+//! Sessions that exhaust their attempt budget are dropped; sessions with
+//! budget left stay *pending* inside the manager and are retried on the
+//! next [`SessionManager::repair`] call (typically after a recovery
+//! event restores some capacity).
+
+use netgraph::{EdgeId, NodeId, UnionFind};
+use nfv_multicast::{appro_multi_cap_with_scratch, Admission, ApproScratch, PseudoMulticastTree};
+use sdn::{Allocation, MulticastRequest, RequestId, Sdn, SdnError};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What to do with sessions a failure breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepairPolicy {
+    /// Replan the full destination set on the surviving graph.
+    #[default]
+    FullReroute,
+    /// Try a full reroute first; if that fails, drop the destinations cut
+    /// off from the source and replan the reachable remainder.
+    Degrade,
+    /// Broken sessions are torn down immediately, no replanning.
+    Reject,
+}
+
+/// Tuning knobs for [`SessionManager::repair`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairConfig {
+    /// Replan policy for broken sessions.
+    pub policy: RepairPolicy,
+    /// Server budget `K` passed to `Appro_Multi_Cap` when replanning.
+    pub k: usize,
+    /// Maximum replanning attempts per session across repair calls.
+    /// `0` means broken sessions are rejected outright (no attempt).
+    pub max_retries: usize,
+}
+
+impl RepairConfig {
+    /// Full-reroute policy with a single replanning attempt per session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "at least one server is required (K >= 1)");
+        RepairConfig {
+            policy: RepairPolicy::FullReroute,
+            k,
+            max_retries: 1,
+        }
+    }
+
+    /// Sets the repair policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: RepairPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the per-session attempt budget.
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+}
+
+/// A committed session: the request, its tree, and the exact allocation
+/// held in the network ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommittedSession {
+    /// The admitted request (for degraded sessions, the *reduced* one).
+    pub request: MulticastRequest,
+    /// The pseudo-multicast tree serving it.
+    pub tree: PseudoMulticastTree,
+    /// The allocation currently charged to the network for it.
+    pub allocation: Allocation,
+}
+
+/// Outcome of [`SessionManager::depart`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Departure {
+    /// The session was committed; its resources were released.
+    Released,
+    /// The session was awaiting repair (already released); the pending
+    /// replan was cancelled.
+    Cancelled,
+    /// The session was unknown — already torn down (e.g. dropped by the
+    /// repair engine) or never admitted. The departure is a no-op.
+    Unknown,
+}
+
+#[derive(Debug, Clone)]
+struct PendingRepair {
+    request: MulticastRequest,
+    attempts: usize,
+}
+
+/// What one [`SessionManager::repair`] call did, in ascending request-id
+/// order within each category.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Sessions newly broken by failures since the last call (released
+    /// and queued for replanning this call).
+    pub broken: Vec<RequestId>,
+    /// Sessions recommitted with their full destination set.
+    pub repaired: Vec<RequestId>,
+    /// Sessions recommitted on a reduced destination set, with the number
+    /// of destinations shed.
+    pub degraded: Vec<(RequestId, usize)>,
+    /// Sessions torn down for good (policy `Reject`, or attempt budget
+    /// exhausted).
+    pub dropped: Vec<RequestId>,
+    /// Sessions still pending with attempt budget left; retried on the
+    /// next call.
+    pub deferred: Vec<RequestId>,
+}
+
+impl RepairReport {
+    /// `true` when the call found nothing to do and changed nothing.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.broken.is_empty()
+            && self.repaired.is_empty()
+            && self.degraded.is_empty()
+            && self.dropped.is_empty()
+            && self.deferred.is_empty()
+    }
+}
+
+/// Owns committed sessions and heals them across failure events.
+///
+/// All bookkeeping is `BTreeMap`-backed, so iteration — and therefore
+/// every repair decision — is deterministic in request-id order.
+#[derive(Debug, Clone, Default)]
+pub struct SessionManager {
+    sessions: BTreeMap<RequestId, CommittedSession>,
+    link_members: BTreeMap<EdgeId, BTreeSet<RequestId>>,
+    server_members: BTreeMap<NodeId, BTreeSet<RequestId>>,
+    pending: BTreeMap<RequestId, PendingRepair>,
+    double_release_count: u64,
+}
+
+impl SessionManager {
+    /// An empty manager.
+    #[must_use]
+    pub fn new() -> Self {
+        SessionManager::default()
+    }
+
+    /// Number of committed sessions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` when no session is committed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// `true` when `id` is committed (not merely pending repair).
+    #[must_use]
+    pub fn contains(&self, id: RequestId) -> bool {
+        self.sessions.contains_key(&id)
+    }
+
+    /// The committed session for `id`, if any.
+    #[must_use]
+    pub fn session(&self, id: RequestId) -> Option<&CommittedSession> {
+        self.sessions.get(&id)
+    }
+
+    /// Iterates committed sessions in ascending request-id order.
+    pub fn sessions(&self) -> impl Iterator<Item = (RequestId, &CommittedSession)> {
+        self.sessions.iter().map(|(&id, s)| (id, s))
+    }
+
+    /// Request ids currently awaiting a repair attempt.
+    #[must_use]
+    pub fn pending_repairs(&self) -> Vec<RequestId> {
+        self.pending.keys().copied().collect()
+    }
+
+    /// How many departures arrived for sessions that no longer held any
+    /// resources (the double-release guard fired).
+    #[must_use]
+    pub fn double_release_count(&self) -> u64 {
+        self.double_release_count
+    }
+
+    /// Runs `Appro_Multi_Cap` for `request` and commits the tree on
+    /// success. Returns `Ok(true)` if admitted and committed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ledger errors from [`Sdn::allocate`], and rejects a
+    /// request whose id is already committed or pending.
+    pub fn admit(
+        &mut self,
+        sdn: &mut Sdn,
+        request: &MulticastRequest,
+        k: usize,
+        scratch: &mut ApproScratch,
+    ) -> Result<bool, SdnError> {
+        match appro_multi_cap_with_scratch(sdn, request, k, scratch) {
+            Admission::Admitted(tree) => {
+                self.commit(sdn, request.clone(), tree)?;
+                Ok(true)
+            }
+            Admission::Rejected => Ok(false),
+        }
+    }
+
+    /// Allocates `tree`'s resources and records the session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdnError::InfeasibleRequest`] for a duplicate session id,
+    /// and propagates allocation errors (in which case nothing is
+    /// recorded).
+    pub fn commit(
+        &mut self,
+        sdn: &mut Sdn,
+        request: MulticastRequest,
+        tree: PseudoMulticastTree,
+    ) -> Result<(), SdnError> {
+        let id = request.id;
+        if self.sessions.contains_key(&id) || self.pending.contains_key(&id) {
+            return Err(SdnError::InfeasibleRequest {
+                reason: format!("session {id:?} is already tracked"),
+            });
+        }
+        let allocation = tree.allocation(&request);
+        sdn.allocate(&allocation)?;
+        for (e, _) in allocation.links() {
+            self.link_members.entry(e).or_default().insert(id);
+        }
+        for (v, _) in allocation.servers() {
+            self.server_members.entry(v).or_default().insert(id);
+        }
+        self.sessions.insert(
+            id,
+            CommittedSession {
+                request,
+                tree,
+                allocation,
+            },
+        );
+        Ok(())
+    }
+
+    /// Tears a session down. Committed sessions release their resources;
+    /// pending ones only cancel the queued replan (their resources were
+    /// released when the failure broke them); unknown ids are a logged
+    /// no-op — never a double release.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ledger errors from [`Sdn::release`].
+    pub fn depart(&mut self, sdn: &mut Sdn, id: RequestId) -> Result<Departure, SdnError> {
+        if let Some(s) = self.sessions.remove(&id) {
+            self.unindex(id, &s.allocation);
+            sdn.release(&s.allocation)?;
+            return Ok(Departure::Released);
+        }
+        if self.pending.remove(&id).is_some() {
+            return Ok(Departure::Cancelled);
+        }
+        self.double_release_count += 1;
+        eprintln!(
+            "warning: departure for unknown session {id:?}; \
+             resources already released, treating as a no-op"
+        );
+        Ok(Departure::Unknown)
+    }
+
+    /// Committed sessions whose footprint touches a failed link or
+    /// server, in ascending request-id order.
+    #[must_use]
+    pub fn broken_sessions(&self, sdn: &Sdn) -> Vec<RequestId> {
+        let mut broken: BTreeSet<RequestId> = BTreeSet::new();
+        for e in sdn.failed_links() {
+            if let Some(members) = self.link_members.get(&e) {
+                broken.extend(members.iter().copied());
+            }
+        }
+        for v in sdn.failed_servers() {
+            if let Some(members) = self.server_members.get(&v) {
+                broken.extend(members.iter().copied());
+            }
+        }
+        broken.into_iter().collect()
+    }
+
+    /// Detects sessions broken by failures, releases them, and replans
+    /// them (plus any still-pending earlier casualties) under `config`.
+    ///
+    /// Deterministic: sessions are processed in ascending request-id
+    /// order and the planner itself is deterministic, so the same network
+    /// state and failure history yield a byte-identical report.
+    pub fn repair(
+        &mut self,
+        sdn: &mut Sdn,
+        config: &RepairConfig,
+        scratch: &mut ApproScratch,
+    ) -> RepairReport {
+        let mut report = RepairReport {
+            broken: self.broken_sessions(sdn),
+            ..RepairReport::default()
+        };
+        for &id in &report.broken {
+            let s = self
+                .sessions
+                .remove(&id)
+                .expect("invariant: broken_sessions only lists committed sessions");
+            self.unindex(id, &s.allocation);
+            sdn.release(&s.allocation)
+                .expect("invariant: a committed allocation releases cleanly");
+            self.pending.insert(
+                id,
+                PendingRepair {
+                    request: s.request,
+                    attempts: 0,
+                },
+            );
+        }
+
+        let queue: Vec<RequestId> = self.pending.keys().copied().collect();
+        for id in queue {
+            let entry = &self.pending[&id];
+            if config.policy == RepairPolicy::Reject || entry.attempts >= config.max_retries {
+                self.pending.remove(&id);
+                report.dropped.push(id);
+                continue;
+            }
+            let request = entry.request.clone();
+
+            if let Admission::Admitted(tree) =
+                appro_multi_cap_with_scratch(sdn, &request, config.k, scratch)
+            {
+                self.pending.remove(&id);
+                self.commit(sdn, request, tree)
+                    .expect("invariant: a replanned tree fits the residual it was planned on");
+                report.repaired.push(id);
+                continue;
+            }
+
+            if config.policy == RepairPolicy::Degrade {
+                if let Some(reduced) = reachable_subrequest(sdn, &request) {
+                    let shed = request.destinations.len() - reduced.destinations.len();
+                    if let Admission::Admitted(tree) =
+                        appro_multi_cap_with_scratch(sdn, &reduced, config.k, scratch)
+                    {
+                        self.pending.remove(&id);
+                        self.commit(sdn, reduced, tree)
+                            .expect("invariant: a degraded tree fits the residual");
+                        report.degraded.push((id, shed));
+                        continue;
+                    }
+                }
+            }
+
+            let entry = self
+                .pending
+                .get_mut(&id)
+                .expect("invariant: unrepaired session is still pending");
+            entry.attempts += 1;
+            if entry.attempts >= config.max_retries {
+                self.pending.remove(&id);
+                report.dropped.push(id);
+            } else {
+                report.deferred.push(id);
+            }
+        }
+        report
+    }
+
+    fn unindex(&mut self, id: RequestId, allocation: &Allocation) {
+        for (e, _) in allocation.links() {
+            if let Some(members) = self.link_members.get_mut(&e) {
+                members.remove(&id);
+                if members.is_empty() {
+                    self.link_members.remove(&e);
+                }
+            }
+        }
+        for (v, _) in allocation.servers() {
+            if let Some(members) = self.server_members.get_mut(&v) {
+                members.remove(&id);
+                if members.is_empty() {
+                    self.server_members.remove(&v);
+                }
+            }
+        }
+    }
+}
+
+/// The sub-request keeping only destinations still connected to the
+/// source through usable links (alive, residual ≥ `b`). Returns `None`
+/// when nothing would be shed (degradation cannot help) or when no
+/// destination survives.
+fn reachable_subrequest(sdn: &Sdn, request: &MulticastRequest) -> Option<MulticastRequest> {
+    let g = sdn.graph();
+    let mut uf = UnionFind::new(g.node_count());
+    for e in g.edges() {
+        if sdn.is_link_alive(e.id) && sdn.residual_bandwidth(e.id) + 1e-9 >= request.bandwidth {
+            uf.union(e.u.index(), e.v.index());
+        }
+    }
+    let reachable: Vec<NodeId> = request
+        .destinations
+        .iter()
+        .copied()
+        .filter(|d| uf.connected(request.source.index(), d.index()))
+        .collect();
+    if reachable.is_empty() || reachable.len() == request.destinations.len() {
+        return None;
+    }
+    MulticastRequest::try_new(
+        request.id,
+        request.source,
+        reachable,
+        request.bandwidth,
+        request.chain.clone(),
+    )
+    .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdn::{NfvType, SdnBuilder, ServiceChain};
+
+    fn chain() -> ServiceChain {
+        ServiceChain::new(vec![NfvType::Firewall])
+    }
+
+    /// s - m1(server) - d with an alternative longer route s - a - m2 - d,
+    /// plus a spur d - x reaching a second destination.
+    fn fixture() -> (Sdn, Vec<NodeId>, Vec<EdgeId>) {
+        let mut bld = SdnBuilder::new();
+        let s = bld.add_switch();
+        let m1 = bld.add_server(1_000.0, 1.0);
+        let a = bld.add_switch();
+        let m2 = bld.add_server(1_000.0, 1.0);
+        let d = bld.add_switch();
+        let x = bld.add_switch();
+        let e0 = bld.add_link(s, m1, 1_000.0, 1.0).unwrap();
+        let e1 = bld.add_link(m1, d, 1_000.0, 1.0).unwrap();
+        let e2 = bld.add_link(s, a, 1_000.0, 2.0).unwrap();
+        let e3 = bld.add_link(a, m2, 1_000.0, 2.0).unwrap();
+        let e4 = bld.add_link(m2, d, 1_000.0, 2.0).unwrap();
+        let e5 = bld.add_link(d, x, 1_000.0, 1.0).unwrap();
+        (
+            bld.build().unwrap(),
+            vec![s, m1, a, m2, d, x],
+            vec![e0, e1, e2, e3, e4, e5],
+        )
+    }
+
+    fn req(v: &[NodeId], id: u64, dests: Vec<NodeId>) -> MulticastRequest {
+        MulticastRequest::new(RequestId(id), v[0], dests, 100.0, chain())
+    }
+
+    #[test]
+    fn repair_reroutes_a_broken_session() {
+        let (mut sdn, v, e) = fixture();
+        let mut mgr = SessionManager::new();
+        let mut scratch = ApproScratch::new();
+        let r = req(&v, 0, vec![v[4]]);
+        assert!(mgr.admit(&mut sdn, &r, 1, &mut scratch).unwrap());
+        assert_eq!(
+            mgr.session(RequestId(0)).unwrap().tree.servers_used(),
+            vec![v[1]]
+        );
+
+        sdn.fail_link(e[1]).unwrap();
+        let report = mgr.repair(&mut sdn, &RepairConfig::new(1), &mut scratch);
+        assert_eq!(report.broken, vec![RequestId(0)]);
+        assert_eq!(report.repaired, vec![RequestId(0)]);
+        assert!(report.dropped.is_empty());
+        // Rerouted via m2, and the membership index moved with it.
+        let s = mgr.session(RequestId(0)).unwrap();
+        assert_eq!(s.tree.servers_used(), vec![v[3]]);
+        assert_eq!(mgr.broken_sessions(&sdn), Vec::<RequestId>::new());
+    }
+
+    #[test]
+    fn repair_is_a_no_op_without_failures() {
+        let (mut sdn, v, _) = fixture();
+        let mut mgr = SessionManager::new();
+        let mut scratch = ApproScratch::new();
+        assert!(mgr
+            .admit(&mut sdn, &req(&v, 0, vec![v[4]]), 1, &mut scratch)
+            .unwrap());
+        let before = sdn.clone();
+        let report = mgr.repair(&mut sdn, &RepairConfig::new(1), &mut scratch);
+        assert!(report.is_quiet());
+        assert_eq!(sdn, before);
+    }
+
+    #[test]
+    fn reject_policy_and_zero_retries_both_tear_down() {
+        for cfg in [
+            RepairConfig::new(1).with_policy(RepairPolicy::Reject),
+            RepairConfig::new(1).with_max_retries(0),
+        ] {
+            let (mut sdn, v, e) = fixture();
+            let mut mgr = SessionManager::new();
+            let mut scratch = ApproScratch::new();
+            assert!(mgr
+                .admit(&mut sdn, &req(&v, 0, vec![v[4]]), 1, &mut scratch)
+                .unwrap());
+            sdn.fail_link(e[1]).unwrap();
+            let report = mgr.repair(&mut sdn, &cfg, &mut scratch);
+            assert_eq!(report.dropped, vec![RequestId(0)]);
+            assert!(report.repaired.is_empty());
+            assert!(mgr.is_empty());
+            // The broken session's hold was released despite the drop.
+            assert_eq!(sdn.residual_bandwidth(e[0]), sdn.bandwidth_capacity(e[0]));
+        }
+    }
+
+    #[test]
+    fn degrade_sheds_only_unreachable_destinations() {
+        let (mut sdn, v, e) = fixture();
+        let mut mgr = SessionManager::new();
+        let mut scratch = ApproScratch::new();
+        // Two destinations: d (v[4]) and the spur x (v[5]).
+        assert!(mgr
+            .admit(&mut sdn, &req(&v, 0, vec![v[4], v[5]]), 1, &mut scratch)
+            .unwrap());
+        // Cut the spur: x becomes unreachable, d is still fine.
+        sdn.fail_link(e[5]).unwrap();
+        let cfg = RepairConfig::new(1).with_policy(RepairPolicy::Degrade);
+        let report = mgr.repair(&mut sdn, &cfg, &mut scratch);
+        assert_eq!(report.degraded, vec![(RequestId(0), 1)]);
+        let s = mgr.session(RequestId(0)).unwrap();
+        assert_eq!(s.request.destinations, vec![v[4]]);
+        s.tree.validate(&sdn, &s.request).unwrap();
+        // Full-reroute policy would have dropped the session instead.
+        let (mut sdn2, v2, e2) = fixture();
+        let mut mgr2 = SessionManager::new();
+        assert!(mgr2
+            .admit(&mut sdn2, &req(&v2, 0, vec![v2[4], v2[5]]), 1, &mut scratch)
+            .unwrap());
+        sdn2.fail_link(e2[5]).unwrap();
+        let report2 = mgr2.repair(&mut sdn2, &RepairConfig::new(1), &mut scratch);
+        assert_eq!(report2.dropped, vec![RequestId(0)]);
+    }
+
+    #[test]
+    fn pending_session_retries_after_recovery() {
+        let (mut sdn, v, e) = fixture();
+        let mut mgr = SessionManager::new();
+        let mut scratch = ApproScratch::new();
+        assert!(mgr
+            .admit(&mut sdn, &req(&v, 0, vec![v[4]]), 1, &mut scratch)
+            .unwrap());
+        // Cut both routes into d: no replan can succeed yet.
+        sdn.fail_link(e[1]).unwrap();
+        sdn.fail_link(e[4]).unwrap();
+        let cfg = RepairConfig::new(1).with_max_retries(3);
+        let report = mgr.repair(&mut sdn, &cfg, &mut scratch);
+        assert_eq!(report.deferred, vec![RequestId(0)]);
+        assert_eq!(mgr.pending_repairs(), vec![RequestId(0)]);
+        // A recovery event restores the cheap route; the next repair call
+        // heals the deferred session.
+        sdn.recover_link(e[1]).unwrap();
+        let report = mgr.repair(&mut sdn, &cfg, &mut scratch);
+        assert_eq!(report.repaired, vec![RequestId(0)]);
+        assert!(mgr.pending_repairs().is_empty());
+    }
+
+    #[test]
+    fn depart_guards_against_double_release() {
+        let (mut sdn, v, e) = fixture();
+        let mut mgr = SessionManager::new();
+        let mut scratch = ApproScratch::new();
+        assert!(mgr
+            .admit(&mut sdn, &req(&v, 0, vec![v[4]]), 1, &mut scratch)
+            .unwrap());
+        assert_eq!(
+            mgr.depart(&mut sdn, RequestId(0)).unwrap(),
+            Departure::Released
+        );
+        // Second departure for the same id: guarded no-op.
+        assert_eq!(
+            mgr.depart(&mut sdn, RequestId(0)).unwrap(),
+            Departure::Unknown
+        );
+        assert_eq!(mgr.double_release_count(), 1);
+        assert_eq!(sdn.residual_bandwidth(e[0]), sdn.bandwidth_capacity(e[0]));
+        // Departing a session the repair engine dropped is also a no-op.
+        assert!(mgr
+            .admit(&mut sdn, &req(&v, 1, vec![v[4]]), 1, &mut scratch)
+            .unwrap());
+        sdn.fail_link(e[1]).unwrap();
+        sdn.fail_link(e[4]).unwrap();
+        let cfg = RepairConfig::new(1).with_max_retries(1);
+        let report = mgr.repair(&mut sdn, &cfg, &mut scratch);
+        assert_eq!(report.dropped, vec![RequestId(1)]);
+        assert_eq!(
+            mgr.depart(&mut sdn, RequestId(1)).unwrap(),
+            Departure::Unknown
+        );
+        assert_eq!(mgr.double_release_count(), 2);
+    }
+
+    #[test]
+    fn depart_cancels_a_pending_repair() {
+        let (mut sdn, v, e) = fixture();
+        let mut mgr = SessionManager::new();
+        let mut scratch = ApproScratch::new();
+        assert!(mgr
+            .admit(&mut sdn, &req(&v, 0, vec![v[4]]), 1, &mut scratch)
+            .unwrap());
+        sdn.fail_link(e[1]).unwrap();
+        sdn.fail_link(e[4]).unwrap();
+        let cfg = RepairConfig::new(1).with_max_retries(5);
+        mgr.repair(&mut sdn, &cfg, &mut scratch);
+        assert_eq!(mgr.pending_repairs(), vec![RequestId(0)]);
+        assert_eq!(
+            mgr.depart(&mut sdn, RequestId(0)).unwrap(),
+            Departure::Cancelled
+        );
+        assert!(mgr.pending_repairs().is_empty());
+        assert_eq!(mgr.double_release_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_commit_is_rejected() {
+        let (mut sdn, v, _) = fixture();
+        let mut mgr = SessionManager::new();
+        let mut scratch = ApproScratch::new();
+        let r = req(&v, 0, vec![v[4]]);
+        assert!(mgr.admit(&mut sdn, &r, 1, &mut scratch).unwrap());
+        let err = mgr.admit(&mut sdn, &r, 1, &mut scratch).unwrap_err();
+        assert!(matches!(err, SdnError::InfeasibleRequest { .. }));
+    }
+}

@@ -9,7 +9,8 @@
 //! in.
 
 use crate::OnlineAlgorithm;
-use sdn::{MulticastRequest, RequestId, Sdn};
+use sdn::{Allocation, MulticastRequest, RequestId, Sdn, SdnError};
+use std::collections::BTreeMap;
 
 /// A request with an arrival time and a holding duration.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,22 +28,152 @@ impl TimedRequest {
     ///
     /// # Panics
     ///
-    /// Panics unless `arrival >= 0` and `duration > 0` are finite.
+    /// Panics unless `arrival >= 0` and `duration > 0` are finite; use
+    /// [`TimedRequest::try_new`] for untrusted timing data.
     #[must_use]
     pub fn new(request: MulticastRequest, arrival: f64, duration: f64) -> Self {
-        assert!(
-            arrival.is_finite() && arrival >= 0.0,
-            "bad arrival {arrival}"
-        );
-        assert!(
-            duration.is_finite() && duration > 0.0,
-            "bad duration {duration}"
-        );
-        TimedRequest {
+        Self::try_new(request, arrival, duration).unwrap_or_else(|e| {
+            panic!("invariant violated: timed workloads are well-formed, but {e}")
+        })
+    }
+
+    /// Fallible constructor for timing data from untrusted input.
+    ///
+    /// # Errors
+    ///
+    /// [`SdnError::InfeasibleRequest`] unless `arrival >= 0` and
+    /// `duration > 0` are finite.
+    pub fn try_new(
+        request: MulticastRequest,
+        arrival: f64,
+        duration: f64,
+    ) -> Result<Self, SdnError> {
+        if !arrival.is_finite() || arrival < 0.0 {
+            return Err(SdnError::InfeasibleRequest {
+                reason: format!("bad arrival {arrival}"),
+            });
+        }
+        if !duration.is_finite() || duration <= 0.0 {
+            return Err(SdnError::InfeasibleRequest {
+                reason: format!("bad duration {duration}"),
+            });
+        }
+        Ok(TimedRequest {
             request,
             arrival,
             duration,
+        })
+    }
+}
+
+/// Active-session table keyed by request id, with a double-release guard.
+///
+/// Departure handling used to be a bare `Vec<(f64, Allocation)>` drained
+/// inline by [`run_dynamic`]; once an external actor (e.g. a repair
+/// engine) can also tear sessions down, a departure must not release an
+/// allocation twice. All mutations go through this table: a departure
+/// for an id that no longer holds resources is a logged no-op.
+#[derive(Debug, Clone, Default)]
+pub struct ActiveSessions {
+    sessions: BTreeMap<RequestId, (f64, Allocation)>,
+    double_release_count: u64,
+}
+
+impl ActiveSessions {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        ActiveSessions::default()
+    }
+
+    /// Number of sessions currently holding resources.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` when no session is active.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// `true` when `id` is active.
+    #[must_use]
+    pub fn contains(&self, id: RequestId) -> bool {
+        self.sessions.contains_key(&id)
+    }
+
+    /// How many departures hit a session that no longer held resources
+    /// (the double-release guard fired).
+    #[must_use]
+    pub fn double_release_count(&self) -> u64 {
+        self.double_release_count
+    }
+
+    /// Records an admitted session holding `alloc` until `departure`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate id — two live sessions must never share one
+    /// (the second would silently shadow the first's allocation).
+    pub fn insert(&mut self, id: RequestId, departure: f64, alloc: Allocation) {
+        let prev = self.sessions.insert(id, (departure, alloc));
+        assert!(
+            prev.is_none(),
+            "invariant violated: session {id} was already active"
+        );
+    }
+
+    /// Departs `id` now, releasing its allocation. Returns `true` if the
+    /// session was active; an unknown id — already departed, or torn
+    /// down by a repair engine — is a logged no-op returning `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledger refuses the release (accounting bug).
+    pub fn depart(&mut self, sdn: &mut Sdn, id: RequestId) -> bool {
+        match self.sessions.remove(&id) {
+            Some((_, alloc)) => {
+                sdn.release(&alloc).expect("release departed session");
+                true
+            }
+            None => {
+                self.double_release_count += 1;
+                eprintln!(
+                    "warning: departure for inactive session {id}; \
+                     resources already released, treating as a no-op"
+                );
+                false
+            }
         }
+    }
+
+    /// Drops `id` from the table *without* releasing — for sessions whose
+    /// resources were already released elsewhere (e.g. by a repair
+    /// engine that tore the session down). Returns `true` if removed.
+    pub fn forget(&mut self, id: RequestId) -> bool {
+        self.sessions.remove(&id).is_some()
+    }
+
+    /// Releases every session whose departure time is `<= now`, in
+    /// ascending id order. Returns how many departed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledger refuses a release (accounting bug).
+    pub fn release_due(&mut self, sdn: &mut Sdn, now: f64) -> usize {
+        let due: Vec<RequestId> = self
+            .sessions
+            .iter()
+            .filter(|(_, (dep, _))| *dep <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &due {
+            let (_, alloc) = self.sessions.remove(id).expect("just listed");
+            sdn.release(&alloc).expect("release departed session");
+        }
+        due.len()
     }
 }
 
@@ -91,8 +222,7 @@ pub fn run_dynamic<A: OnlineAlgorithm + ?Sized>(
     let mut order: Vec<&TimedRequest> = requests.iter().collect();
     order.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite arrivals"));
 
-    // Active sessions: (departure time, allocation).
-    let mut active: Vec<(f64, sdn::Allocation)> = Vec::new();
+    let mut active = ActiveSessions::new();
     let mut admitted_ids = Vec::new();
     let mut rejected = 0usize;
     let mut peak = 0usize;
@@ -100,15 +230,7 @@ pub fn run_dynamic<A: OnlineAlgorithm + ?Sized>(
     for tr in order {
         // Release everything that departed before this arrival.
         let now = tr.arrival;
-        let mut i = 0;
-        while i < active.len() {
-            if active[i].0 <= now {
-                let (_, alloc) = active.swap_remove(i);
-                sdn.release(&alloc).expect("release departed session");
-            } else {
-                i += 1;
-            }
-        }
+        active.release_due(sdn, now);
 
         match algorithm.admit(sdn, &tr.request) {
             Some(tree) => {
@@ -120,7 +242,7 @@ pub fn run_dynamic<A: OnlineAlgorithm + ?Sized>(
                         tr.request.id
                     )
                 });
-                active.push((now + tr.duration, alloc));
+                active.insert(tr.request.id, now + tr.duration, alloc);
                 admitted_ids.push(tr.request.id);
                 peak = peak.max(active.len());
             }
@@ -230,5 +352,73 @@ mod tests {
     fn zero_duration_rejected() {
         let (_, nodes) = tiny_net();
         let _ = timed(&nodes, 0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn try_new_rejects_instead_of_panicking() {
+        let (_, nodes) = tiny_net();
+        let good = timed(&nodes, 0, 0.0, 1.0);
+        assert!(TimedRequest::try_new(good.request.clone(), -1.0, 5.0).is_err());
+        assert!(TimedRequest::try_new(good.request.clone(), 0.0, 0.0).is_err());
+        assert!(TimedRequest::try_new(good.request.clone(), f64::NAN, 5.0).is_err());
+        assert!(TimedRequest::try_new(good.request.clone(), 0.0, f64::INFINITY).is_err());
+        let ok = TimedRequest::try_new(good.request, 3.0, 5.0).unwrap();
+        assert_eq!(ok.arrival, 3.0);
+    }
+
+    #[test]
+    fn departure_after_external_teardown_is_a_guarded_no_op() {
+        // A repair engine (or any external actor) tore the session down
+        // and released its resources; the scheduled departure later fires
+        // for the same id. It must not release twice.
+        let (mut sdn, nodes) = tiny_net();
+        let fresh = sdn.clone();
+        let tr = timed(&nodes, 7, 0.0, 10.0);
+        let tree = ShortestPathBaseline::new()
+            .admit(&sdn, &tr.request)
+            .unwrap();
+        let alloc = tree.allocation(&tr.request);
+        sdn.allocate(&alloc).unwrap();
+        let mut active = ActiveSessions::new();
+        active.insert(RequestId(7), 10.0, alloc.clone());
+
+        // External teardown: resources released outside the table.
+        sdn.release(&alloc).unwrap();
+        assert!(active.forget(RequestId(7)));
+
+        // The departure is now a no-op: no second release, guard counted.
+        assert!(!active.depart(&mut sdn, RequestId(7)));
+        assert_eq!(active.double_release_count(), 1);
+        assert_eq!(sdn, fresh);
+
+        // Same for a time-driven departure: nothing is due.
+        assert_eq!(active.release_due(&mut sdn, 1e9), 0);
+        assert_eq!(sdn, fresh);
+    }
+
+    #[test]
+    fn double_depart_is_a_guarded_no_op() {
+        let (mut sdn, nodes) = tiny_net();
+        let fresh = sdn.clone();
+        let tr = timed(&nodes, 0, 0.0, 10.0);
+        let tree = ShortestPathBaseline::new()
+            .admit(&sdn, &tr.request)
+            .unwrap();
+        let alloc = tree.allocation(&tr.request);
+        sdn.allocate(&alloc).unwrap();
+        let mut active = ActiveSessions::new();
+        active.insert(RequestId(0), 10.0, alloc);
+        assert!(active.depart(&mut sdn, RequestId(0)));
+        assert!(!active.depart(&mut sdn, RequestId(0)));
+        assert_eq!(active.double_release_count(), 1);
+        assert_eq!(sdn, fresh);
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn duplicate_active_id_panics() {
+        let mut active = ActiveSessions::new();
+        active.insert(RequestId(1), 1.0, Allocation::new(RequestId(1)));
+        active.insert(RequestId(1), 2.0, Allocation::new(RequestId(1)));
     }
 }

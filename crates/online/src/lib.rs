@@ -52,7 +52,7 @@ mod simulation;
 mod sp;
 
 pub use benchmark::{empirical_competitive_ratio, offline_greedy_benchmark};
-pub use dynamics::{run_dynamic, DynamicResult, TimedRequest};
+pub use dynamics::{run_dynamic, ActiveSessions, DynamicResult, TimedRequest};
 pub use multi::OnlineCpMulti;
 pub use online_cp::{CostMode, OnlineCp, ThresholdRule};
 pub use simulation::{

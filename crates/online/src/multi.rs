@@ -62,7 +62,8 @@ impl OnlineAlgorithm for OnlineCpMulti {
         }
         let mut usable: Vec<NodeId> = Vec::new();
         for &v in sdn.servers() {
-            if sdn.residual_computing(v).expect("server") + 1e-9 < demand {
+            if !sdn.is_server_alive(v) || sdn.residual_computing(v).expect("server") + 1e-9 < demand
+            {
                 continue;
             }
             let wv = model.server_weight(sdn, v).expect("server");
@@ -84,7 +85,7 @@ impl OnlineAlgorithm for OnlineCpMulti {
         let c_max = sdn.graph().edges().map(|e| e.weight).fold(1e-12, f64::max);
         let mut edge_map: Vec<EdgeId> = Vec::new();
         for e in sdn.graph().edges() {
-            if sdn.residual_bandwidth(e.id) + 1e-9 < b {
+            if !sdn.is_link_alive(e.id) || sdn.residual_bandwidth(e.id) + 1e-9 < b {
                 continue;
             }
             let w = model.edge_weight(sdn, e.id);

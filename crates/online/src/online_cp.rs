@@ -114,6 +114,14 @@ impl OnlineCp {
         self.cache_hits
     }
 
+    /// The [`Sdn::version`] the cached admission graph `G_k` was built at,
+    /// or `None` before the first admission. The invariant auditor compares
+    /// this against the live network right after an admission is served.
+    #[must_use]
+    pub fn cached_version(&self) -> Option<u64> {
+        self.cache.as_ref().map(|c| c.version)
+    }
+
     /// Returns (building if needed) the admission graph for bandwidth `b`
     /// against the current residual state.
     fn admission_graph(&mut self, sdn: &Sdn, b: f64) -> (&FilteredGraph, &Graph) {
@@ -131,10 +139,11 @@ impl OnlineCp {
             // G_k: links with enough residual bandwidth, weighted by the
             // chosen cost mode. (A link on the send-back path needs 2·b_k;
             // that stricter joint check happens on the final allocation.)
+            // Failed links are excluded exactly like saturated ones.
             let filtered = induced_subgraph(
                 sdn.graph(),
                 |_| true,
-                |e| sdn.residual_bandwidth(e) + 1e-9 >= b,
+                |e| sdn.is_link_alive(e) && sdn.residual_bandwidth(e) + 1e-9 >= b,
             );
             let g = filtered.graph();
             // Weighted copy of the filtered graph. A fresh network has
@@ -201,8 +210,10 @@ impl OnlineAlgorithm for OnlineCp {
 
         let mut candidates: Vec<Candidate> = Vec::new();
         for &v in sdn.servers() {
-            // Hard feasibility: the chain must fit.
-            if sdn.residual_computing(v).expect("server") + 1e-9 < demand {
+            // Hard feasibility: the server must be up and the chain must
+            // fit its residual capacity.
+            if !sdn.is_server_alive(v) || sdn.residual_computing(v).expect("server") + 1e-9 < demand
+            {
                 continue;
             }
             let wv = match mode {

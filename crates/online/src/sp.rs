@@ -34,11 +34,11 @@ impl OnlineAlgorithm for ShortestPathBaseline {
         let b = request.bandwidth;
         let demand = request.computing_demand();
 
-        // Remove saturated links; uniform weight on the rest.
+        // Remove saturated and failed links; uniform weight on the rest.
         let filtered = induced_subgraph(
             sdn.graph(),
             |_| true,
-            |e| sdn.residual_bandwidth(e) + 1e-9 >= b,
+            |e| sdn.is_link_alive(e) && sdn.residual_bandwidth(e) + 1e-9 >= b,
         );
         let g = filtered.graph();
         let mut uniform = netgraph::Graph::with_nodes(g.node_count());
@@ -51,7 +51,8 @@ impl OnlineAlgorithm for ShortestPathBaseline {
         let mut best: Option<(f64, PseudoMulticastTree)> = None;
         let spt_source = dijkstra_with_targets(&uniform, request.source, sdn.servers());
         for &v in sdn.servers() {
-            if sdn.residual_computing(v).expect("server") + 1e-9 < demand {
+            if !sdn.is_server_alive(v) || sdn.residual_computing(v).expect("server") + 1e-9 < demand
+            {
                 continue;
             }
             let Some(ingress) = spt_source.path_to(v) else {

@@ -44,6 +44,34 @@ pub enum SdnError {
     },
     /// A request referenced a node outside the network.
     UnknownNode(NodeId),
+    /// A request is malformed and can never be admitted on any network
+    /// (empty destination set, non-finite demand, …).
+    InfeasibleRequest {
+        /// Why the request is infeasible.
+        reason: String,
+    },
+    /// An operation needed residual capacity that no surviving element can
+    /// provide (distinct from a per-element shortfall: the pool itself is
+    /// exhausted).
+    CapacityExhausted {
+        /// Human-readable description of the exhausted resource pool.
+        what: String,
+    },
+    /// An operation targeted a link or server that is currently failed.
+    DeadElement {
+        /// Human-readable description of the dead element.
+        what: String,
+    },
+    /// A cache built against an older [`crate::Sdn::version`] was asked to
+    /// serve a query against a newer residual state.
+    StaleCache {
+        /// Which cache is stale.
+        cache: &'static str,
+        /// The version the cache was built at.
+        cached_version: u64,
+        /// The network's current version.
+        network_version: u64,
+    },
 }
 
 impl fmt::Display for SdnError {
@@ -74,6 +102,22 @@ impl fmt::Display for SdnError {
                 write!(f, "released more than allocated on {what}")
             }
             SdnError::UnknownNode(n) => write!(f, "node {n} is not part of the network"),
+            SdnError::InfeasibleRequest { reason } => {
+                write!(f, "request is infeasible: {reason}")
+            }
+            SdnError::CapacityExhausted { what } => {
+                write!(f, "capacity exhausted: {what}")
+            }
+            SdnError::DeadElement { what } => write!(f, "{what} is failed"),
+            SdnError::StaleCache {
+                cache,
+                cached_version,
+                network_version,
+            } => write!(
+                f,
+                "cache {cache} was built at version {cached_version} but the network is at \
+                 version {network_version}"
+            ),
         }
     }
 }

@@ -119,6 +119,8 @@ impl SdnBuilder {
             .collect();
         let residual_bandwidth = self.bandwidth_capacity.clone();
         let residual_computing = self.computing_capacity.clone();
+        let link_alive = vec![true; self.bandwidth_capacity.len()];
+        let node_alive = vec![true; self.graph.node_count()];
         Ok(Sdn {
             graph: self.graph,
             servers,
@@ -127,6 +129,8 @@ impl SdnBuilder {
             bandwidth_capacity: self.bandwidth_capacity,
             residual_bandwidth,
             residual_computing,
+            link_alive,
+            node_alive,
             version: 0,
         })
     }
@@ -147,6 +151,13 @@ pub struct Sdn {
     bandwidth_capacity: Vec<f64>,
     residual_bandwidth: Vec<f64>,
     residual_computing: Vec<f64>,
+    /// Per-link liveness: `false` while the link is failed. Reserved
+    /// capacity bookkeeping is unaffected by failures — only the *usable*
+    /// view ([`Sdn::usable_bandwidth`]) is masked.
+    link_alive: Vec<bool>,
+    /// Per-node (server) liveness: `false` while the attached server is
+    /// failed. Plain switches are always `true`.
+    node_alive: Vec<bool>,
     /// Bumped on every successful residual-capacity mutation; shortest-path
     /// caches compare it to detect staleness.
     version: u64,
@@ -166,6 +177,8 @@ impl PartialEq for Sdn {
             && self.bandwidth_capacity == other.bandwidth_capacity
             && self.residual_bandwidth == other.residual_bandwidth
             && self.residual_computing == other.residual_computing
+            && self.link_alive == other.link_alive
+            && self.node_alive == other.node_alive
     }
 }
 
@@ -295,6 +308,164 @@ impl Sdn {
         self.version
     }
 
+    /// Returns `true` while link `e` is up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not a link of this network.
+    #[must_use]
+    pub fn is_link_alive(&self, e: EdgeId) -> bool {
+        self.link_alive[e.index()]
+    }
+
+    /// Returns `true` if `v` carries a server that is currently up.
+    /// `false` for plain switches and for failed servers alike.
+    #[must_use]
+    pub fn is_server_alive(&self, v: NodeId) -> bool {
+        self.is_server(v) && self.node_alive[v.index()]
+    }
+
+    /// Alive-masked residual bandwidth: the residual `B_e(k)` while the
+    /// link is up, `0.0` while it is failed. Admission and repair planning
+    /// read this view; the raw ledger ([`Sdn::residual_bandwidth`]) keeps
+    /// reserved-capacity bookkeeping across failures so releases and
+    /// recoveries stay exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not a link of this network.
+    #[must_use]
+    pub fn usable_bandwidth(&self, e: EdgeId) -> f64 {
+        if self.link_alive[e.index()] {
+            self.residual_bandwidth[e.index()]
+        } else {
+            0.0
+        }
+    }
+
+    /// Alive-masked residual computing: the residual `C_v(k)` while the
+    /// server is up, `Some(0.0)` while it is failed, `None` for plain
+    /// switches.
+    #[must_use]
+    pub fn usable_computing(&self, v: NodeId) -> Option<f64> {
+        if !self.is_server(v) {
+            None
+        } else if self.node_alive[v.index()] {
+            Some(self.residual_computing[v.index()])
+        } else {
+            Some(0.0)
+        }
+    }
+
+    /// Takes link `e` down. Reserved capacity on the link is *not*
+    /// released — sessions holding it stay accounted until their owner
+    /// releases or repairs them — but the usable view drops to zero and
+    /// [`Sdn::version`] moves so caches invalidate.
+    ///
+    /// Returns `Ok(true)` when the link went down, `Ok(false)` when it was
+    /// already down (idempotent; the version does not move).
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error for an unknown link id.
+    pub fn fail_link(&mut self, e: EdgeId) -> Result<bool, SdnError> {
+        if e.index() >= self.link_alive.len() {
+            return Err(SdnError::Graph(netgraph::GraphError::InvalidEdge(e)));
+        }
+        if !self.link_alive[e.index()] {
+            return Ok(false);
+        }
+        self.link_alive[e.index()] = false;
+        self.version = self.version.wrapping_add(1);
+        Ok(true)
+    }
+
+    /// Brings link `e` back up. Its residual bandwidth resumes at capacity
+    /// minus whatever live sessions still hold (the ledger was preserved
+    /// across the failure).
+    ///
+    /// Returns `Ok(true)` when the link came up, `Ok(false)` when it was
+    /// already up.
+    ///
+    /// # Errors
+    ///
+    /// Returns a graph error for an unknown link id.
+    pub fn recover_link(&mut self, e: EdgeId) -> Result<bool, SdnError> {
+        if e.index() >= self.link_alive.len() {
+            return Err(SdnError::Graph(netgraph::GraphError::InvalidEdge(e)));
+        }
+        if self.link_alive[e.index()] {
+            return Ok(false);
+        }
+        self.link_alive[e.index()] = true;
+        self.version = self.version.wrapping_add(1);
+        Ok(true)
+    }
+
+    /// Takes the server at `v` down (its switch keeps forwarding; only the
+    /// computing resource is lost). Reserved computing is not released.
+    ///
+    /// Returns `Ok(true)` when the server went down, `Ok(false)` when it
+    /// was already down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdnError::NotAServer`] if `v` has no attached server.
+    pub fn fail_server(&mut self, v: NodeId) -> Result<bool, SdnError> {
+        if !self.is_server(v) {
+            return Err(SdnError::NotAServer(v));
+        }
+        if !self.node_alive[v.index()] {
+            return Ok(false);
+        }
+        self.node_alive[v.index()] = false;
+        self.version = self.version.wrapping_add(1);
+        Ok(true)
+    }
+
+    /// Brings the server at `v` back up.
+    ///
+    /// Returns `Ok(true)` when the server came up, `Ok(false)` when it was
+    /// already up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdnError::NotAServer`] if `v` has no attached server.
+    pub fn recover_server(&mut self, v: NodeId) -> Result<bool, SdnError> {
+        if !self.is_server(v) {
+            return Err(SdnError::NotAServer(v));
+        }
+        if self.node_alive[v.index()] {
+            return Ok(false);
+        }
+        self.node_alive[v.index()] = true;
+        self.version = self.version.wrapping_add(1);
+        Ok(true)
+    }
+
+    /// Currently failed links, in id order.
+    pub fn failed_links(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.link_alive
+            .iter()
+            .enumerate()
+            .filter(|(_, alive)| !**alive)
+            .map(|(i, _)| EdgeId::new(i))
+    }
+
+    /// Currently failed servers, in id order.
+    pub fn failed_servers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.servers
+            .iter()
+            .copied()
+            .filter(|v| !self.node_alive[v.index()])
+    }
+
+    /// Returns `true` when no link or server is currently failed.
+    #[must_use]
+    pub fn all_alive(&self) -> bool {
+        self.link_alive.iter().all(|&a| a) && self.node_alive.iter().all(|&a| a)
+    }
+
     /// Checks whether `alloc` fits in the current residual capacities.
     #[must_use]
     pub fn can_allocate(&self, alloc: &Allocation) -> bool {
@@ -306,6 +477,11 @@ impl Sdn {
         for (e, load) in alloc.links() {
             if e.index() >= self.bandwidth_capacity.len() {
                 return Err(SdnError::Graph(netgraph::GraphError::InvalidEdge(e)));
+            }
+            if !self.link_alive[e.index()] {
+                return Err(SdnError::DeadElement {
+                    what: format!("link {e}"),
+                });
             }
             let avail = self.residual_bandwidth[e.index()];
             if load > avail + EPS {
@@ -319,6 +495,11 @@ impl Sdn {
         for (v, load) in alloc.servers() {
             if !self.is_server(v) {
                 return Err(SdnError::NotAServer(v));
+            }
+            if !self.node_alive[v.index()] {
+                return Err(SdnError::DeadElement {
+                    what: format!("server {v}"),
+                });
             }
             let avail = self.residual_computing[v.index()];
             if load > avail + EPS {
@@ -396,12 +577,24 @@ impl Sdn {
         Ok(())
     }
 
-    /// Restores every residual capacity to its full value.
+    /// Restores every residual capacity to its full value. Liveness is
+    /// untouched — failed elements stay failed (use [`Sdn::recover_all`]).
     pub fn reset(&mut self) {
         self.residual_bandwidth
             .copy_from_slice(&self.bandwidth_capacity);
         self.residual_computing
             .copy_from_slice(&self.computing_capacity);
+        self.version = self.version.wrapping_add(1);
+    }
+
+    /// Brings every failed link and server back up. A no-op (version
+    /// included) when nothing is failed.
+    pub fn recover_all(&mut self) {
+        if self.all_alive() {
+            return;
+        }
+        self.link_alive.fill(true);
+        self.node_alive.fill(true);
         self.version = self.version.wrapping_add(1);
     }
 
@@ -573,6 +766,95 @@ mod tests {
         assert_eq!(sdn.version(), 3);
         // Equality ignores history.
         assert_eq!(sdn, pristine);
+    }
+
+    #[test]
+    fn link_failure_masks_usable_but_preserves_ledger() {
+        let (mut sdn, v, e) = small();
+        let mut a = Allocation::new(RequestId(1));
+        a.add_link(e[0], 60.0);
+        a.add_server(v[1], 400.0);
+        sdn.allocate(&a).unwrap();
+        let v_before = sdn.version();
+        assert!(sdn.fail_link(e[0]).unwrap());
+        assert_eq!(sdn.version(), v_before + 1);
+        assert!(!sdn.is_link_alive(e[0]));
+        assert!(!sdn.all_alive());
+        // Usable view is masked; the raw ledger still remembers the hold.
+        assert_eq!(sdn.usable_bandwidth(e[0]), 0.0);
+        assert_eq!(sdn.residual_bandwidth(e[0]), 40.0);
+        // Failing again is an idempotent no-op.
+        assert!(!sdn.fail_link(e[0]).unwrap());
+        assert_eq!(sdn.version(), v_before + 1);
+        // Releasing the session while the link is down still works.
+        sdn.release(&a).unwrap();
+        assert_eq!(sdn.residual_bandwidth(e[0]), 100.0);
+        // Recovery restores the usable view to the (restored) residual.
+        assert!(sdn.recover_link(e[0]).unwrap());
+        assert_eq!(sdn.usable_bandwidth(e[0]), 100.0);
+        assert!(sdn.all_alive());
+    }
+
+    #[test]
+    fn server_failure_masks_usable_computing() {
+        let (mut sdn, v, _) = small();
+        assert!(sdn.fail_server(v[1]).unwrap());
+        assert!(!sdn.is_server_alive(v[1]));
+        assert!(sdn.is_server(v[1]), "failed server is still a server");
+        assert_eq!(sdn.usable_computing(v[1]), Some(0.0));
+        assert_eq!(sdn.residual_computing(v[1]), Some(1000.0));
+        assert_eq!(sdn.failed_servers().collect::<Vec<_>>(), vec![v[1]]);
+        assert!(sdn.recover_server(v[1]).unwrap());
+        assert_eq!(sdn.usable_computing(v[1]), Some(1000.0));
+        // Switches are never "alive servers" and cannot fail as servers.
+        assert!(!sdn.is_server_alive(v[0]));
+        assert!(matches!(
+            sdn.fail_server(v[0]),
+            Err(SdnError::NotAServer(_))
+        ));
+        assert_eq!(sdn.usable_computing(v[0]), None);
+    }
+
+    #[test]
+    fn allocation_on_dead_element_rejected() {
+        let (mut sdn, v, e) = small();
+        sdn.fail_link(e[0]).unwrap();
+        let mut a = Allocation::new(RequestId(1));
+        a.add_link(e[0], 10.0);
+        assert!(matches!(
+            sdn.allocate(&a),
+            Err(SdnError::DeadElement { .. })
+        ));
+        sdn.recover_link(e[0]).unwrap();
+        sdn.fail_server(v[1]).unwrap();
+        let mut b = Allocation::new(RequestId(2));
+        b.add_server(v[1], 10.0);
+        assert!(matches!(
+            sdn.allocate(&b),
+            Err(SdnError::DeadElement { .. })
+        ));
+    }
+
+    #[test]
+    fn recover_all_revives_everything() {
+        let (mut sdn, v, e) = small();
+        sdn.fail_link(e[1]).unwrap();
+        sdn.fail_server(v[1]).unwrap();
+        assert_eq!(sdn.failed_links().collect::<Vec<_>>(), vec![e[1]]);
+        let ver = sdn.version();
+        sdn.recover_all();
+        assert!(sdn.all_alive());
+        assert_eq!(sdn.version(), ver + 1);
+        // Idempotent: no version churn when nothing is failed.
+        sdn.recover_all();
+        assert_eq!(sdn.version(), ver + 1);
+    }
+
+    #[test]
+    fn unknown_link_failure_is_an_error() {
+        let (mut sdn, _, _) = small();
+        assert!(sdn.fail_link(EdgeId::new(99)).is_err());
+        assert!(sdn.recover_link(EdgeId::new(99)).is_err());
     }
 
     #[test]

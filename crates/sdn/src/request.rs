@@ -1,6 +1,6 @@
 //! NFV-enabled multicast requests.
 
-use crate::ServiceChain;
+use crate::{SdnError, ServiceChain};
 use netgraph::NodeId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -46,7 +46,8 @@ impl MulticastRequest {
     ///
     /// Panics if the normalized destination set is empty or `bandwidth` is
     /// not positive and finite — both indicate a workload-generation bug,
-    /// not a runtime condition.
+    /// not a runtime condition. Untrusted inputs (workload files, RPC
+    /// payloads) should go through [`MulticastRequest::try_new`] instead.
     #[must_use]
     pub fn new(
         id: RequestId,
@@ -55,22 +56,50 @@ impl MulticastRequest {
         bandwidth: f64,
         chain: ServiceChain,
     ) -> Self {
-        assert!(
-            bandwidth.is_finite() && bandwidth > 0.0,
-            "bandwidth must be positive and finite, got {bandwidth}"
-        );
+        match Self::try_new(id, source, destinations, bandwidth, chain) {
+            Ok(r) => r,
+            Err(e) => panic!(
+                "invariant violated: workload generators produce well-formed requests, but {e}"
+            ),
+        }
+    }
+
+    /// Fallible constructor for untrusted inputs: normalizes the
+    /// destination set (duplicates and the source itself are dropped) and
+    /// rejects malformed requests instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdnError::InfeasibleRequest`] when `bandwidth` is not
+    /// positive and finite or the normalized destination set is empty.
+    pub fn try_new(
+        id: RequestId,
+        source: NodeId,
+        destinations: Vec<NodeId>,
+        bandwidth: f64,
+        chain: ServiceChain,
+    ) -> Result<Self, SdnError> {
+        if !(bandwidth.is_finite() && bandwidth > 0.0) {
+            return Err(SdnError::InfeasibleRequest {
+                reason: format!("bandwidth must be positive and finite, got {bandwidth}"),
+            });
+        }
         let mut dests = destinations;
         dests.sort_unstable();
         dests.dedup();
         dests.retain(|&d| d != source);
-        assert!(!dests.is_empty(), "request {id} has no destinations");
-        MulticastRequest {
+        if dests.is_empty() {
+            return Err(SdnError::InfeasibleRequest {
+                reason: format!("request {id} has no destinations"),
+            });
+        }
+        Ok(MulticastRequest {
             id,
             source,
             destinations: dests,
             bandwidth,
             chain,
-        }
+        })
     }
 
     /// Computing demand `C_v(SC_k)` of the request's chain in MHz.
@@ -161,6 +190,35 @@ mod tests {
             0.0,
             chain(),
         );
+    }
+
+    #[test]
+    fn try_new_rejects_instead_of_panicking() {
+        use crate::SdnError;
+        let bad_bw = MulticastRequest::try_new(
+            RequestId(7),
+            NodeId::new(0),
+            vec![NodeId::new(1)],
+            f64::NAN,
+            chain(),
+        );
+        assert!(matches!(bad_bw, Err(SdnError::InfeasibleRequest { .. })));
+        let no_dests = MulticastRequest::try_new(
+            RequestId(8),
+            NodeId::new(0),
+            vec![NodeId::new(0)],
+            10.0,
+            chain(),
+        );
+        assert!(matches!(no_dests, Err(SdnError::InfeasibleRequest { .. })));
+        let ok = MulticastRequest::try_new(
+            RequestId(9),
+            NodeId::new(0),
+            vec![NodeId::new(1)],
+            10.0,
+            chain(),
+        );
+        assert!(ok.is_ok());
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Chaos replay on the fig5-scale topology:
+//! `cargo run -p sim --release --bin chaos [seed...]`.
+//!
+//! Replays a timed workload with seeded failure/recovery events under
+//! the self-healing repair engine, auditing every event. Each seed runs
+//! **twice** and the outcomes must be byte-identical — the binary exits
+//! non-zero otherwise, so CI gets the determinism check for free. The
+//! per-seed outcomes land in `results/chaos.json`.
+
+use sim::experiments::chaos::{run_chaos, ChaosParams};
+
+fn main() {
+    let seeds: Vec<u64> = {
+        let args: Vec<u64> = std::env::args()
+            .skip(1)
+            .map(|a| {
+                a.parse().unwrap_or_else(|_| {
+                    eprintln!("usage: chaos [seed...]");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+        if args.is_empty() {
+            vec![11, 23, 47]
+        } else {
+            args
+        }
+    };
+
+    let mut lines = Vec::new();
+    for &seed in &seeds {
+        let params = ChaosParams::fig5_scale(seed);
+        let first = run_chaos(&params);
+        let second = run_chaos(&params);
+        assert_eq!(
+            first, second,
+            "chaos replay for seed {seed} was not deterministic"
+        );
+        eprintln!(
+            "chaos seed {seed}: {} offered, {} admitted, {} survived, \
+             {} repaired, {} degraded, {} dropped, {} audits",
+            first.offered,
+            first.admitted,
+            first.survived,
+            first.repaired,
+            first.degraded,
+            first.dropped,
+            first.audit_checks
+        );
+        lines.push(first.to_json());
+    }
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let json = format!("[\n  {}\n]\n", lines.join(",\n  "));
+    std::fs::write("results/chaos.json", json).expect("write results/chaos.json");
+    println!("wrote results/chaos.json ({} seeds)", seeds.len());
+}

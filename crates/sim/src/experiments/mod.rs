@@ -6,6 +6,7 @@
 
 pub mod ablation;
 pub mod batch;
+pub mod chaos;
 pub mod dynamic;
 pub mod fig5;
 pub mod fig6;

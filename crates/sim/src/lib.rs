@@ -15,6 +15,7 @@
 //! | `fig9` | Fig. 9     | admitted vs number of requests on GÉANT / AS1755 |
 //! | `ablation` | §VII design choices | cost model, threshold rule, K sweep, Steiner routine |
 //! | `batch` | engine throughput | batch vs sequential admission wall-clock, per batch size |
+//! | `chaos` | failure model | seeded fail/recover replay with self-healing repair + auditor |
 //! | `all` | everything | runs the full suite |
 //!
 //! Experiment scale (requests per data point, repetitions) is tunable via
