@@ -45,7 +45,7 @@ pub trait SeedableRng: Sized {
     ///
     /// The `Result<_, ()>` mirrors upstream `rand`'s fallible signature;
     /// this implementation never fails.
-    #[allow(clippy::result_unit_err)]
+    #[allow(clippy::result_unit_err)] // mirrors the upstream rand signature
     fn from_rng<R: RngCore>(mut rng: R) -> Result<Self, ()> {
         Ok(Self::seed_from_u64(rng.next_u64()))
     }

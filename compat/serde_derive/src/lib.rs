@@ -5,6 +5,8 @@
 //! hand-rolled) — so in the hermetic offline build the derives expand to
 //! nothing. The `serde(...)` helper attribute is accepted and ignored.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Accepts and discards a `#[derive(Serialize)]` invocation.

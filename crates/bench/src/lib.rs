@@ -1,1 +1,3 @@
 //! Criterion benchmark crate; see `benches/`.
+
+#![forbid(unsafe_code)]

@@ -92,7 +92,7 @@ impl AuxiliaryGraph {
             let zero = (e.u == request.source && combination.contains(&e.v))
                 || (e.v == request.source && combination.contains(&e.u));
             let w = if zero { 0.0 } else { e.weight * b };
-            aux.add_edge(e.u, e.v, w).expect("copied edge is valid");
+            aux.add_edge(e.u, e.v, w).expect("copied edge is valid"); // lint:allow(P1): copies an edge the parent graph already validated
         }
         let base_edges = g.edge_count();
 
@@ -107,10 +107,10 @@ impl AuxiliaryGraph {
             let ingress_cost = path.cost() * b;
             let computing = sdn
                 .unit_computing_cost(v)
-                .expect("combination members are servers")
+                .expect("combination members are servers") // lint:allow(P1): combination members are drawn from servers()
                 * demand;
             aux.add_edge(virtual_source, v, ingress_cost + computing)
-                .expect("virtual edge weight is finite");
+                .expect("virtual edge weight is finite"); // lint:allow(P1): ingress and computing costs are finite by construction
             virtual_servers.push(v);
             ingress.push((path.edges().to_vec(), ingress_cost));
             server_costs.push(computing);

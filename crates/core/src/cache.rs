@@ -63,7 +63,7 @@ impl Fingerprint {
         let min_residual_computing = sdn
             .servers()
             .iter()
-            .map(|&v| sdn.usable_computing(v).expect("server"))
+            .map(|&v| sdn.usable_computing(v).expect("server")) // lint:allow(P1): v is drawn from servers()
             .fold(f64::INFINITY, f64::min);
         Fingerprint {
             version: sdn.version(),

@@ -98,13 +98,14 @@ pub fn appro_multi_cap_with_scratch(
     }
     let mut usable_servers: Vec<NodeId> = Vec::new();
     for &v in sdn.servers() {
+        // lint:allow(P1): v is drawn from servers()
         if sdn.is_server_alive(v) && sdn.residual_computing(v).expect("server") + 1e-9 >= demand {
             bld.attach_server(
                 v,
-                sdn.computing_capacity(v).expect("server"),
-                sdn.unit_computing_cost(v).expect("server"),
+                sdn.computing_capacity(v).expect("server"), // lint:allow(P1): v is drawn from servers()
+                sdn.unit_computing_cost(v).expect("server"), // lint:allow(P1): v is drawn from servers()
             )
-            .expect("same node space");
+            .expect("same node space"); // lint:allow(P1): the builder shares the parent node space
             usable_servers.push(v);
         }
     }
@@ -115,11 +116,11 @@ pub fn appro_multi_cap_with_scratch(
     for e in g.edges() {
         if sdn.is_link_alive(e.id) && sdn.residual_bandwidth(e.id) + 1e-9 >= b {
             bld.add_link(e.u, e.v, sdn.bandwidth_capacity(e.id), e.weight)
-                .expect("copied link is valid");
+                .expect("copied link is valid"); // lint:allow(P1): copies a link the parent network already validated
             edge_map.push(e.id);
         }
     }
-    let filtered = bld.build().expect("filtered SDN is well-formed");
+    let filtered = bld.build().expect("filtered SDN is well-formed"); // lint:allow(P1): the filtered network reuses validated parameters only
 
     let Some(tree) = appro_multi_on_scratch(&filtered, request, k, &usable_servers, scratch) else {
         return Admission::Rejected;

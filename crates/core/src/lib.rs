@@ -57,6 +57,7 @@ mod capacitated;
 mod combinations;
 mod delay;
 mod exact;
+mod fallible;
 mod one_server;
 mod pseudo_tree;
 mod rules;
@@ -73,6 +74,10 @@ pub use capacitated::{appro_multi_cap, appro_multi_cap_with_scratch, Admission};
 pub use combinations::{combinations_up_to, Combinations};
 pub use delay::{appro_multi_delay_bounded, max_delivery_hops, DelayBounded};
 pub use exact::exact_pseudo_multicast;
+pub use fallible::{
+    try_appro_multi, try_appro_multi_cap, try_appro_multi_cap_with_scratch, try_one_server,
+    validate_request,
+};
 pub use one_server::one_server;
 pub use pseudo_tree::{PseudoMulticastTree, ServerUse};
 pub use rules::{

@@ -4,7 +4,7 @@
 use netgraph::{EdgeId, NodeId};
 use sdn::{Allocation, MulticastRequest, RequestId, Sdn};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// One server's role in a pseudo-multicast tree: where the service chain
 /// runs and how traffic gets there from the source.
@@ -71,7 +71,7 @@ impl PseudoMulticastTree {
     /// Number of distinct links carrying traffic (any number of times).
     #[must_use]
     pub fn link_footprint(&self) -> usize {
-        let mut set: HashSet<EdgeId> = HashSet::new();
+        let mut set: BTreeSet<EdgeId> = BTreeSet::new();
         for s in &self.servers {
             set.extend(s.ingress_edges.iter().copied());
         }
@@ -175,13 +175,13 @@ impl PseudoMulticastTree {
         }
 
         // Destination coverage: BFS from all servers over the union edges.
-        let mut adj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut adj: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
         for &e in self.distribution_edges.iter().chain(&self.extra_traversals) {
             let er = g.edge(e);
             adj.entry(er.u).or_default().push(er.v);
             adj.entry(er.v).or_default().push(er.u);
         }
-        let mut reached: HashSet<NodeId> = HashSet::new();
+        let mut reached: BTreeSet<NodeId> = BTreeSet::new();
         let mut queue: VecDeque<NodeId> = VecDeque::new();
         for su in &self.servers {
             if reached.insert(su.server) {

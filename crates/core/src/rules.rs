@@ -18,10 +18,10 @@
 use crate::PseudoMulticastTree;
 use netgraph::{EdgeId, NodeId};
 use sdn::{MulticastRequest, Sdn};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Whether a packet has already traversed the service chain.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PacketStage {
     /// Emitted by the source, not yet through the chain.
     Unprocessed,
@@ -45,7 +45,7 @@ pub struct ForwardingRule {
 /// The compiled rules of one request: `(switch, stage) → rule`.
 #[derive(Debug, Clone, Default)]
 pub struct RuleSet {
-    rules: HashMap<(NodeId, PacketStage), ForwardingRule>,
+    rules: BTreeMap<(NodeId, PacketStage), ForwardingRule>,
 }
 
 impl RuleSet {
@@ -99,7 +99,7 @@ pub fn compile_rules(
     // --- Unprocessed plane: the ingress union, directed source → servers.
     // Walk each server's ingress path; at every hop install a forward
     // output (deduplicated by the set semantics below).
-    let mut unprocessed_out: HashMap<NodeId, HashSet<EdgeId>> = HashMap::new();
+    let mut unprocessed_out: BTreeMap<NodeId, BTreeSet<EdgeId>> = BTreeMap::new();
     for su in &tree.servers {
         let mut at = tree.source;
         for &e in &su.ingress_edges {
@@ -132,13 +132,13 @@ pub fn compile_rules(
     // over the distribution ∪ send-back structure; each edge is directed
     // away from its nearest instance, so every reachable node gets the
     // processed stream exactly once.
-    let mut adj: HashMap<NodeId, Vec<(NodeId, EdgeId)>> = HashMap::new();
+    let mut adj: BTreeMap<NodeId, Vec<(NodeId, EdgeId)>> = BTreeMap::new();
     for &e in tree.distribution_edges.iter().chain(&tree.extra_traversals) {
         let er = g.edge(e);
         adj.entry(er.u).or_default().push((er.v, e));
         adj.entry(er.v).or_default().push((er.u, e));
     }
-    let mut visited: HashSet<NodeId> = HashSet::new();
+    let mut visited: BTreeSet<NodeId> = BTreeSet::new();
     let mut queue: VecDeque<NodeId> = VecDeque::new();
     for su in &tree.servers {
         if visited.insert(su.server) {
@@ -179,10 +179,10 @@ pub struct DeliveryReport {
     /// Hop count of the packet actually delivered to each destination
     /// (source → chain instance → destination along the installed rules;
     /// send-back detours included) — the end-to-end latency in hops.
-    pub delivery_hops: HashMap<NodeId, usize>,
+    pub delivery_hops: BTreeMap<NodeId, usize>,
     /// Copies carried per link, *per stage traversal* (a link used by
     /// both planes counts twice) — comparable to the tree's allocation.
-    pub link_traversals: HashMap<EdgeId, usize>,
+    pub link_traversals: BTreeMap<EdgeId, usize>,
     /// Chain instances that actually processed traffic.
     pub instances_used: Vec<NodeId>,
 }
@@ -211,11 +211,11 @@ pub fn simulate_delivery(
     rules: &RuleSet,
 ) -> Result<DeliveryReport, String> {
     let g = sdn.graph();
-    let mut seen: HashSet<(NodeId, PacketStage)> = HashSet::new();
+    let mut seen: BTreeSet<(NodeId, PacketStage)> = BTreeSet::new();
     let mut queue: VecDeque<(NodeId, PacketStage, usize)> = VecDeque::new();
-    let mut link_traversals: HashMap<EdgeId, usize> = HashMap::new();
+    let mut link_traversals: BTreeMap<EdgeId, usize> = BTreeMap::new();
     let mut delivered: Vec<NodeId> = Vec::new();
-    let mut delivery_hops: HashMap<NodeId, usize> = HashMap::new();
+    let mut delivery_hops: BTreeMap<NodeId, usize> = BTreeMap::new();
     let mut instances_used: Vec<NodeId> = Vec::new();
 
     queue.push_back((request.source, PacketStage::Unprocessed, 0));

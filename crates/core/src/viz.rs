@@ -9,18 +9,18 @@
 use crate::PseudoMulticastTree;
 use netgraph::EdgeId;
 use sdn::{MulticastRequest, Sdn};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 /// Renders `tree` over its network as a Graphviz `graph` document.
 #[must_use]
 pub fn tree_to_dot(sdn: &Sdn, request: &MulticastRequest, tree: &PseudoMulticastTree) -> String {
     let g = sdn.graph();
-    let ingress: HashSet<EdgeId> = tree.ingress_union().into_iter().collect();
-    let distribution: HashSet<EdgeId> = tree.distribution_edges.iter().copied().collect();
-    let extra: HashSet<EdgeId> = tree.extra_traversals.iter().copied().collect();
-    let servers: HashSet<_> = tree.servers_used().into_iter().collect();
-    let dests: HashSet<_> = request.destinations.iter().copied().collect();
+    let ingress: BTreeSet<EdgeId> = tree.ingress_union().into_iter().collect();
+    let distribution: BTreeSet<EdgeId> = tree.distribution_edges.iter().copied().collect();
+    let extra: BTreeSet<EdgeId> = tree.extra_traversals.iter().copied().collect();
+    let servers: BTreeSet<_> = tree.servers_used().into_iter().collect();
+    let dests: BTreeSet<_> = request.destinations.iter().copied().collect();
 
     let mut out = String::new();
     let _ = writeln!(out, "graph pseudo_multicast_{} {{", request.id.0);

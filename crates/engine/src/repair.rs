@@ -330,10 +330,10 @@ impl SessionManager {
             let s = self
                 .sessions
                 .remove(&id)
-                .expect("invariant: broken_sessions only lists committed sessions");
+                .expect("invariant: broken_sessions only lists committed sessions"); // lint:allow(P1): broken_sessions is built from the committed-session index
             self.unindex(id, &s.allocation);
             sdn.release(&s.allocation)
-                .expect("invariant: a committed allocation releases cleanly");
+                .expect("invariant: a committed allocation releases cleanly"); // lint:allow(P1): a committed allocation was applied, so release balances
             self.pending.insert(
                 id,
                 PendingRepair {
@@ -358,7 +358,7 @@ impl SessionManager {
             {
                 self.pending.remove(&id);
                 self.commit(sdn, request, tree)
-                    .expect("invariant: a replanned tree fits the residual it was planned on");
+                    .expect("invariant: a replanned tree fits the residual it was planned on"); // lint:allow(P1): replanning ran on the exact residual being committed
                 report.repaired.push(id);
                 continue;
             }
@@ -371,7 +371,7 @@ impl SessionManager {
                     {
                         self.pending.remove(&id);
                         self.commit(sdn, reduced, tree)
-                            .expect("invariant: a degraded tree fits the residual");
+                            .expect("invariant: a degraded tree fits the residual"); // lint:allow(P1): the degraded tree was planned on this exact residual
                         report.degraded.push((id, shed));
                         continue;
                     }
@@ -381,7 +381,7 @@ impl SessionManager {
             let entry = self
                 .pending
                 .get_mut(&id)
-                .expect("invariant: unrepaired session is still pending");
+                .expect("invariant: unrepaired session is still pending"); // lint:allow(P1): id was inserted into pending in the detach pass above
             entry.attempts += 1;
             if entry.attempts >= config.max_retries {
                 self.pending.remove(&id);

@@ -1,0 +1,397 @@
+//! A minimal hand-rolled Rust lexer: just enough to strip comments and
+//! string/char literals and hand the rule pass a token stream with line
+//! numbers, plus the comments themselves (the allow-escape and `SAFETY:`
+//! conventions live in comments).
+//!
+//! This is *not* a full Rust lexer — it only needs to be sound for the
+//! constructs the rules inspect: identifiers, `::`, single-character
+//! punctuation, and correct skipping of every literal form that could
+//! otherwise fake a token (`"unwrap()"` in a string, `// panic!` in a
+//! comment, raw strings, byte strings, char literals vs lifetimes).
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`unwrap`, `unsafe`, `mod`, …).
+    Ident(String),
+    /// The path separator `::`.
+    PathSep,
+    /// Any other single punctuation character (`.`, `!`, `[`, `#`, …).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A comment (line or block) with its location and raw text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment *starts* on.
+    pub line: u32,
+    /// 1-based line the comment *ends* on (differs for block comments).
+    pub end_line: u32,
+    /// The comment body, delimiters stripped.
+    pub text: String,
+    /// Whether only whitespace precedes the comment on its starting line.
+    pub own_line: bool,
+}
+
+/// Result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in order, literals and comments removed.
+    pub tokens: Vec<Token>,
+    /// All comments in order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src`, separating code tokens from comments and dropping
+/// string/char/numeric literal contents.
+#[must_use]
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.char_indices().collect(),
+        pos: 0,
+        line: 1,
+        line_has_code: false,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    line: u32,
+    /// Whether a code token has already appeared on the current line
+    /// (used for `Comment::own_line`).
+    line_has_code: bool,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.line_has_code = false;
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_literal(),
+                ':' if self.peek(1) == Some(':') => {
+                    let line = self.line;
+                    self.bump();
+                    self.bump();
+                    self.push(Tok::PathSep, line);
+                }
+                _ => {
+                    let line = self.line;
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, tok: Tok, line: u32) {
+        self.line_has_code = true;
+        self.out.tokens.push(Token { tok, line });
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let own_line = !self.line_has_code;
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: line,
+            text,
+            own_line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let own_line = !self.line_has_code;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break, // unterminated; tolerate
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            end_line: self.line,
+            text,
+            own_line,
+        });
+    }
+
+    /// A plain `"…"` string with escapes; multi-line allowed.
+    fn string_literal(&mut self) {
+        self.line_has_code = true;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// A raw string `r"…"` / `r#"…"#` with `hashes` leading `#`s; the
+    /// caller has consumed the prefix identifier but not the hashes/quote.
+    fn raw_string_literal(&mut self, hashes: usize) {
+        for _ in 0..hashes {
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    /// Distinguishes `'a'` / `'\n'` (char literal) from `'a` (lifetime).
+    fn char_or_lifetime(&mut self) {
+        self.line_has_code = true;
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume to the closing quote.
+                self.bump();
+                self.bump(); // the escaped char (enough for \n, \', \\, \u{…} handled below)
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            }
+            Some(c) if (c == '_' || c.is_alphanumeric()) && self.peek(1) != Some('\'') => {
+                // A lifetime: consume the identifier, no closing quote.
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            Some(_) => {
+                // Single-char literal 'x'.
+                self.bump();
+                self.bump(); // closing quote
+            }
+            None => {}
+        }
+    }
+
+    /// Numbers are skipped entirely (rules never inspect them); consumes
+    /// digits, `_`, type suffixes, hex/bin digits, and a fractional part,
+    /// but leaves `..` alone so ranges still lex as punctuation.
+    fn number(&mut self) {
+        self.line_has_code = true;
+        while let Some(c) = self.peek(0) {
+            let fractional_dot = c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit());
+            if c == '_' || c.is_ascii_alphanumeric() || fractional_dot {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// An identifier — unless it is a literal prefix (`r"…"`, `b'x'`,
+    /// `br#"…"#`, `c"…"`) or a raw identifier (`r#ident`).
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        let mut ident = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                ident.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let is_literal_prefix = matches!(ident.as_str(), "r" | "b" | "br" | "c" | "cr");
+        match (is_literal_prefix, self.peek(0)) {
+            (true, Some('"')) => self.raw_or_plain_after_prefix(&ident, 0),
+            (true, Some('\'')) if ident == "b" => self.char_or_lifetime(),
+            (true, Some('#')) => {
+                // Count hashes: raw string (`r#"`/`br##"`…) or raw ident (`r#foo`).
+                let mut hashes = 0;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    self.raw_string_literal(hashes);
+                } else if ident == "r" {
+                    // Raw identifier: consume `#` and lex the name.
+                    self.bump();
+                    self.ident_or_prefixed_literal();
+                } else {
+                    self.push(Tok::Ident(ident), line);
+                }
+            }
+            _ => self.push(Tok::Ident(ident), line),
+        }
+    }
+
+    fn raw_or_plain_after_prefix(&mut self, prefix: &str, hashes: usize) {
+        if prefix.contains('r') {
+            self.raw_string_literal(hashes);
+        } else {
+            self.string_literal();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_tokens() {
+        let src = r##"
+            let s = "unwrap() inside a string";
+            // unwrap() in a line comment
+            /* panic! in a /* nested */ block */
+            let r = r#"raw with "quotes" and unwrap()"#;
+            let b = b"bytes with unwrap()";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let ids = idents("fn f<'a>(x: &'a str) { x.unwrap() }");
+        assert!(ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn char_literals_skipped() {
+        let ids = idents("let c = 'x'; let n = '\\n'; y.unwrap()");
+        assert!(ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn comments_captured_with_lines() {
+        let l = lex("let a = 1;\n// lint:allow(P1): reason\nlet b = 2;");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 2);
+        assert!(l.comments[0].own_line);
+        assert!(l.comments[0].text.contains("lint:allow(P1)"));
+    }
+
+    #[test]
+    fn trailing_comment_is_not_own_line() {
+        let l = lex("let a = 1; // trailing\n");
+        assert!(!l.comments[0].own_line);
+    }
+
+    #[test]
+    fn path_sep_lexed() {
+        let l = lex("std::env::var");
+        assert_eq!(l.tokens.iter().filter(|t| t.tok == Tok::PathSep).count(), 2);
+    }
+
+    #[test]
+    fn raw_identifier_is_ident() {
+        let ids = idents("let r#type = 3; r#type.unwrap()");
+        assert!(ids.contains(&"type".to_string()));
+        assert!(ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let l = lex("for i in 0..n { x[i] = 1.0; t.0.unwrap() }");
+        let ids: Vec<String> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"n".to_string()));
+    }
+}

@@ -1,0 +1,134 @@
+//! Command-line driver for [`nfv_lint`].
+//!
+//! ```text
+//! cargo run -p nfv-lint --release -- --workspace-root . [--json results/lint.json]
+//!     [--deny RULE] [--warn RULE] [--off RULE] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` deny-severity violations found, `2` usage
+//! or I/O error.
+
+#![forbid(unsafe_code)]
+
+use nfv_lint::{lint_workspace, Config, Severity};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: PathBuf,
+    quiet: bool,
+    cfg: Config,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: PathBuf::from("results/lint.json"),
+        quiet: false,
+        cfg: Config::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut rule_override = |sev: Option<Severity>| -> Result<(), String> {
+            let rule = it
+                .next()
+                .ok_or_else(|| format!("{arg} needs a rule name"))?;
+            if !args.cfg.knows(&rule) {
+                return Err(format!("unknown rule {rule}"));
+            }
+            args.cfg.set(&rule, sev);
+            Ok(())
+        };
+        match arg.as_str() {
+            "--workspace-root" => {
+                args.root = PathBuf::from(it.next().ok_or("--workspace-root needs a path")?);
+            }
+            "--json" => args.json = PathBuf::from(it.next().ok_or("--json needs a path")?),
+            "--deny" => rule_override(Some(Severity::Deny))?,
+            "--warn" => rule_override(Some(Severity::Warn))?,
+            "--off" => rule_override(None)?,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "nfv-lint: determinism & panic-freedom linter\n\
+                     \n\
+                     USAGE: nfv-lint [--workspace-root PATH] [--json PATH]\n\
+                     \x20                [--deny RULE] [--warn RULE] [--off RULE] [--quiet]\n\
+                     \n\
+                     Rules: D1 (unordered containers), D2 (ambient nondeterminism),\n\
+                     \x20      P1 (panic sites), P1-idx (slice indexing, warn by default),\n\
+                     \x20      U1 (unsafe hygiene), O1 (#[allow] reasons), A1 (escape syntax).\n\
+                     See DESIGN.md §11 for the full policy."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("nfv-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match lint_workspace(&args.root, &args.cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("nfv-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !args.quiet {
+        for v in &report.violations {
+            println!(
+                "{}:{}: [{}/{}] {}",
+                v.path, v.line, v.rule, v.severity, v.message
+            );
+        }
+    }
+
+    // The JSON report goes next to the other experiment artifacts; keep
+    // the path relative to the workspace root so CI finds it.
+    let json_path = if args.json.is_absolute() {
+        args.json.clone()
+    } else {
+        args.root.join(&args.json)
+    };
+    if let Some(dir) = json_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("nfv-lint: creating {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+        eprintln!("nfv-lint: writing {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+
+    let denied = report.denied();
+    let warned = report.violations.len() - denied;
+    println!(
+        "nfv-lint: {} files scanned, {denied} denied, {warned} warned (report: {})",
+        report.files_scanned,
+        relative_display(&json_path, &args.root)
+    );
+    if denied > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn relative_display(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}

@@ -1,0 +1,12 @@
+//! A1 fixture: syntactically malformed escapes.
+
+pub fn noop() {}
+
+// lint:allow(P1)
+pub fn missing_reason() {}
+
+// lint:allow(): empty rule list
+pub fn missing_rule() {}
+
+// lint:allow(D1) trailing prose without the colon
+pub fn missing_colon() {}

@@ -1,0 +1,8 @@
+//! A deliberately dirty crate root: missing `#![forbid(unsafe_code)]`,
+//! using an unordered container, and panicking on the failure path.
+
+use std::collections::HashMap;
+
+pub fn lookup(m: &HashMap<u32, u32>, k: u32) -> u32 {
+    m.get(&k).copied().unwrap()
+}

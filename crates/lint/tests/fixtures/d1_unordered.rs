@@ -1,0 +1,25 @@
+//! D1 fixture: unordered containers in a planner crate.
+
+use std::collections::HashMap;
+use std::collections::{BTreeMap, HashSet};
+
+pub fn histogram(xs: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let _m = HashMap::<u32, u32>::new();
+    seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_is_fine_in_tests() {
+        let _ = HashMap::<u8, u8>::new();
+    }
+}

@@ -1,0 +1,25 @@
+//! D2 fixture: ambient nondeterminism in planning code.
+
+pub fn elapsed_ms() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_millis() as u64
+}
+
+pub fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn seeded() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+pub fn from_env() -> bool {
+    std::env::var("NFV_FLAG").is_ok()
+}
+
+pub fn negative_mentions() {
+    // Instant::now() in a comment is fine; so is "std::env" in a string.
+    let _s = "std::env::var";
+    let _instant = 5;
+}

@@ -1,0 +1,11 @@
+//! Negative fixture: mentions that must NOT trip any rule.
+
+pub fn tricky() -> String {
+    let s = "call .unwrap() and panic!() and HashMap::new()";
+    // .unwrap() here is commentary, as is Instant::now().
+    let r = r#"thread_rng() and std::env::var("X") and xs[0]"#;
+    let raw2 = r##"more "#"# unwrap() text"##;
+    let c = 'x';
+    let lifetime: &'static str = "ok";
+    format!("{s}{r}{raw2}{c}{lifetime}")
+}

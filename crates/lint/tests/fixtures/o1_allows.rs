@@ -1,0 +1,15 @@
+//! O1 fixture: allow attributes need reasons.
+
+#[allow(dead_code)]
+fn bare() {}
+
+#[allow(dead_code)] // kept for API symmetry with the paper's naming
+fn trailing_reason() {}
+
+// retained while the container migration lands
+#[allow(dead_code)]
+fn reason_above() {}
+
+/// A documented item: the doc comment is not a reason.
+#[allow(dead_code)]
+fn doc_comment_does_not_count() {}

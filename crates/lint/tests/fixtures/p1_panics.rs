@@ -1,0 +1,36 @@
+//! P1 fixture: panic sites and slice-index expressions.
+
+pub fn first(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap()
+}
+
+pub fn second(xs: &[u32]) -> u32 {
+    xs.get(1).copied().expect("len checked")
+}
+
+pub fn third(xs: &[u32]) -> u32 {
+    if xs.len() < 3 {
+        panic!("too short");
+    }
+    xs[2]
+}
+
+pub fn fourth() -> u32 {
+    unreachable!("never");
+}
+
+pub fn fifth() -> u32 {
+    todo!()
+}
+
+pub fn guarded(xs: &[u32]) {
+    debug_assert!(xs.iter().copied().max().unwrap() < 100);
+}
+
+pub struct Wrapper {
+    pub unwrap: u32,
+}
+
+pub fn not_a_call(w: &Wrapper) -> u32 {
+    w.unwrap
+}

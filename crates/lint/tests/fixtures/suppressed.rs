@@ -1,0 +1,18 @@
+//! Suppression fixture: every seeded violation carries an escape.
+// lint:allow-file(D2): this fixture exercises the file-wide escape
+
+use std::collections::HashMap; // lint:allow(D1): exercising the trailing escape
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn count() -> usize {
+    HashMap::<u8, u8>::new().len() // lint:allow(D1): trailing escape again
+}
+
+pub fn one() -> u32 {
+    // lint:allow(P1): the invariant is trivially true in this fixture,
+    // and the second line of this run must still be covered.
+    Some(1).unwrap()
+}

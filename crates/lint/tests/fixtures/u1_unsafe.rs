@@ -1,0 +1,10 @@
+//! U1 fixture: unsafe hygiene.
+
+pub fn undocumented(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn documented(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees p is valid and aligned.
+    unsafe { *p }
+}

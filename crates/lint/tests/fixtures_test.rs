@@ -1,0 +1,142 @@
+//! End-to-end fixture tests: each seeded fixture must produce exactly the
+//! expected (rule, line) set when classified as planner code, the negative
+//! fixtures must stay silent, and the CLI must exit non-zero on a dirty
+//! workspace.
+
+use nfv_lint::{lint_source, Config, Severity};
+use std::path::Path;
+use std::process::Command;
+
+/// Lints a fixture as if it lived in a planner crate and returns the
+/// (rule, line, severity) triples.
+fn lint_fixture(name: &str, src: &str) -> Vec<(String, u32, Severity)> {
+    let rel = format!("crates/core/src/{name}");
+    lint_source(&rel, src, &Config::default())
+        .into_iter()
+        .map(|v| (v.rule, v.line, v.severity))
+        .collect()
+}
+
+fn deny(rule: &str, line: u32) -> (String, u32, Severity) {
+    (rule.to_string(), line, Severity::Deny)
+}
+
+fn warn(rule: &str, line: u32) -> (String, u32, Severity) {
+    (rule.to_string(), line, Severity::Warn)
+}
+
+#[test]
+fn d1_flags_unordered_containers_outside_tests() {
+    let got = lint_fixture("d1.rs", include_str!("fixtures/d1_unordered.rs"));
+    assert_eq!(
+        got,
+        vec![
+            deny("D1", 3),  // use HashMap
+            deny("D1", 4),  // use HashSet
+            deny("D1", 7),  // HashSet type annotation
+            deny("D1", 7),  // HashSet::new()
+            deny("D1", 13), // local HashMap
+        ]
+    );
+}
+
+#[test]
+fn d2_flags_ambient_inputs() {
+    let got = lint_fixture("d2.rs", include_str!("fixtures/d2_ambient.rs"));
+    assert_eq!(
+        got,
+        vec![
+            deny("D2", 4),  // Instant::now()
+            deny("D2", 9),  // SystemTime::now()
+            deny("D2", 13), // thread_rng()
+            deny("D2", 18), // std::env::var
+        ]
+    );
+}
+
+#[test]
+fn p1_flags_panic_sites_and_warns_on_indexing() {
+    let got = lint_fixture("p1.rs", include_str!("fixtures/p1_panics.rs"));
+    assert_eq!(
+        got,
+        vec![
+            deny("P1", 4),      // .unwrap()
+            deny("P1", 8),      // .expect()
+            deny("P1", 13),     // panic!
+            warn("P1-idx", 15), // xs[2]
+            deny("P1", 19),     // unreachable!
+            deny("P1", 23),     // todo!
+        ]
+    );
+}
+
+#[test]
+fn u1_requires_safety_comments() {
+    let got = lint_fixture("u1.rs", include_str!("fixtures/u1_unsafe.rs"));
+    assert_eq!(got, vec![deny("U1", 4)]);
+}
+
+#[test]
+fn o1_requires_reasons_and_rejects_doc_comments() {
+    let got = lint_fixture("o1.rs", include_str!("fixtures/o1_allows.rs"));
+    assert_eq!(got, vec![deny("O1", 3), deny("O1", 14)]);
+}
+
+#[test]
+fn a1_flags_malformed_escapes() {
+    let got = lint_fixture("a1.rs", include_str!("fixtures/a1_malformed.rs"));
+    assert_eq!(got, vec![deny("A1", 5), deny("A1", 8), deny("A1", 11)]);
+}
+
+#[test]
+fn strings_comments_and_raw_strings_do_not_trip_rules() {
+    let got = lint_fixture("neg.rs", include_str!("fixtures/negatives.rs"));
+    assert_eq!(got, vec![]);
+}
+
+#[test]
+fn lint_allow_escapes_suppress_each_form() {
+    let got = lint_fixture("sup.rs", include_str!("fixtures/suppressed.rs"));
+    assert_eq!(got, vec![]);
+}
+
+#[test]
+fn rules_are_individually_toggleable() {
+    let src = include_str!("fixtures/p1_panics.rs");
+    let mut cfg = Config::default();
+    cfg.set("P1", None);
+    cfg.set("P1-idx", Some(Severity::Deny));
+    let got: Vec<_> = lint_source("crates/core/src/p1.rs", src, &cfg)
+        .into_iter()
+        .map(|v| (v.rule, v.line, v.severity))
+        .collect();
+    assert_eq!(got, vec![deny("P1-idx", 15)]);
+}
+
+#[test]
+fn test_like_paths_are_exempt_from_planner_rules() {
+    let src = include_str!("fixtures/d1_unordered.rs");
+    let got = lint_source("crates/core/tests/d1.rs", src, &Config::default());
+    assert_eq!(got, vec![]);
+}
+
+#[test]
+fn cli_exits_nonzero_on_a_dirty_workspace() {
+    let badws = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/badws");
+    let json = Path::new(env!("CARGO_TARGET_TMPDIR")).join("badws-lint.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_nfv-lint"))
+        .arg("--workspace-root")
+        .arg(&badws)
+        .arg("--json")
+        .arg(&json)
+        .output()
+        .expect("spawn nfv-lint");
+    assert_eq!(out.status.code(), Some(1), "stdout: {:?}", out.stdout);
+    let report = std::fs::read_to_string(&json).expect("JSON report written");
+    for rule in ["D1", "P1", "U1"] {
+        assert!(
+            report.contains(&format!("\"rule\": \"{rule}\"")),
+            "{report}"
+        );
+    }
+}

@@ -38,7 +38,7 @@ impl EdgeRef {
         } else if n == self.v {
             self.u
         } else {
-            panic!("node {n} is not an endpoint of edge {}", self.id)
+            panic!("node {n} is not an endpoint of edge {}", self.id) // lint:allow(P1): documented panic contract: n must be an endpoint
         }
     }
 }
@@ -244,7 +244,7 @@ impl Graph {
             .min_by(|a, b| {
                 let wa = self.edges[a.edge.index()].weight;
                 let wb = self.edges[b.edge.index()].weight;
-                wa.partial_cmp(&wb).expect("weights are never NaN")
+                wa.partial_cmp(&wb).expect("weights are never NaN") // lint:allow(P1): edge weights are validated finite at construction
             })
             .map(|nb| nb.edge)
     }

@@ -94,7 +94,7 @@ impl IndexedQuadHeap {
     /// by the smaller node id.
     pub fn pop(&mut self) -> Option<(f64, NodeId)> {
         let top = *self.heap.first()?;
-        let last = self.heap.pop().expect("heap is non-empty");
+        let last = self.heap.pop().expect("heap is non-empty"); // lint:allow(P1): first() just returned Some, so the heap is non-empty
         self.pos[top.index()] = ABSENT;
         if !self.heap.is_empty() {
             self.heap[0] = last;

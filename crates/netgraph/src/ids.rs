@@ -35,7 +35,7 @@ impl NodeId {
     /// returned by [`Graph::add_node`](crate::Graph::add_node).
     #[must_use]
     pub fn new(index: usize) -> Self {
-        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX")) // lint:allow(P1): the 32-bit id space is a documented capacity limit
     }
 
     /// Returns the dense index of this node.
@@ -49,7 +49,7 @@ impl EdgeId {
     /// Creates an edge id from a raw index.
     #[must_use]
     pub fn new(index: usize) -> Self {
-        EdgeId(u32::try_from(index).expect("edge index exceeds u32::MAX"))
+        EdgeId(u32::try_from(index).expect("edge index exceeds u32::MAX")) // lint:allow(P1): the 32-bit id space is a documented capacity limit
     }
 
     /// Returns the dense index of this edge.

@@ -33,8 +33,8 @@ pub fn k_shortest_paths(g: &Graph, source: NodeId, target: NodeId, k: usize) -> 
     // Candidate pool of deviation paths.
     let mut candidates: Vec<Path> = Vec::new();
     while result.len() < k {
-        let last = result.last().expect("at least the shortest path");
-        // Deviate at every node of the previous path.
+        let last = result.last().expect("at least the shortest path"); // lint:allow(P1): result is seeded with the shortest path before the loop
+                                                                       // Deviate at every node of the previous path.
         for spur_idx in 0..last.nodes().len() - 1 {
             let spur_node = last.nodes()[spur_idx];
             let root_nodes = &last.nodes()[..=spur_idx];
@@ -43,8 +43,8 @@ pub fn k_shortest_paths(g: &Graph, source: NodeId, target: NodeId, k: usize) -> 
 
             // Remove edges that would recreate an already-found path with
             // the same root, and the root's interior nodes (loopless).
-            let mut banned_edges: std::collections::HashSet<crate::EdgeId> =
-                std::collections::HashSet::new();
+            let mut banned_edges: std::collections::BTreeSet<crate::EdgeId> =
+                std::collections::BTreeSet::new();
             for p in result.iter().chain(candidates.iter()) {
                 if p.nodes().len() > spur_idx && p.nodes()[..=spur_idx] == *root_nodes {
                     if let Some(&e) = p.edges().get(spur_idx) {
@@ -52,7 +52,7 @@ pub fn k_shortest_paths(g: &Graph, source: NodeId, target: NodeId, k: usize) -> 
                     }
                 }
             }
-            let banned_nodes: std::collections::HashSet<NodeId> =
+            let banned_nodes: std::collections::BTreeSet<NodeId> =
                 root_nodes[..spur_idx].iter().copied().collect();
 
             let filtered = induced_subgraph(
@@ -95,9 +95,9 @@ pub fn k_shortest_paths(g: &Graph, source: NodeId, target: NodeId, k: usize) -> 
         let best = candidates
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.cost().partial_cmp(&b.1.cost()).expect("finite"))
+            .min_by(|a, b| a.1.cost().partial_cmp(&b.1.cost()).expect("finite")) // lint:allow(P1): path costs are finite sums of finite weights
             .map(|(i, _)| i)
-            .expect("non-empty");
+            .expect("non-empty"); // lint:allow(P1): the loop breaks above when candidates is empty
         result.push(candidates.swap_remove(best));
     }
     result

@@ -65,7 +65,7 @@ impl Path {
     /// Last node of the path.
     #[must_use]
     pub fn target(&self) -> NodeId {
-        *self.nodes.last().expect("path is non-empty")
+        *self.nodes.last().expect("path is non-empty") // lint:allow(P1): Path construction guarantees at least one node
     }
 
     /// Number of edges.

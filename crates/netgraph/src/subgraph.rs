@@ -88,7 +88,7 @@ pub fn induced_subgraph(
         };
         graph
             .add_edge(u, v, e.weight)
-            .expect("weights already validated by the parent graph");
+            .expect("weights already validated by the parent graph"); // lint:allow(P1): weights already validated by the parent graph
         to_parent_edge.push(e.id);
     }
     FilteredGraph {

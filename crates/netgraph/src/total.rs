@@ -58,7 +58,7 @@ impl Ord for TotalCost {
         // Safe: NaN is rejected at construction.
         self.0
             .partial_cmp(&other.0)
-            .expect("TotalCost is never NaN")
+            .expect("TotalCost is never NaN") // lint:allow(P1): TotalCost wraps only non-NaN values by construction
     }
 }
 

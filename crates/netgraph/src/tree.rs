@@ -9,7 +9,7 @@
 #![allow(clippy::needless_range_loop)] // paired-index loops over parallel arrays
 
 use crate::{EdgeId, Graph, NodeId, Path};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A tree embedded in a [`Graph`], rooted at a chosen node.
 ///
@@ -36,7 +36,7 @@ use std::collections::HashMap;
 pub struct RootedTree {
     root: NodeId,
     /// Local index of each tree node.
-    index: HashMap<NodeId, usize>,
+    index: BTreeMap<NodeId, usize>,
     /// Tree nodes by local index (root first is *not* guaranteed).
     nodes: Vec<NodeId>,
     /// Parent (node, edge) per local index; `None` for the root.
@@ -60,9 +60,9 @@ impl RootedTree {
     #[must_use]
     pub fn from_edges(g: &Graph, edges: &[EdgeId], root: NodeId) -> Option<RootedTree> {
         // Collect incident nodes.
-        let mut index: HashMap<NodeId, usize> = HashMap::new();
+        let mut index: BTreeMap<NodeId, usize> = BTreeMap::new();
         let mut nodes: Vec<NodeId> = Vec::new();
-        let intern = |n: NodeId, nodes: &mut Vec<NodeId>, index: &mut HashMap<NodeId, usize>| {
+        let intern = |n: NodeId, nodes: &mut Vec<NodeId>, index: &mut BTreeMap<NodeId, usize>| {
             *index.entry(n).or_insert_with(|| {
                 nodes.push(n);
                 nodes.len() - 1
@@ -183,11 +183,11 @@ impl RootedTree {
     /// Panics if either node is not in the tree.
     #[must_use]
     pub fn is_ancestor(&self, a: NodeId, b: NodeId) -> bool {
-        let da = self.depth(a).expect("node not in tree");
+        let da = self.depth(a).expect("node not in tree"); // lint:allow(P1): documented panic contract: nodes must be in the tree
         let mut cur = b;
-        let mut dc = self.depth(b).expect("node not in tree");
+        let mut dc = self.depth(b).expect("node not in tree"); // lint:allow(P1): documented panic contract: nodes must be in the tree
         while dc > da {
-            cur = self.parent(cur).expect("non-root has a parent").0;
+            cur = self.parent(cur).expect("non-root has a parent").0; // lint:allow(P1): dc > da >= 0, so cur is not the root
             dc -= 1;
         }
         cur == a
@@ -206,7 +206,7 @@ impl RootedTree {
         let mut up_edges = Vec::new();
         let mut cur = a;
         while cur != l {
-            let (p, e) = self.parent(cur).expect("non-root has a parent");
+            let (p, e) = self.parent(cur).expect("non-root has a parent"); // lint:allow(P1): cur != lca, so cur is below the LCA and has a parent
             up_nodes.push(p);
             up_edges.push(e);
             cur = p;
@@ -215,7 +215,7 @@ impl RootedTree {
         let mut down_edges = Vec::new();
         cur = b;
         while cur != l {
-            let (p, e) = self.parent(cur).expect("non-root has a parent");
+            let (p, e) = self.parent(cur).expect("non-root has a parent"); // lint:allow(P1): cur != lca, so cur is below the LCA and has a parent
             down_nodes.push(cur);
             down_edges.push(e);
             cur = p;
@@ -305,8 +305,8 @@ impl Lca<'_> {
     #[must_use]
     pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
         let t = self.tree;
-        let mut ia = *t.index.get(&a).expect("node not in tree");
-        let mut ib = *t.index.get(&b).expect("node not in tree");
+        let mut ia = *t.index.get(&a).expect("node not in tree"); // lint:allow(P1): documented panic contract: nodes must be in the tree
+        let mut ib = *t.index.get(&b).expect("node not in tree"); // lint:allow(P1): documented panic contract: nodes must be in the tree
         if t.depth[ia] < t.depth[ib] {
             std::mem::swap(&mut ia, &mut ib);
         }

@@ -33,6 +33,7 @@ impl TimedRequest {
     #[must_use]
     pub fn new(request: MulticastRequest, arrival: f64, duration: f64) -> Self {
         Self::try_new(request, arrival, duration).unwrap_or_else(|e| {
+            // lint:allow(P1): documented panic contract; try_new is the fallible path
             panic!("invariant violated: timed workloads are well-formed, but {e}")
         })
     }
@@ -135,7 +136,7 @@ impl ActiveSessions {
     pub fn depart(&mut self, sdn: &mut Sdn, id: RequestId) -> bool {
         match self.sessions.remove(&id) {
             Some((_, alloc)) => {
-                sdn.release(&alloc).expect("release departed session");
+                sdn.release(&alloc).expect("release departed session"); // lint:allow(P1): the session allocation was applied, so release balances
                 true
             }
             None => {
@@ -170,8 +171,8 @@ impl ActiveSessions {
             .map(|(&id, _)| id)
             .collect();
         for id in &due {
-            let (_, alloc) = self.sessions.remove(id).expect("just listed");
-            sdn.release(&alloc).expect("release departed session");
+            let (_, alloc) = self.sessions.remove(id).expect("just listed"); // lint:allow(P1): due was collected from live sessions just above
+            sdn.release(&alloc).expect("release departed session"); // lint:allow(P1): the session allocation was applied, so release balances
         }
         due.len()
     }
@@ -220,7 +221,7 @@ pub fn run_dynamic<A: OnlineAlgorithm + ?Sized>(
     requests: &[TimedRequest],
 ) -> DynamicResult {
     let mut order: Vec<&TimedRequest> = requests.iter().collect();
-    order.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite arrivals"));
+    order.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite arrivals")); // lint:allow(P1): arrival times are validated finite at construction
 
     let mut active = ActiveSessions::new();
     let mut admitted_ids = Vec::new();
@@ -236,6 +237,7 @@ pub fn run_dynamic<A: OnlineAlgorithm + ?Sized>(
             Some(tree) => {
                 let alloc = tree.allocation(&tr.request);
                 sdn.allocate(&alloc).unwrap_or_else(|e| {
+                    // lint:allow(P1): an infeasible proposal is an algorithm bug; abort loudly
                     panic!(
                         "algorithm {} proposed an infeasible tree for {}: {e}",
                         algorithm.name(),

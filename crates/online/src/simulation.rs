@@ -98,6 +98,7 @@ pub fn run_online<A: OnlineAlgorithm + ?Sized>(
                 );
                 let alloc = tree.allocation(req);
                 sdn.allocate(&alloc).unwrap_or_else(|e| {
+                    // lint:allow(P1): an infeasible proposal is an algorithm bug; abort loudly
                     panic!(
                         "algorithm {} proposed an infeasible tree for {}: {e}",
                         algorithm.name(),
@@ -131,7 +132,7 @@ pub fn run_online<A: OnlineAlgorithm + ?Sized>(
     }
     let mut mean_server = 0.0;
     for &v in sdn.servers() {
-        mean_server += sdn.computing_utilization(v).expect("server");
+        mean_server += sdn.computing_utilization(v).expect("server"); // lint:allow(P1): v is drawn from servers()
     }
     if !sdn.servers().is_empty() {
         mean_server /= sdn.servers().len() as f64;
@@ -264,7 +265,7 @@ pub fn link_utilization_gini(sdn: &Sdn) -> f64 {
     if utils.is_empty() {
         return 0.0;
     }
-    utils.sort_by(|a, b| a.partial_cmp(b).expect("utilizations are finite"));
+    utils.sort_by(|a, b| a.partial_cmp(b).expect("utilizations are finite")); // lint:allow(P1): utilizations are finite ratios of validated capacities
     let n = utils.len() as f64;
     let sum: f64 = utils.iter().sum();
     if sum <= 0.0 {

@@ -45,12 +45,13 @@ impl OnlineAlgorithm for ShortestPathBaseline {
         for e in g.edges() {
             uniform
                 .add_edge(e.u, e.v, 1.0)
-                .expect("filtered edges are valid");
+                .expect("filtered edges are valid"); // lint:allow(P1): copies an edge the parent graph already validated
         }
 
         let mut best: Option<(f64, PseudoMulticastTree)> = None;
         let spt_source = dijkstra_with_targets(&uniform, request.source, sdn.servers());
         for &v in sdn.servers() {
+            // lint:allow(P1): v is drawn from servers()
             if !sdn.is_server_alive(v) || sdn.residual_computing(v).expect("server") + 1e-9 < demand
             {
                 continue;
@@ -86,7 +87,7 @@ impl OnlineAlgorithm for ShortestPathBaseline {
                     .iter()
                     .map(|&e| sdn.unit_bandwidth_cost(e) * b)
                     .sum();
-                let computing_cost = sdn.unit_computing_cost(v).expect("server") * demand;
+                let computing_cost = sdn.unit_computing_cost(v).expect("server") * demand; // lint:allow(P1): v is drawn from servers()
                 let bandwidth_cost: f64 = ingress_cost
                     + distribution
                         .iter()

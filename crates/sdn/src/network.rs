@@ -43,7 +43,7 @@ impl SdnBuilder {
     pub fn add_server(&mut self, capacity_mhz: f64, unit_cost: f64) -> NodeId {
         let n = self.add_switch();
         self.attach_server(n, capacity_mhz, unit_cost)
-            .expect("fresh switch accepts a server");
+            .expect("fresh switch accepts a server"); // lint:allow(P1): a freshly added switch has no server attached yet
         n
     }
 

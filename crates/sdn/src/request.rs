@@ -58,6 +58,7 @@ impl MulticastRequest {
     ) -> Self {
         match Self::try_new(id, source, destinations, bandwidth, chain) {
             Ok(r) => r,
+            // lint:allow(P1): documented panic contract; try_new is the fallible path
             Err(e) => panic!(
                 "invariant violated: workload generators produce well-formed requests, but {e}"
             ),

@@ -1,0 +1,38 @@
+//! Regression gate for planner determinism: the same sweep, run twice in
+//! the same process, must produce byte-identical cost tables.
+//!
+//! This is the behavioural end of the `nfv-lint` D1 rule (no unordered
+//! containers in result-affecting crates). The linter proves the *source*
+//! contains no `HashMap`/`HashSet` in planner code; this test proves the
+//! *output* actually repeats — catching any nondeterminism the static rule
+//! cannot see (e.g. float reductions over an unordered upstream source, or
+//! a future dependency that reintroduces randomized iteration).
+//!
+//! Only the cost table is compared: the time table contains wall-clock
+//! measurements which legitimately differ between runs.
+
+use sim::experiments::fig5;
+use sim::ExperimentScale;
+
+/// A reduced Fig. 5 sweep (two sizes, two ratios) keeps this under a few
+/// seconds in debug builds while still exercising the full Appro_Multi /
+/// Alg_One_Server pipeline on distinct topologies.
+const SIZES: [usize; 2] = [50, 100];
+const RATIOS: [f64; 2] = [0.10, 0.20];
+
+#[test]
+fn fig5_cost_table_is_byte_identical_across_runs() {
+    let (cost_a, _time_a) = fig5::run_with(&SIZES, &RATIOS, ExperimentScale::quick());
+    let (cost_b, _time_b) = fig5::run_with(&SIZES, &RATIOS, ExperimentScale::quick());
+    let csv_a = cost_a.to_csv();
+    let csv_b = cost_b.to_csv();
+    assert!(
+        !csv_a.trim().is_empty(),
+        "sweep produced an empty cost table"
+    );
+    assert_eq!(
+        csv_a, csv_b,
+        "fig5 cost CSV differs between two in-process runs: planner output \
+         depends on iteration order or other ambient state"
+    );
+}

@@ -12,7 +12,7 @@
 
 use crate::SteinerTree;
 use netgraph::{dijkstra, EdgeId, Graph, NodeId, ShortestPathTree};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Largest terminal count accepted by [`dreyfus_wagner`].
 pub const MAX_TERMINALS: usize = 12;
@@ -39,7 +39,7 @@ enum Choice {
 #[must_use]
 pub fn dreyfus_wagner(g: &Graph, terminals: &[NodeId]) -> Option<SteinerTree> {
     let mut uniq: Vec<NodeId> = Vec::new();
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     for &t in terminals {
         if !g.contains_node(t) {
             return None;
@@ -131,7 +131,7 @@ pub fn dreyfus_wagner(g: &Graph, terminals: &[NodeId]) -> Option<SteinerTree> {
     }
 
     // Reconstruct the edge set.
-    let mut edges: HashSet<EdgeId> = HashSet::new();
+    let mut edges: BTreeSet<EdgeId> = BTreeSet::new();
     let mut stack: Vec<(u32, usize)> = vec![(full, root)];
     while let Some((mask, v)) = stack.pop() {
         if mask.count_ones() == 1 {
@@ -141,7 +141,7 @@ pub fn dreyfus_wagner(g: &Graph, terminals: &[NodeId]) -> Option<SteinerTree> {
             continue;
         }
         match choice[mask as usize][v] {
-            Choice::Leaf => unreachable!("multi-terminal mask cannot be a leaf"),
+            Choice::Leaf => unreachable!("multi-terminal mask cannot be a leaf"), // lint:allow(P1): Leaf choices are recorded only for singleton masks
             Choice::Merge(sub) => {
                 stack.push((sub, v));
                 stack.push((mask ^ sub, v));
@@ -172,8 +172,8 @@ pub fn dreyfus_wagner(g: &Graph, terminals: &[NodeId]) -> Option<SteinerTree> {
     Some(tree)
 }
 
-fn add_path_edges(spt: &ShortestPathTree, to: NodeId, edges: &mut HashSet<EdgeId>) {
-    let p = spt.path_to(to).expect("reachability checked");
+fn add_path_edges(spt: &ShortestPathTree, to: NodeId, edges: &mut BTreeSet<EdgeId>) {
+    let p = spt.path_to(to).expect("reachability checked"); // lint:allow(P1): callers check reachability before requesting the path
     edges.extend(p.edges().iter().copied());
 }
 

@@ -11,7 +11,7 @@
 use crate::SteinerTree;
 use netgraph::{EdgeId, Graph, NodeId, TotalCost};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// Iteratively improves `tree` by key-path replacement until no swap
 /// helps (or `max_rounds` passes ran). The result spans the same
@@ -50,21 +50,22 @@ fn improve_once(
     terminals: &[NodeId],
     current_cost: f64,
 ) -> Option<(Vec<EdgeId>, f64)> {
-    // Tree adjacency and degrees.
-    let mut adj: HashMap<NodeId, Vec<(NodeId, EdgeId)>> = HashMap::new();
+    // Tree adjacency and degrees. Deterministic container: iteration
+    // order below decides which improving swap is applied first.
+    let mut adj: BTreeMap<NodeId, Vec<(NodeId, EdgeId)>> = BTreeMap::new();
     for &e in edges {
         let er = g.edge(e);
         adj.entry(er.u).or_default().push((er.v, e));
         adj.entry(er.v).or_default().push((er.u, e));
     }
-    let terminal_set: HashSet<NodeId> = terminals.iter().copied().collect();
-    let is_key = |n: NodeId, adj: &HashMap<NodeId, Vec<(NodeId, EdgeId)>>| {
+    let terminal_set: BTreeSet<NodeId> = terminals.iter().copied().collect();
+    let is_key = |n: NodeId, adj: &BTreeMap<NodeId, Vec<(NodeId, EdgeId)>>| {
         terminal_set.contains(&n) || adj.get(&n).map_or(0, Vec::len) >= 3
     };
 
     // Enumerate key paths: walk from each key node along each incident
     // edge through degree-2 non-key interiors until the next key node.
-    let mut seen_paths: HashSet<(NodeId, NodeId, EdgeId)> = HashSet::new();
+    let mut seen_paths: BTreeSet<(NodeId, NodeId, EdgeId)> = BTreeSet::new();
     for (&start, nbs) in &adj {
         if !is_key(start, &adj) {
             continue;
@@ -78,7 +79,7 @@ fn improve_once(
                     .iter()
                     .find(|&&(n, _)| n != prev)
                     .copied()
-                    .expect("degree-2 interior has another side");
+                    .expect("degree-2 interior has another side"); // lint:allow(P1): a degree-2 interior node has exactly two incident edges
                 prev = cur;
                 cur = next.0;
                 via = next.1;
@@ -89,7 +90,7 @@ fn improve_once(
             let signature = if start <= end {
                 (start, end, first_edge)
             } else {
-                (end, start, *path_edges.last().expect("non-empty"))
+                (end, start, *path_edges.last().expect("non-empty")) // lint:allow(P1): paths between distinct endpoints have at least one edge
             };
             if !seen_paths.insert(signature) {
                 continue;
@@ -111,7 +112,7 @@ fn try_replace(
     path_edges: &[EdgeId],
     current_cost: f64,
 ) -> Option<(Vec<EdgeId>, f64)> {
-    let removed: HashSet<EdgeId> = path_edges.iter().copied().collect();
+    let removed: BTreeSet<EdgeId> = path_edges.iter().copied().collect();
     let old_cost: f64 = path_edges.iter().map(|&e| g.edge(e).weight).sum();
     let kept: Vec<EdgeId> = edges
         .iter()
@@ -120,8 +121,10 @@ fn try_replace(
         .collect();
 
     // Two components of the remaining forest (by node).
-    let mut comp: HashMap<NodeId, u8> = HashMap::new();
-    let mut forest_adj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    // Deterministic containers: `comp` seeds the reconnection Dijkstra in
+    // iteration order, which breaks equal-cost ties.
+    let mut comp: BTreeMap<NodeId, u8> = BTreeMap::new();
+    let mut forest_adj: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
     for &e in &kept {
         let er = g.edge(e);
         forest_adj.entry(er.u).or_default().push(er.v);

@@ -62,7 +62,7 @@ pub fn kmb(g: &Graph, terminals: &[NodeId]) -> Option<SteinerTree> {
             let d = spts[i].distance(uniq[j])?; // None => disconnected
             closure
                 .add_edge(NodeId::new(i), NodeId::new(j), d)
-                .expect("finite non-negative distance");
+                .expect("finite non-negative distance"); // lint:allow(P1): closure distances are finite Dijkstra results
         }
     }
 
@@ -79,7 +79,7 @@ pub fn kmb(g: &Graph, terminals: &[NodeId]) -> Option<SteinerTree> {
         let j = cer.v;
         let path = spts[i]
             .path_to(uniq[j.index()])
-            .expect("closure edge implies reachability");
+            .expect("closure edge implies reachability"); // lint:allow(P1): closure edges join mutually reachable terminals
         for &e in path.edges() {
             in_subgraph[e.index()] = true;
         }

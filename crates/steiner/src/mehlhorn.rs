@@ -59,7 +59,7 @@ pub fn mehlhorn(g: &Graph, terminals: &[NodeId]) -> Option<SteinerTree> {
     for ce in vc.edges() {
         closure
             .add_edge(NodeId::new(ce.a), NodeId::new(ce.b), ce.cost)
-            .expect("finite non-negative closure cost");
+            .expect("finite non-negative closure cost"); // lint:allow(P1): closure costs are finite by construction
     }
     let mst1 = kruskal(&closure);
     if !mst1.is_spanning_tree() {

@@ -8,7 +8,7 @@
 use crate::{prune_non_terminal_leaves, SteinerTree};
 use netgraph::{EdgeId, Graph, NodeId, TotalCost};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Computes an approximate minimum Steiner tree spanning `terminals` by
 /// iterative shortest-path attachment, seeded at `terminals[0]`.
@@ -20,7 +20,7 @@ use std::collections::{BinaryHeap, HashSet};
 #[must_use]
 pub fn sph(g: &Graph, terminals: &[NodeId]) -> Option<SteinerTree> {
     let mut uniq: Vec<NodeId> = Vec::new();
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     for &t in terminals {
         if !g.contains_node(t) {
             return None;
@@ -37,7 +37,7 @@ pub fn sph(g: &Graph, terminals: &[NodeId]) -> Option<SteinerTree> {
     let mut in_tree = vec![false; n];
     in_tree[uniq[0].index()] = true;
     let mut tree_edges: Vec<EdgeId> = Vec::new();
-    let mut remaining: HashSet<NodeId> = uniq[1..].iter().copied().collect();
+    let mut remaining: BTreeSet<NodeId> = uniq[1..].iter().copied().collect();
 
     while !remaining.is_empty() {
         // Multi-source Dijkstra from the whole current tree.

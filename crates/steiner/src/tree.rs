@@ -2,7 +2,7 @@
 
 use netgraph::{EdgeId, Graph, NodeId, RootedTree};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// A tree in a graph spanning a set of terminals.
 ///
@@ -52,7 +52,7 @@ impl SteinerTree {
     /// All nodes touched by the tree (terminals plus Steiner nodes).
     #[must_use]
     pub fn nodes(&self, g: &Graph) -> Vec<NodeId> {
-        let mut set: HashSet<NodeId> = HashSet::new();
+        let mut set: BTreeSet<NodeId> = BTreeSet::new();
         for &e in &self.edges {
             let er = g.edge(e);
             set.insert(er.u);
