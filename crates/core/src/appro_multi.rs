@@ -351,10 +351,12 @@ impl ScanTables {
 
         // Destination-to-candidate distance table.
         let mut dist_dv = vec![f64::INFINITY; dlen * virt.len()];
-        for di in 0..dlen {
+        for (di, spt) in spt_dests.iter().enumerate().take(dlen) {
             for (vi, ve) in virt.iter().enumerate() {
-                if let Some(dv) = spt_dests[di].distance(ve.node) {
-                    dist_dv[di * virt.len() + vi] = dv;
+                if let Some(dv) = spt.distance(ve.node) {
+                    if let Some(slot) = dist_dv.get_mut(di * virt.len() + vi) {
+                        *slot = dv;
+                    }
                 }
             }
         }
@@ -365,8 +367,8 @@ impl ScanTables {
         let mut dist_dd = vec![f64::INFINITY; dlen * dlen];
         let mut closure = Graph::with_nodes(dlen + 1); // node 0 = source
         let mut complete = true;
-        for i in 0..dlen {
-            match spt_dests[i].distance(request.source) {
+        for (i, spt) in spt_dests.iter().enumerate().take(dlen) {
+            match spt.distance(request.source) {
                 Some(d) => {
                     closure
                         .add_edge(NodeId::new(0), NodeId::new(i + 1), d)
@@ -374,10 +376,12 @@ impl ScanTables {
                 }
                 None => complete = false,
             }
-            for j in (i + 1)..dlen {
-                match spt_dests[i].distance(dests[j]) {
+            for (j, &dj) in dests.iter().enumerate().skip(i + 1) {
+                match spt.distance(dj) {
                     Some(d) => {
-                        dist_dd[i * dlen + j] = d;
+                        if let Some(slot) = dist_dd.get_mut(i * dlen + j) {
+                            *slot = d;
+                        }
                         closure
                             .add_edge(NodeId::new(i + 1), NodeId::new(j + 1), d)
                             .expect("finite distance"); // lint:allow(P1): closure weights are finite Dijkstra distances
@@ -406,13 +410,16 @@ impl ScanTables {
         }
     }
 
-    /// An admissible lower bound on the pseudo-tree cost of `combo`.
-    fn lower_bound(&self, virt: &[VirtEdge], combo: &[usize]) -> f64 {
+    /// The two admissible lower bounds on the pseudo-tree cost of `combo`,
+    /// returned separately so the scan can attribute prunes to LB1 vs LB2.
+    fn lower_bounds(&self, virt: &[VirtEdge], combo: &[usize]) -> (f64, f64) {
         let mut min_virt = f64::INFINITY;
         let mut min_comp = f64::INFINITY;
         for &vi in combo {
-            min_virt = min_virt.min(virt[vi].weight);
-            min_comp = min_comp.min(virt[vi].computing);
+            if let Some(ve) = virt.get(vi) {
+                min_virt = min_virt.min(ve.weight);
+                min_comp = min_comp.min(ve.computing);
+            }
         }
         // Every destination's distribution path reaches *some* server of
         // the combo, so the worst destination pays at least its distance
@@ -421,7 +428,12 @@ impl ScanTables {
         for di in 0..self.dlen {
             let mut nearest = f64::INFINITY;
             for &vi in combo {
-                nearest = nearest.min(self.dist_dv[di * virt.len() + vi]);
+                let dv = self
+                    .dist_dv
+                    .get(di * virt.len() + vi)
+                    .copied()
+                    .unwrap_or(f64::INFINITY);
+                nearest = nearest.min(dv);
             }
             attach = attach.max(nearest);
         }
@@ -432,7 +444,7 @@ impl ScanTables {
         // would fail evaluation anyway, so pruning it is exact too.
         // LB2: computing of some used server plus the spanning bound on
         // ingress ∪ distribution bandwidth.
-        (min_virt + self.b * attach).max(min_comp + self.span_lb)
+        (min_virt + self.b * attach, min_comp + self.span_lb)
     }
 }
 
@@ -482,6 +494,7 @@ fn appro_multi_scan(
     // shared across servers), the physically carried traffic of Fig. 3.
     let mut best: Option<PseudoMulticastTree> = None;
     let mut best_cost = f64::INFINITY;
+    let mut evaluated_this_scan = 0u64;
     let indices: Vec<usize> = (0..virt.len()).collect();
     let mut combos = Combinations::new(&indices, k);
     while let Some(combo) = combos.next() {
@@ -490,9 +503,14 @@ fn appro_multi_scan(
             // cheaper tree; a combination whose admissible bound
             // clears the incumbent (with float headroom) cannot
             // change the result, so skipping it is byte-exact.
-            let lb = tables.lower_bound(&virt, combo);
-            if lb > best_cost * (1.0 + 1e-9) + 1e-9 {
+            let (lb1, lb2) = tables.lower_bounds(&virt, combo);
+            if lb1.max(lb2) > best_cost * (1.0 + 1e-9) + 1e-9 {
                 scratch.pruned += 1;
+                if lb1 >= lb2 {
+                    telemetry::hit(telemetry::Counter::CombosPrunedLb1);
+                } else {
+                    telemetry::hit(telemetry::Counter::CombosPrunedLb2);
+                }
                 continue;
             }
         }
@@ -505,11 +523,16 @@ fn appro_multi_scan(
         for di in 0..dlen {
             let mut best_v: Option<(f64, usize)> = None;
             for &vi in combo {
-                let dv = tables.dist_dv[di * virt.len() + vi];
+                let dv = tables
+                    .dist_dv
+                    .get(di * virt.len() + vi)
+                    .copied()
+                    .unwrap_or(f64::INFINITY);
                 if !dv.is_finite() {
                     continue;
                 }
-                let cand = virt[vi].weight + dv * b;
+                let Some(ve) = virt.get(vi) else { continue };
+                let cand = ve.weight + dv * b;
                 if best_v.is_none_or(|(bc, _)| cand < bc) {
                     best_v = Some((cand, vi));
                 }
@@ -543,12 +566,15 @@ fn appro_multi_scan(
             winners.extend(to_virtual.iter().map(|&(_, vi)| vi as u32));
             if seen.contains(&*winners) {
                 *deduped += 1;
+                telemetry::hit(telemetry::Counter::CombosDeduped);
                 continue;
             }
             seen.insert(winners.clone());
         }
 
         scratch.evaluated += 1;
+        evaluated_this_scan += 1;
+        telemetry::hit(telemetry::Counter::CombosEvaluated);
         let Some(tree) = eval_combination(g, b, &virt, request, spt_dests, &tables, scratch) else {
             continue;
         };
@@ -558,6 +584,7 @@ fn appro_multi_scan(
             best = Some(pseudo);
         }
     }
+    telemetry::observe(telemetry::Hist::CombosPerScan, evaluated_this_scan);
     best
 }
 
@@ -582,7 +609,8 @@ impl MiniTree {
         let mut servers = Vec::new();
         let mut computing_cost = 0.0;
         for &vi in &self.used_servers {
-            let v = virt[vi].node;
+            let Some(ve) = virt.get(vi) else { continue };
+            let v = ve.node;
             let path = spt_source
                 .path_to(v)
                 .expect("virtual weight implies reachability"); // lint:allow(P1): a finite virtual weight implies the SPT reaches v
@@ -631,13 +659,22 @@ enum Realization {
 /// produced before the table became reusable, so the mini graph (and with
 /// it Kruskal's tie-breaking) is byte-identical.
 fn intern_node(slots: &mut [InternSlot], epoch: u32, count: &mut usize, orig: NodeId) -> NodeId {
-    let slot = &mut slots[orig.index()];
+    let Some(slot) = slots.get_mut(orig.index()) else {
+        // Unreachable: the slot table is sized to the graph and `orig` is
+        // one of its nodes. Returning the mini source keeps this total.
+        return NodeId::new(0);
+    };
     if slot.stamp != epoch {
         slot.stamp = epoch;
         slot.id = NodeId::new(*count);
         *count += 1;
     }
     slot.id
+}
+
+/// Mini-graph id previously assigned to `orig` by [`intern_node`].
+fn interned_id(slots: &[InternSlot], orig: NodeId) -> NodeId {
+    slots.get(orig.index()).map_or(NodeId::new(0), |s| s.id)
 }
 
 /// Evaluates one server combination: KMB over the (implicit) auxiliary
@@ -684,9 +721,14 @@ fn eval_combination(
     }
     for i in 0..dlen {
         for j in (i + 1)..dlen {
-            let raw = tables.dist_dd[i * dlen + j];
+            let raw = tables
+                .dist_dd
+                .get(i * dlen + j)
+                .copied()
+                .unwrap_or(f64::INFINITY);
             let direct = if raw.is_finite() { Some(raw * b) } else { None };
-            let via = to_virtual[i].0 + to_virtual[j].0;
+            let leg = |di: usize| to_virtual.get(di).map_or(f64::INFINITY, |&(c, _)| c);
+            let via = leg(i) + leg(j);
             let (w, real) = match direct {
                 Some(d) if d <= via => (d, Realization::Direct),
                 _ => (via, Realization::ViaVirtual),
@@ -694,7 +736,9 @@ fn eval_combination(
             closure
                 .add_edge(NodeId::new(i + 1), NodeId::new(j + 1), w)
                 .expect("finite closure weight"); // lint:allow(P1): closure weights are finite Dijkstra distances
-            realization[i * dlen + j] = real;
+            if let Some(slot) = realization.get_mut(i * dlen + j) {
+                *slot = real;
+            }
         }
     }
     let closure_mst = kruskal(closure);
@@ -711,10 +755,15 @@ fn eval_combination(
         real_edges: &mut Vec<EdgeId>,
         used: &mut Vec<usize>,
     ) {
-        let (_, vi) = to_virtual[di];
+        let Some(&(_, vi)) = to_virtual.get(di) else {
+            return;
+        };
         used.push(vi);
-        let path = spt_dests[di]
-            .path_to(virt[vi].node)
+        let (Some(server), Some(spt)) = (virt.get(vi), spt_dests.get(di)) else {
+            return;
+        };
+        let path = spt
+            .path_to(server.node)
             .expect("virtual leg implies reachability"); // lint:allow(P1): the virtual leg was admitted only with the server reachable
         real_edges.extend(path.edges().iter().copied());
     }
@@ -726,12 +775,18 @@ fn eval_combination(
             add_virtual_leg(c - 1, to_virtual, virt, spt_dests, real_edges, used_virtual);
         } else {
             let (i, j) = (a - 1, c - 1);
-            match realization[i * dlen + j] {
+            let real = realization
+                .get(i * dlen + j)
+                .copied()
+                .unwrap_or(Realization::ViaVirtual);
+            match real {
                 Realization::Direct => {
-                    let path = spt_dests[i]
-                        .path_to(dests[j])
-                        .expect("direct realization implies reachability"); // lint:allow(P1): the closure edge exists only if dests[j] is reachable
-                    real_edges.extend(path.edges().iter().copied());
+                    if let (Some(spt), Some(&dj)) = (spt_dests.get(i), dests.get(j)) {
+                        let path = spt
+                            .path_to(dj)
+                            .expect("direct realization implies reachability"); // lint:allow(P1): the closure edge exists only if dests[j] is reachable
+                        real_edges.extend(path.edges().iter().copied());
+                    }
                 }
                 Realization::ViaVirtual => {
                     add_virtual_leg(i, to_virtual, virt, spt_dests, real_edges, used_virtual);
@@ -757,21 +812,24 @@ fn eval_combination(
     let s_prime = NodeId::new(count); // virtual source, outside the intern map
     count += 1;
     for &vi in used_virtual.iter() {
-        intern_node(intern, epoch, &mut count, virt[vi].node);
+        if let Some(ve) = virt.get(vi) {
+            intern_node(intern, epoch, &mut count, ve.node);
+        }
     }
 
     mini.reset(count);
     tags.clear();
     for &e in real_edges.iter() {
         let er = g.edge(e);
-        let u = intern[er.u.index()].id;
-        let v = intern[er.v.index()].id;
+        let u = interned_id(intern, er.u);
+        let v = interned_id(intern, er.v);
         mini.add_edge(u, v, er.weight * b).expect("valid mini edge"); // lint:allow(P1): mini-graph edges copy validated finite weights
         tags.push(Tag::Real(e));
     }
     for &vi in used_virtual.iter() {
-        let vm = intern[virt[vi].node.index()].id;
-        mini.add_edge(s_prime, vm, virt[vi].weight)
+        let Some(ve) = virt.get(vi) else { continue };
+        let vm = interned_id(intern, ve.node);
+        mini.add_edge(s_prime, vm, ve.weight)
             .expect("valid virtual edge"); // lint:allow(P1): virtual weights are finite by construction
         tags.push(Tag::Virtual(vi));
     }
@@ -781,7 +839,7 @@ fn eval_combination(
     terminals.clear();
     terminals.push(s_prime);
     for d in dests {
-        let slot = intern[d.index()];
+        let slot = intern.get(d.index()).copied().unwrap_or_default();
         assert!(slot.stamp == epoch, "destinations are on paths");
         terminals.push(slot.id);
     }
@@ -790,9 +848,10 @@ fn eval_combination(
     let mut distribution = Vec::new();
     let mut used_servers = Vec::new();
     for e in kept {
-        match tags[e.index()] {
-            Tag::Real(id) => distribution.push(id),
-            Tag::Virtual(vi) => used_servers.push(vi),
+        match tags.get(e.index()).copied() {
+            Some(Tag::Real(id)) => distribution.push(id),
+            Some(Tag::Virtual(vi)) => used_servers.push(vi),
+            None => {}
         }
     }
     if used_servers.is_empty() {

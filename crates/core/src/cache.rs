@@ -120,8 +120,8 @@ impl PathCache {
     fn full_graph_feasible(&mut self, sdn: &Sdn, b: f64, demand: f64) -> bool {
         self.sync(sdn);
         self.fingerprint.all_alive
-            && self.fingerprint.min_residual_bandwidth + 1e-9 >= b
-            && self.fingerprint.min_residual_computing + 1e-9 >= demand
+            && self.fingerprint.min_residual_bandwidth + sdn::CAPACITY_EPS >= b
+            && self.fingerprint.min_residual_computing + sdn::CAPACITY_EPS >= demand
     }
 
     /// The [`Sdn::version`] the cache's residual fingerprint was last
@@ -226,9 +226,11 @@ pub fn appro_multi_cap_cached(
     let demand = request.computing_demand();
     if !cache.full_graph_feasible(sdn, b, demand) {
         cache.slow_path += 1;
+        telemetry::hit(telemetry::Counter::PathCacheSlowPath);
         return appro_multi_cap_with_scratch(sdn, request, k, &mut cache.scratch);
     }
     cache.fast_path += 1;
+    telemetry::hit(telemetry::Counter::PathCacheFastPath);
     // Nothing is filtered: the feasible subgraph is the full network, so
     // Algorithm 1 over cached topology trees reproduces the capacitated
     // run exactly (edge ids map to themselves).

@@ -204,7 +204,8 @@ impl PseudoMulticastTree {
         }
 
         let computing: f64 = self.servers.iter().map(|s| s.computing_cost).sum();
-        if (computing - self.computing_cost).abs() > 1e-6 * (1.0 + computing.abs()) {
+        if (computing - self.computing_cost).abs() > sdn::VALIDATE_REL_TOL * (1.0 + computing.abs())
+        {
             return Err(format!(
                 "computing cost {} disagrees with per-server sum {computing}",
                 self.computing_cost

@@ -196,6 +196,7 @@ pub fn audit(sdn: &Sdn, manager: &SessionManager) -> Result<(), AuditError> {
             }
         }
     }
+    telemetry::hit(telemetry::Counter::AuditPasses);
     Ok(())
 }
 

@@ -134,6 +134,8 @@ pub fn admit_batch(
 
     while !pending.is_empty() {
         wave += 1;
+        telemetry::hit(telemetry::Counter::EngineWaves);
+        telemetry::observe(telemetry::Hist::BatchWaveSize, pending.len() as u64);
         let workers = config.effective_workers(pending.len());
 
         // Snapshot of the residual state this wave's plans are based on.
@@ -174,6 +176,7 @@ pub fn admit_batch(
         }
         if wave > 1 {
             report.replanned += pending.len();
+            telemetry::add(telemetry::Counter::EngineReplans, pending.len() as u64);
         }
 
         // Commit in batch order. Track which links/servers this wave's
@@ -191,15 +194,16 @@ pub fn admit_batch(
             let b = req.bandwidth;
             let demand = req.computing_demand();
             let link_feasibility_changed = touched_links.iter().any(|&e| {
-                let feasible_then = snap_bandwidth[e.index()] + 1e-9 >= b;
-                let feasible_now = sdn.residual_bandwidth(e) + 1e-9 >= b;
+                let feasible_then = snap_bandwidth[e.index()] + sdn::CAPACITY_EPS >= b;
+                let feasible_now = sdn.residual_bandwidth(e) + sdn::CAPACITY_EPS >= b;
                 feasible_then != feasible_now
             });
             let server_feasibility_changed = touched_servers.iter().any(|&v| {
-                let feasible_then = snap_computing[v.index()].is_some_and(|r| r + 1e-9 >= demand);
+                let feasible_then =
+                    snap_computing[v.index()].is_some_and(|r| r + sdn::CAPACITY_EPS >= demand);
                 let feasible_now = sdn
                     .residual_computing(v)
-                    .is_some_and(|r| r + 1e-9 >= demand);
+                    .is_some_and(|r| r + sdn::CAPACITY_EPS >= demand);
                 feasible_then != feasible_now
             });
 
@@ -213,6 +217,7 @@ pub fn admit_batch(
                 // the sequential decision exactly, inline.
                 inline_tail = true;
                 report.replanned += 1;
+                telemetry::hit(telemetry::Counter::EngineReplans);
                 appro_multi_cap_with_scratch(sdn, req, config.k, &mut inline_scratch)
             } else {
                 // Identical feasible subgraph => the plan is the tree the
@@ -220,6 +225,7 @@ pub fn admit_batch(
                 // accumulated-load check must run against the *live*
                 // state.
                 report.speculative_hits += 1;
+                telemetry::hit(telemetry::Counter::EngineSpeculativeCommits);
                 // lint:allow(P1): the planning pass above filled every pending slot
                 match plan.expect("every pending request was planned") {
                     Admission::Admitted(tree) => {

@@ -269,8 +269,11 @@ impl SessionManager {
 
     /// Tears a session down. Committed sessions release their resources;
     /// pending ones only cancel the queued replan (their resources were
-    /// released when the failure broke them); unknown ids are a logged
-    /// no-op — never a double release.
+    /// released when the failure broke them); unknown ids are a guarded
+    /// no-op — never a double release. The guard is surfaced through the
+    /// telemetry registry (an `UnknownDeparture` event plus the shared
+    /// `double_release` counter) rather than stderr: library crates must
+    /// not write to the process's streams.
     ///
     /// # Errors
     ///
@@ -279,16 +282,17 @@ impl SessionManager {
         if let Some(s) = self.sessions.remove(&id) {
             self.unindex(id, &s.allocation);
             sdn.release(&s.allocation)?;
+            telemetry::hit(telemetry::Counter::SessionsDeparted);
+            telemetry::gauge_set(telemetry::Gauge::ActiveSessions, self.sessions.len() as u64);
             return Ok(Departure::Released);
         }
         if self.pending.remove(&id).is_some() {
+            telemetry::gauge_set(telemetry::Gauge::PendingRepairs, self.pending.len() as u64);
             return Ok(Departure::Cancelled);
         }
         self.double_release_count += 1;
-        eprintln!(
-            "warning: departure for unknown session {id:?}; \
-             resources already released, treating as a no-op"
-        );
+        telemetry::hit(telemetry::Counter::DoubleRelease);
+        telemetry::record(telemetry::Event::UnknownDeparture { request: id.0 });
         Ok(Departure::Unknown)
     }
 
@@ -326,6 +330,13 @@ impl SessionManager {
             broken: self.broken_sessions(sdn),
             ..RepairReport::default()
         };
+        telemetry::add(telemetry::Counter::RepairBroken, report.broken.len() as u64);
+        if !report.broken.is_empty() {
+            telemetry::observe(
+                telemetry::Hist::RepairBatchBroken,
+                report.broken.len() as u64,
+            );
+        }
         for &id in &report.broken {
             let s = self
                 .sessions
@@ -348,6 +359,8 @@ impl SessionManager {
             let entry = &self.pending[&id];
             if config.policy == RepairPolicy::Reject || entry.attempts >= config.max_retries {
                 self.pending.remove(&id);
+                telemetry::hit(telemetry::Counter::RepairDropped);
+                telemetry::record(telemetry::Event::SessionDropped { request: id.0 });
                 report.dropped.push(id);
                 continue;
             }
@@ -359,6 +372,8 @@ impl SessionManager {
                 self.pending.remove(&id);
                 self.commit(sdn, request, tree)
                     .expect("invariant: a replanned tree fits the residual it was planned on"); // lint:allow(P1): replanning ran on the exact residual being committed
+                telemetry::hit(telemetry::Counter::RepairRepaired);
+                telemetry::record(telemetry::Event::SessionRepaired { request: id.0 });
                 report.repaired.push(id);
                 continue;
             }
@@ -372,6 +387,11 @@ impl SessionManager {
                         self.pending.remove(&id);
                         self.commit(sdn, reduced, tree)
                             .expect("invariant: a degraded tree fits the residual"); // lint:allow(P1): the degraded tree was planned on this exact residual
+                        telemetry::hit(telemetry::Counter::RepairDegraded);
+                        telemetry::record(telemetry::Event::SessionDegraded {
+                            request: id.0,
+                            shed_terminals: shed as u64,
+                        });
                         report.degraded.push((id, shed));
                         continue;
                     }
@@ -385,11 +405,17 @@ impl SessionManager {
             entry.attempts += 1;
             if entry.attempts >= config.max_retries {
                 self.pending.remove(&id);
+                telemetry::hit(telemetry::Counter::RepairDropped);
+                telemetry::record(telemetry::Event::SessionDropped { request: id.0 });
                 report.dropped.push(id);
             } else {
+                telemetry::hit(telemetry::Counter::RepairDeferred);
+                telemetry::record(telemetry::Event::SessionDeferred { request: id.0 });
                 report.deferred.push(id);
             }
         }
+        telemetry::gauge_set(telemetry::Gauge::PendingRepairs, self.pending.len() as u64);
+        telemetry::gauge_set(telemetry::Gauge::ActiveSessions, self.sessions.len() as u64);
         report
     }
 
@@ -421,7 +447,9 @@ fn reachable_subrequest(sdn: &Sdn, request: &MulticastRequest) -> Option<Multica
     let g = sdn.graph();
     let mut uf = UnionFind::new(g.node_count());
     for e in g.edges() {
-        if sdn.is_link_alive(e.id) && sdn.residual_bandwidth(e.id) + 1e-9 >= request.bandwidth {
+        if sdn.is_link_alive(e.id)
+            && sdn.residual_bandwidth(e.id) + sdn::CAPACITY_EPS >= request.bandwidth
+        {
             uf.union(e.u.index(), e.v.index());
         }
     }

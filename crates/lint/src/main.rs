@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run -p nfv-lint --release -- --workspace-root . [--json results/lint.json]
-//!     [--deny RULE] [--warn RULE] [--off RULE] [--quiet]
+//!     [--deny RULE] [--warn RULE] [--off RULE] [--max-warn RULE:N] [--quiet]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` deny-severity violations found, `2` usage
@@ -19,6 +19,10 @@ struct Args {
     json: PathBuf,
     quiet: bool,
     cfg: Config,
+    /// Per-rule warn-count ceilings (`--max-warn RULE:N`): exceeding one
+    /// fails the run even though the individual findings stay warnings.
+    /// This is the regression ratchet for burndown rules like `P1-idx`.
+    max_warn: Vec<(String, usize)>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -27,6 +31,7 @@ fn parse_args() -> Result<Args, String> {
         json: PathBuf::from("results/lint.json"),
         quiet: false,
         cfg: Config::default(),
+        max_warn: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -48,13 +53,27 @@ fn parse_args() -> Result<Args, String> {
             "--deny" => rule_override(Some(Severity::Deny))?,
             "--warn" => rule_override(Some(Severity::Warn))?,
             "--off" => rule_override(None)?,
+            "--max-warn" => {
+                let spec = it.next().ok_or("--max-warn needs RULE:N")?;
+                let (rule, limit) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("--max-warn {spec}: expected RULE:N"))?;
+                if !args.cfg.knows(rule) {
+                    return Err(format!("unknown rule {rule}"));
+                }
+                let limit: usize = limit
+                    .parse()
+                    .map_err(|_| format!("--max-warn {spec}: N must be a non-negative integer"))?;
+                args.max_warn.push((rule.to_string(), limit));
+            }
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 println!(
                     "nfv-lint: determinism & panic-freedom linter\n\
                      \n\
                      USAGE: nfv-lint [--workspace-root PATH] [--json PATH]\n\
-                     \x20                [--deny RULE] [--warn RULE] [--off RULE] [--quiet]\n\
+                     \x20                [--deny RULE] [--warn RULE] [--off RULE]\n\
+                     \x20                [--max-warn RULE:N] [--quiet]\n\
                      \n\
                      Rules: D1 (unordered containers), D2 (ambient nondeterminism),\n\
                      \x20      P1 (panic sites), P1-idx (slice indexing, warn by default),\n\
@@ -119,7 +138,21 @@ fn main() -> ExitCode {
         report.files_scanned,
         relative_display(&json_path, &args.root)
     );
-    if denied > 0 {
+
+    let mut over_budget = false;
+    for (rule, limit) in &args.max_warn {
+        let count = report
+            .violations
+            .iter()
+            .filter(|v| v.severity == Severity::Warn && v.rule == *rule)
+            .count();
+        if count > *limit {
+            eprintln!("nfv-lint: {rule} warn count {count} exceeds --max-warn budget {limit}");
+            over_budget = true;
+        }
+    }
+
+    if denied > 0 || over_budget {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

@@ -36,14 +36,37 @@ pub struct Violation {
 
 /// Crates whose iteration order reaches planner output: rule `D1` bans
 /// unordered containers here.
-pub const D1_CRATES: &[&str] = &["netgraph", "steiner", "core", "online", "engine"];
+pub const D1_CRATES: &[&str] = &[
+    "netgraph",
+    "steiner",
+    "core",
+    "online",
+    "engine",
+    "telemetry",
+];
 /// Crates where ambient nondeterminism (`D2`) is banned; `sim`/`bench`
 /// and the linter itself may read clocks and the environment.
 pub const D2_CRATES: &[&str] = &[
-    "netgraph", "steiner", "sdn", "core", "online", "engine", "topology", "workload",
+    "netgraph",
+    "steiner",
+    "sdn",
+    "core",
+    "online",
+    "engine",
+    "topology",
+    "workload",
+    "telemetry",
 ];
 /// Library crates whose non-test code must be panic-free (`P1`).
-pub const P1_CRATES: &[&str] = &["netgraph", "steiner", "sdn", "core", "online", "engine"];
+pub const P1_CRATES: &[&str] = &[
+    "netgraph",
+    "steiner",
+    "sdn",
+    "core",
+    "online",
+    "engine",
+    "telemetry",
+];
 
 /// How a file is classified before rules run.
 #[derive(Debug, Clone)]

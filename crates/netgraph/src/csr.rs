@@ -164,6 +164,7 @@ fn dijkstra_csr_impl(
     scratch: &mut DijkstraScratch,
 ) -> ShortestPathTree {
     assert!(csr.contains_node(source), "source {source} not in graph");
+    telemetry::hit(telemetry::Counter::DijkstraRuns);
     let n = csr.node_count();
     scratch.prepare(n);
     let mut remaining = usize::MAX;
@@ -261,9 +262,11 @@ impl SptCache {
     pub fn spt(&mut self, source: NodeId) -> Arc<ShortestPathTree> {
         if let Some(t) = &self.trees[source.index()] {
             self.hits += 1;
+            telemetry::hit(telemetry::Counter::SptCacheHits);
             return Arc::clone(t);
         }
         self.misses += 1;
+        telemetry::hit(telemetry::Counter::SptCacheMisses);
         let tree = Arc::new(dijkstra_csr(&self.csr, source, &mut self.scratch));
         self.trees[source.index()] = Some(Arc::clone(&tree));
         tree

@@ -83,6 +83,7 @@ impl IndexedQuadHeap {
             }
             slot => {
                 if key < self.key[ni] {
+                    telemetry::hit(telemetry::Counter::HeapDecreaseKeys);
                     self.key[ni] = key;
                     self.sift_up(slot as usize);
                 }

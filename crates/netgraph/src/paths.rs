@@ -59,7 +59,7 @@ impl Path {
     /// First node of the path.
     #[must_use]
     pub fn source(&self) -> NodeId {
-        self.nodes[0]
+        *self.nodes.first().expect("path is non-empty") // lint:allow(P1): Path construction guarantees at least one node
     }
 
     /// Last node of the path.
@@ -112,9 +112,10 @@ impl ShortestPathTree {
     }
 
     /// Shortest distance from the source to `n`, or `None` if unreachable.
+    /// Nodes outside the tree's universe are reported as unreachable.
     #[must_use]
     pub fn distance(&self, n: NodeId) -> Option<f64> {
-        let d = self.dist[n.index()];
+        let d = self.dist.get(n.index()).copied().unwrap_or(f64::INFINITY);
         if d.is_finite() {
             Some(d)
         } else {
@@ -125,13 +126,13 @@ impl ShortestPathTree {
     /// Returns `true` if `n` is reachable from the source.
     #[must_use]
     pub fn is_reachable(&self, n: NodeId) -> bool {
-        self.dist[n.index()].is_finite()
+        self.distance(n).is_some()
     }
 
     /// Predecessor (node, edge) of `n` on its shortest path, if any.
     #[must_use]
     pub fn predecessor(&self, n: NodeId) -> Option<(NodeId, EdgeId)> {
-        self.pred[n.index()]
+        self.pred.get(n.index()).copied().flatten()
     }
 
     /// Reconstructs the full shortest path from the source to `target`.
@@ -139,20 +140,18 @@ impl ShortestPathTree {
     /// Returns `None` if `target` is unreachable.
     #[must_use]
     pub fn path_to(&self, target: NodeId) -> Option<Path> {
-        if !self.is_reachable(target) {
-            return None;
-        }
+        let cost = self.distance(target)?;
         let mut nodes = vec![target];
         let mut edges = Vec::new();
         let mut cur = target;
-        while let Some((prev, edge)) = self.pred[cur.index()] {
+        while let Some((prev, edge)) = self.predecessor(cur) {
             nodes.push(prev);
             edges.push(edge);
             cur = prev;
         }
         nodes.reverse();
         edges.reverse();
-        Some(Path::new(nodes, edges, self.dist[target.index()]))
+        Some(Path::new(nodes, edges, cost))
     }
 }
 
@@ -181,6 +180,7 @@ pub fn dijkstra_with_targets(g: &Graph, source: NodeId, targets: &[NodeId]) -> S
 
 fn dijkstra_impl(g: &Graph, source: NodeId, targets: Option<&[NodeId]>) -> ShortestPathTree {
     assert!(g.contains_node(source), "source {source} not in graph");
+    telemetry::hit(telemetry::Counter::DijkstraRuns);
     let n = g.node_count();
     let mut dist = vec![f64::INFINITY; n];
     let mut pred: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
@@ -189,9 +189,11 @@ fn dijkstra_impl(g: &Graph, source: NodeId, targets: Option<&[NodeId]>) -> Short
     if let Some(ts) = targets {
         let mut uniq = 0usize;
         for &t in ts {
-            if !is_target[t.index()] {
-                is_target[t.index()] = true;
-                uniq += 1;
+            if let Some(flag) = is_target.get_mut(t.index()) {
+                if !*flag {
+                    *flag = true;
+                    uniq += 1;
+                }
             }
         }
         remaining = uniq;
@@ -203,12 +205,14 @@ fn dijkstra_impl(g: &Graph, source: NodeId, targets: Option<&[NodeId]>) -> Short
     // BinaryHeap, so distances *and* predecessors are bit-identical.
     let mut heap = IndexedQuadHeap::new();
     heap.reset(n);
-    dist[source.index()] = 0.0;
+    if let Some(d0) = dist.get_mut(source.index()) {
+        *d0 = 0.0;
+    }
     heap.push_or_decrease(source, 0.0);
 
     while let Some((du, u)) = heap.pop() {
         let ui = u.index();
-        if targets.is_some() && is_target[ui] {
+        if targets.is_some() && is_target.get(ui).copied().unwrap_or(false) {
             remaining -= 1;
             if remaining == 0 {
                 break;
@@ -218,10 +222,14 @@ fn dijkstra_impl(g: &Graph, source: NodeId, targets: Option<&[NodeId]>) -> Short
             let w = g.edge(nb.edge).weight;
             let cand = du + w;
             let vi = nb.node.index();
-            if cand < dist[vi] {
-                dist[vi] = cand;
-                pred[vi] = Some((u, nb.edge));
-                heap.push_or_decrease(nb.node, cand);
+            if let Some(dv) = dist.get_mut(vi) {
+                if cand < *dv {
+                    *dv = cand;
+                    if let Some(pv) = pred.get_mut(vi) {
+                        *pv = Some((u, nb.edge));
+                    }
+                    heap.push_or_decrease(nb.node, cand);
+                }
             }
         }
     }
@@ -244,18 +252,25 @@ pub fn bellman_ford(g: &Graph, source: NodeId) -> ShortestPathTree {
     let n = g.node_count();
     let mut dist = vec![f64::INFINITY; n];
     let mut pred: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
-    dist[source.index()] = 0.0;
+    if let Some(d0) = dist.get_mut(source.index()) {
+        *d0 = 0.0;
+    }
 
     for _round in 0..n.saturating_sub(1) {
         let mut changed = false;
         for e in g.edges() {
             // Relax in both directions (undirected edge).
             for (a, b) in [(e.u, e.v), (e.v, e.u)] {
-                let da = dist[a.index()];
-                if da.is_finite() && da + e.weight < dist[b.index()] {
-                    dist[b.index()] = da + e.weight;
-                    pred[b.index()] = Some((a, e.id));
-                    changed = true;
+                let da = dist.get(a.index()).copied().unwrap_or(f64::INFINITY);
+                let cand = da + e.weight;
+                if let Some(db) = dist.get_mut(b.index()) {
+                    if da.is_finite() && cand < *db {
+                        *db = cand;
+                        if let Some(pb) = pred.get_mut(b.index()) {
+                            *pb = Some((a, e.id));
+                        }
+                        changed = true;
+                    }
                 }
             }
         }

@@ -118,6 +118,7 @@ impl VoronoiClosure {
 #[must_use]
 pub fn voronoi_closure(g: &Graph, terminals: &[NodeId]) -> VoronoiClosure {
     assert!(!terminals.is_empty(), "voronoi_closure needs a terminal");
+    telemetry::hit(telemetry::Counter::VoronoiClosureBuilds);
     let n = g.node_count();
     let t = terminals.len();
     let mut owner = vec![UNOWNED; n];

@@ -128,7 +128,9 @@ impl ActiveSessions {
 
     /// Departs `id` now, releasing its allocation. Returns `true` if the
     /// session was active; an unknown id — already departed, or torn
-    /// down by a repair engine — is a logged no-op returning `false`.
+    /// down by a repair engine — is a guarded no-op returning `false`,
+    /// surfaced through the telemetry registry (an `UnknownDeparture`
+    /// event plus the shared `double_release` counter) rather than stderr.
     ///
     /// # Panics
     ///
@@ -137,14 +139,14 @@ impl ActiveSessions {
         match self.sessions.remove(&id) {
             Some((_, alloc)) => {
                 sdn.release(&alloc).expect("release departed session"); // lint:allow(P1): the session allocation was applied, so release balances
+                telemetry::hit(telemetry::Counter::SessionsDeparted);
+                telemetry::gauge_set(telemetry::Gauge::ActiveSessions, self.sessions.len() as u64);
                 true
             }
             None => {
                 self.double_release_count += 1;
-                eprintln!(
-                    "warning: departure for inactive session {id}; \
-                     resources already released, treating as a no-op"
-                );
+                telemetry::hit(telemetry::Counter::DoubleRelease);
+                telemetry::record(telemetry::Event::UnknownDeparture { request: id.0 });
                 false
             }
         }
@@ -247,8 +249,13 @@ pub fn run_dynamic<A: OnlineAlgorithm + ?Sized>(
                 active.insert(tr.request.id, now + tr.duration, alloc);
                 admitted_ids.push(tr.request.id);
                 peak = peak.max(active.len());
+                telemetry::hit(telemetry::Counter::OnlineAdmitted);
+                telemetry::gauge_set(telemetry::Gauge::ActiveSessions, active.len() as u64);
             }
-            None => rejected += 1,
+            None => {
+                rejected += 1;
+                telemetry::hit(telemetry::Counter::OnlineRejected);
+            }
         }
     }
 

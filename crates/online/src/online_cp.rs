@@ -133,7 +133,9 @@ impl OnlineCp {
             .is_some_and(|c| c.version == version && c.bandwidth_bits == bandwidth_bits);
         if fresh {
             self.cache_hits += 1;
+            telemetry::hit(telemetry::Counter::AdmissionCacheHits);
         } else {
+            telemetry::hit(telemetry::Counter::AdmissionCacheRebuilds);
             let model = ExponentialCostModel::for_network(sdn);
             let linear = LinearCostModel::new();
             // G_k: links with enough residual bandwidth, weighted by the
@@ -143,7 +145,7 @@ impl OnlineCp {
             let filtered = induced_subgraph(
                 sdn.graph(),
                 |_| true,
-                |e| sdn.is_link_alive(e) && sdn.residual_bandwidth(e) + 1e-9 >= b,
+                |e| sdn.is_link_alive(e) && sdn.residual_bandwidth(e) + sdn::CAPACITY_EPS >= b,
             );
             let g = filtered.graph();
             // Weighted copy of the filtered graph. A fresh network has
@@ -155,11 +157,11 @@ impl OnlineCp {
             let c_max = g
                 .edges()
                 .map(|e| sdn.unit_bandwidth_cost(filtered.parent_edge(e.id)))
-                .fold(1e-12, f64::max);
+                .fold(sdn::COST_FLOOR, f64::max);
             let mut weighted = Graph::with_nodes(g.node_count());
             for e in g.edges() {
                 let orig = filtered.parent_edge(e.id);
-                let tiebreak = 1e-6 * sdn.unit_bandwidth_cost(orig) / c_max;
+                let tiebreak = sdn::COST_TIEBREAK_REL * sdn.unit_bandwidth_cost(orig) / c_max;
                 let w = match self.mode {
                     CostMode::Exponential => model.edge_weight(sdn, orig) + tiebreak,
                     CostMode::Linear => linear.edge_cost(sdn, orig, 1.0),
@@ -205,15 +207,17 @@ impl OnlineAlgorithm for OnlineCp {
         let rule = self.rule;
         let (filtered, weighted) = self.admission_graph(sdn, b);
         if weighted.edge_count() == 0 {
+            telemetry::hit(telemetry::Counter::OnlineRejectedInfeasible);
             return None;
         }
 
+        let mut threshold_blocked = false;
         let mut candidates: Vec<Candidate> = Vec::new();
         for &v in sdn.servers() {
             // Hard feasibility: the server must be up and the chain must
-            // fit its residual capacity.
-            // lint:allow(P1): v is drawn from servers()
-            if !sdn.is_server_alive(v) || sdn.residual_computing(v).expect("server") + 1e-9 < demand
+            // fit its residual capacity (a dead server reads as zero).
+            if !sdn.is_server_alive(v)
+                || sdn.residual_computing(v).unwrap_or(0.0) + sdn::CAPACITY_EPS < demand
             {
                 continue;
             }
@@ -223,6 +227,10 @@ impl OnlineAlgorithm for OnlineCp {
             };
             // Step 7: server-side admission threshold.
             if mode == CostMode::Exponential && wv >= sigma {
+                // The exponential cost saturated: utilisation pushed this
+                // server's normalised weight past the sigma threshold.
+                telemetry::hit(telemetry::Counter::OnlineSaturatedServers);
+                threshold_blocked = true;
                 continue;
             }
             // Step 8: Steiner tree over {s_k, v} ∪ D_k in G_k.
@@ -242,6 +250,7 @@ impl OnlineAlgorithm for OnlineCp {
                         .any(|&e| weighted.edge(e).weight >= sigma),
                 };
                 if violates {
+                    threshold_blocked = true;
                     continue;
                 }
             }
@@ -303,11 +312,20 @@ impl OnlineAlgorithm for OnlineCp {
         // Try candidates cheapest-first; the send-back path may need 2·b_k
         // on some link, so the accumulated allocation is the final check.
         candidates.sort_by(|a, b| a.weight.partial_cmp(&b.weight).expect("weights are finite")); // lint:allow(P1): candidate weights are finite sums of finite unit costs
+        let had_candidates = !candidates.is_empty();
         for c in candidates {
             if sdn.can_allocate(&c.tree.allocation(request)) {
                 return Some(c.tree);
             }
         }
+        telemetry::hit(if had_candidates {
+            // Every surviving candidate failed the final ledger check.
+            telemetry::Counter::OnlineRejectedCapacity
+        } else if threshold_blocked {
+            telemetry::Counter::OnlineRejectedThreshold
+        } else {
+            telemetry::Counter::OnlineRejectedInfeasible
+        });
         None
     }
 }

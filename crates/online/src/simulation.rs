@@ -106,6 +106,7 @@ pub fn run_online<A: OnlineAlgorithm + ?Sized>(
                     )
                 });
                 admitted += 1;
+                telemetry::hit(telemetry::Counter::OnlineAdmitted);
                 total_cost += tree.total_cost();
                 outcomes.push(RequestOutcome::Admitted {
                     id: req.id,
@@ -114,6 +115,7 @@ pub fn run_online<A: OnlineAlgorithm + ?Sized>(
             }
             None => {
                 rejected += 1;
+                telemetry::hit(telemetry::Counter::OnlineRejected);
                 outcomes.push(RequestOutcome::Rejected { id: req.id });
             }
         }

@@ -22,6 +22,39 @@ use crate::Sdn;
 use netgraph::{EdgeId, NodeId};
 use serde::{Deserialize, Serialize};
 
+// ---------------------------------------------------------------------------
+// Numeric tolerances
+//
+// Every admission / release / validation comparison in the workspace goes
+// through these named constants so the planner and the ledger can never
+// disagree about a boundary case. A planner feasibility check
+// `residual + CAPACITY_EPS >= need` accepts exactly the loads the ledger's
+// `load <= avail + CAPACITY_EPS` accepts, because both sides use the same
+// epsilon in the same direction.
+// ---------------------------------------------------------------------------
+
+/// Absolute slack for capacity feasibility: a demand fits a residual when
+/// `residual + CAPACITY_EPS >= demand`. Shared by planner-side feasibility
+/// filters and the `Sdn` allocation ledger.
+pub const CAPACITY_EPS: f64 = 1e-9;
+
+/// Absolute slack when releasing resources back to the ledger: released
+/// amounts may overshoot the recorded load by accumulated float error up to
+/// this much before the release is rejected as inconsistent.
+pub const RELEASE_EPS: f64 = 1e-6;
+
+/// Relative magnitude of the deterministic cost tiebreak `Online_CP` adds
+/// to its admission-graph weights (scaled by `c_max`).
+pub const COST_TIEBREAK_REL: f64 = 1e-6;
+
+/// Floor for cost normalisers (e.g. `c_max`) so divisions by a maximum cost
+/// stay finite on degenerate all-zero-cost networks.
+pub const COST_FLOOR: f64 = 1e-12;
+
+/// Relative tolerance used when validating recomputed aggregate costs
+/// against incrementally tracked ones (pseudo-tree validation).
+pub const VALIDATE_REL_TOL: f64 = 1e-6;
+
 /// The load-oblivious linear cost model (pay-as-you-go unit prices).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct LinearCostModel;

@@ -38,7 +38,10 @@ mod nfv;
 mod request;
 mod resources;
 
-pub use cost::{ExponentialCostModel, LinearCostModel};
+pub use cost::{
+    ExponentialCostModel, LinearCostModel, CAPACITY_EPS, COST_FLOOR, COST_TIEBREAK_REL,
+    RELEASE_EPS, VALIDATE_REL_TOL,
+};
 pub use error::SdnError;
 pub use network::{Sdn, SdnBuilder};
 pub use nfv::{NfvType, ServiceChain};

@@ -75,8 +75,12 @@ impl SdnBuilder {
                 value: unit_cost,
             });
         }
-        self.computing_capacity[node.index()] = capacity_mhz;
-        self.unit_computing_cost[node.index()] = unit_cost;
+        if let Some(c) = self.computing_capacity.get_mut(node.index()) {
+            *c = capacity_mhz;
+        }
+        if let Some(c) = self.unit_computing_cost.get_mut(node.index()) {
+            *c = unit_cost;
+        }
         Ok(())
     }
 
@@ -113,9 +117,12 @@ impl SdnBuilder {
     /// Currently infallible in practice (all validation happens on the
     /// individual operations) but kept fallible for future invariants.
     pub fn build(self) -> Result<Sdn, SdnError> {
-        let servers: Vec<NodeId> = (0..self.graph.node_count())
-            .filter(|&i| self.computing_capacity[i] > 0.0)
-            .map(NodeId::new)
+        let servers: Vec<NodeId> = self
+            .computing_capacity
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0.0)
+            .map(|(i, _)| NodeId::new(i))
             .collect();
         let residual_bandwidth = self.bandwidth_capacity.clone();
         let residual_computing = self.computing_capacity.clone();
@@ -211,18 +218,21 @@ impl Sdn {
     /// Returns `true` if node `n` has an attached server.
     #[must_use]
     pub fn is_server(&self, n: NodeId) -> bool {
-        self.graph.contains_node(n) && self.computing_capacity[n.index()] > 0.0
+        // The capacity vector is node-indexed, so the bounds check doubles
+        // as the contains-node check.
+        self.computing_capacity
+            .get(n.index())
+            .is_some_and(|&c| c > 0.0)
     }
 
     /// Computing capacity `C_v` of the server at `v`, or `None` for plain
     /// switches.
     #[must_use]
     pub fn computing_capacity(&self, v: NodeId) -> Option<f64> {
-        if self.is_server(v) {
-            Some(self.computing_capacity[v.index()])
-        } else {
-            None
-        }
+        self.computing_capacity
+            .get(v.index())
+            .copied()
+            .filter(|&c| c > 0.0)
     }
 
     /// Unit computing cost `c_v` at server `v`, or `None` for plain
@@ -230,7 +240,7 @@ impl Sdn {
     #[must_use]
     pub fn unit_computing_cost(&self, v: NodeId) -> Option<f64> {
         if self.is_server(v) {
-            Some(self.unit_computing_cost[v.index()])
+            self.unit_computing_cost.get(v.index()).copied()
         } else {
             None
         }
@@ -243,7 +253,10 @@ impl Sdn {
     /// Panics if `e` is not a link of this network.
     #[must_use]
     pub fn bandwidth_capacity(&self, e: EdgeId) -> f64 {
-        self.bandwidth_capacity[e.index()]
+        self.bandwidth_capacity
+            .get(e.index())
+            .copied()
+            .unwrap_or_else(|| panic!("unknown link {e}")) // lint:allow(P1): documented panic on a foreign edge id
     }
 
     /// Unit bandwidth cost `c_e` of link `e` (the graph edge weight).
@@ -263,7 +276,10 @@ impl Sdn {
     /// Panics if `e` is not a link of this network.
     #[must_use]
     pub fn residual_bandwidth(&self, e: EdgeId) -> f64 {
-        self.residual_bandwidth[e.index()]
+        self.residual_bandwidth
+            .get(e.index())
+            .copied()
+            .unwrap_or_else(|| panic!("unknown link {e}")) // lint:allow(P1): documented panic on a foreign edge id
     }
 
     /// Residual computing `C_v(k)` at server `v`, or `None` for plain
@@ -271,7 +287,7 @@ impl Sdn {
     #[must_use]
     pub fn residual_computing(&self, v: NodeId) -> Option<f64> {
         if self.is_server(v) {
-            Some(self.residual_computing[v.index()])
+            self.residual_computing.get(v.index()).copied()
         } else {
             None
         }
@@ -284,15 +300,14 @@ impl Sdn {
     /// Panics if `e` is not a link of this network.
     #[must_use]
     pub fn bandwidth_utilization(&self, e: EdgeId) -> f64 {
-        1.0 - self.residual_bandwidth[e.index()] / self.bandwidth_capacity[e.index()]
+        1.0 - self.residual_bandwidth(e) / self.bandwidth_capacity(e)
     }
 
     /// Computing utilization of server `v` in `[0, 1]`, or `None` for
     /// plain switches.
     #[must_use]
     pub fn computing_utilization(&self, v: NodeId) -> Option<f64> {
-        self.computing_capacity(v)
-            .map(|c| 1.0 - self.residual_computing[v.index()] / c)
+        Some(1.0 - self.residual_computing(v)? / self.computing_capacity(v)?)
     }
 
     /// The residual-state mutation counter: incremented by every
@@ -315,14 +330,17 @@ impl Sdn {
     /// Panics if `e` is not a link of this network.
     #[must_use]
     pub fn is_link_alive(&self, e: EdgeId) -> bool {
-        self.link_alive[e.index()]
+        self.link_alive
+            .get(e.index())
+            .copied()
+            .unwrap_or_else(|| panic!("unknown link {e}")) // lint:allow(P1): documented panic on a foreign edge id
     }
 
     /// Returns `true` if `v` carries a server that is currently up.
     /// `false` for plain switches and for failed servers alike.
     #[must_use]
     pub fn is_server_alive(&self, v: NodeId) -> bool {
-        self.is_server(v) && self.node_alive[v.index()]
+        self.is_server(v) && self.node_alive.get(v.index()).copied().unwrap_or(false)
     }
 
     /// Alive-masked residual bandwidth: the residual `B_e(k)` while the
@@ -336,8 +354,8 @@ impl Sdn {
     /// Panics if `e` is not a link of this network.
     #[must_use]
     pub fn usable_bandwidth(&self, e: EdgeId) -> f64 {
-        if self.link_alive[e.index()] {
-            self.residual_bandwidth[e.index()]
+        if self.is_link_alive(e) {
+            self.residual_bandwidth(e)
         } else {
             0.0
         }
@@ -350,8 +368,8 @@ impl Sdn {
     pub fn usable_computing(&self, v: NodeId) -> Option<f64> {
         if !self.is_server(v) {
             None
-        } else if self.node_alive[v.index()] {
-            Some(self.residual_computing[v.index()])
+        } else if self.node_alive.get(v.index()).copied().unwrap_or(false) {
+            self.residual_computing.get(v.index()).copied()
         } else {
             Some(0.0)
         }
@@ -369,13 +387,13 @@ impl Sdn {
     ///
     /// Returns a graph error for an unknown link id.
     pub fn fail_link(&mut self, e: EdgeId) -> Result<bool, SdnError> {
-        if e.index() >= self.link_alive.len() {
+        let Some(alive) = self.link_alive.get_mut(e.index()) else {
             return Err(SdnError::Graph(netgraph::GraphError::InvalidEdge(e)));
-        }
-        if !self.link_alive[e.index()] {
+        };
+        if !*alive {
             return Ok(false);
         }
-        self.link_alive[e.index()] = false;
+        *alive = false;
         self.version = self.version.wrapping_add(1);
         Ok(true)
     }
@@ -391,13 +409,13 @@ impl Sdn {
     ///
     /// Returns a graph error for an unknown link id.
     pub fn recover_link(&mut self, e: EdgeId) -> Result<bool, SdnError> {
-        if e.index() >= self.link_alive.len() {
+        let Some(alive) = self.link_alive.get_mut(e.index()) else {
             return Err(SdnError::Graph(netgraph::GraphError::InvalidEdge(e)));
-        }
-        if self.link_alive[e.index()] {
+        };
+        if *alive {
             return Ok(false);
         }
-        self.link_alive[e.index()] = true;
+        *alive = true;
         self.version = self.version.wrapping_add(1);
         Ok(true)
     }
@@ -415,10 +433,13 @@ impl Sdn {
         if !self.is_server(v) {
             return Err(SdnError::NotAServer(v));
         }
-        if !self.node_alive[v.index()] {
+        let Some(alive) = self.node_alive.get_mut(v.index()) else {
+            return Err(SdnError::NotAServer(v));
+        };
+        if !*alive {
             return Ok(false);
         }
-        self.node_alive[v.index()] = false;
+        *alive = false;
         self.version = self.version.wrapping_add(1);
         Ok(true)
     }
@@ -435,10 +456,13 @@ impl Sdn {
         if !self.is_server(v) {
             return Err(SdnError::NotAServer(v));
         }
-        if self.node_alive[v.index()] {
+        let Some(alive) = self.node_alive.get_mut(v.index()) else {
+            return Err(SdnError::NotAServer(v));
+        };
+        if *alive {
             return Ok(false);
         }
-        self.node_alive[v.index()] = true;
+        *alive = true;
         self.version = self.version.wrapping_add(1);
         Ok(true)
     }
@@ -457,7 +481,7 @@ impl Sdn {
         self.servers
             .iter()
             .copied()
-            .filter(|v| !self.node_alive[v.index()])
+            .filter(|v| !self.node_alive.get(v.index()).copied().unwrap_or(true))
     }
 
     /// Returns `true` when no link or server is currently failed.
@@ -473,17 +497,21 @@ impl Sdn {
     }
 
     fn validate_allocation(&self, alloc: &Allocation) -> Result<(), SdnError> {
-        const EPS: f64 = 1e-9;
+        // Shared with every planner-side `residual + CAPACITY_EPS >= need`
+        // feasibility filter, so a plan the filters accept always commits.
+        const EPS: f64 = crate::cost::CAPACITY_EPS;
         for (e, load) in alloc.links() {
-            if e.index() >= self.bandwidth_capacity.len() {
+            let (Some(&alive), Some(&avail)) = (
+                self.link_alive.get(e.index()),
+                self.residual_bandwidth.get(e.index()),
+            ) else {
                 return Err(SdnError::Graph(netgraph::GraphError::InvalidEdge(e)));
-            }
-            if !self.link_alive[e.index()] {
+            };
+            if !alive {
                 return Err(SdnError::DeadElement {
                     what: format!("link {e}"),
                 });
             }
-            let avail = self.residual_bandwidth[e.index()];
             if load > avail + EPS {
                 return Err(SdnError::InsufficientBandwidth {
                     link: e,
@@ -496,12 +524,16 @@ impl Sdn {
             if !self.is_server(v) {
                 return Err(SdnError::NotAServer(v));
             }
-            if !self.node_alive[v.index()] {
+            if !self.node_alive.get(v.index()).copied().unwrap_or(false) {
                 return Err(SdnError::DeadElement {
                     what: format!("server {v}"),
                 });
             }
-            let avail = self.residual_computing[v.index()];
+            let avail = self
+                .residual_computing
+                .get(v.index())
+                .copied()
+                .unwrap_or(0.0);
             if load > avail + EPS {
                 return Err(SdnError::InsufficientComputing {
                     server: v,
@@ -522,12 +554,14 @@ impl Sdn {
     pub fn allocate(&mut self, alloc: &Allocation) -> Result<(), SdnError> {
         self.validate_allocation(alloc)?;
         for (e, load) in alloc.links() {
-            let r = &mut self.residual_bandwidth[e.index()];
-            *r = (*r - load).max(0.0);
+            if let Some(r) = self.residual_bandwidth.get_mut(e.index()) {
+                *r = (*r - load).max(0.0);
+            }
         }
         for (v, load) in alloc.servers() {
-            let r = &mut self.residual_computing[v.index()];
-            *r = (*r - load).max(0.0);
+            if let Some(r) = self.residual_computing.get_mut(v.index()) {
+                *r = (*r - load).max(0.0);
+            }
         }
         self.version = self.version.wrapping_add(1);
         Ok(())
@@ -541,11 +575,15 @@ impl Sdn {
     /// capacity (accounting bug guard); the network is left untouched in
     /// that case.
     pub fn release(&mut self, alloc: &Allocation) -> Result<(), SdnError> {
-        const EPS: f64 = 1e-6;
+        const EPS: f64 = crate::cost::RELEASE_EPS;
         for (e, load) in alloc.links() {
-            if self.residual_bandwidth[e.index()] + load
-                > self.bandwidth_capacity[e.index()] * (1.0 + EPS) + EPS
-            {
+            let (Some(&res), Some(&cap)) = (
+                self.residual_bandwidth.get(e.index()),
+                self.bandwidth_capacity.get(e.index()),
+            ) else {
+                return Err(SdnError::Graph(netgraph::GraphError::InvalidEdge(e)));
+            };
+            if res + load > cap * (1.0 + EPS) + EPS {
                 return Err(SdnError::OverRelease {
                     what: format!("link {e}"),
                 });
@@ -555,23 +593,41 @@ impl Sdn {
             if !self.is_server(v) {
                 return Err(SdnError::NotAServer(v));
             }
-            if self.residual_computing[v.index()] + load
-                > self.computing_capacity[v.index()] * (1.0 + EPS) + EPS
-            {
+            let res = self
+                .residual_computing
+                .get(v.index())
+                .copied()
+                .unwrap_or(0.0);
+            let cap = self
+                .computing_capacity
+                .get(v.index())
+                .copied()
+                .unwrap_or(0.0);
+            if res + load > cap * (1.0 + EPS) + EPS {
                 return Err(SdnError::OverRelease {
                     what: format!("server {v}"),
                 });
             }
         }
         for (e, load) in alloc.links() {
-            let cap = self.bandwidth_capacity[e.index()];
-            let r = &mut self.residual_bandwidth[e.index()];
-            *r = (*r + load).min(cap);
+            let cap = self
+                .bandwidth_capacity
+                .get(e.index())
+                .copied()
+                .unwrap_or(0.0);
+            if let Some(r) = self.residual_bandwidth.get_mut(e.index()) {
+                *r = (*r + load).min(cap);
+            }
         }
         for (v, load) in alloc.servers() {
-            let cap = self.computing_capacity[v.index()];
-            let r = &mut self.residual_computing[v.index()];
-            *r = (*r + load).min(cap);
+            let cap = self
+                .computing_capacity
+                .get(v.index())
+                .copied()
+                .unwrap_or(0.0);
+            if let Some(r) = self.residual_computing.get_mut(v.index()) {
+                *r = (*r + load).min(cap);
+            }
         }
         self.version = self.version.wrapping_add(1);
         Ok(())

@@ -3,9 +3,12 @@
 //!
 //! Replays a timed workload with seeded failure/recovery events under
 //! the self-healing repair engine, auditing every event. Each seed runs
-//! **twice** and the outcomes must be byte-identical — the binary exits
-//! non-zero otherwise, so CI gets the determinism check for free. The
-//! per-seed outcomes land in `results/chaos.json`.
+//! **twice** — once with telemetry disabled and once with it enabled —
+//! and the outcomes must be byte-identical, so CI gets both the
+//! determinism check and the telemetry-is-side-effect-free check for
+//! free; the binary exits non-zero otherwise. The per-seed outcomes
+//! land in `results/chaos.json` and the accumulated telemetry snapshot
+//! in `results/telemetry.json`.
 
 use sim::experiments::chaos::{run_chaos, ChaosParams};
 
@@ -30,11 +33,13 @@ fn main() {
     let mut lines = Vec::new();
     for &seed in &seeds {
         let params = ChaosParams::fig5_scale(seed);
+        telemetry::disable();
         let first = run_chaos(&params);
+        telemetry::enable();
         let second = run_chaos(&params);
         assert_eq!(
             first, second,
-            "chaos replay for seed {seed} was not deterministic"
+            "chaos replay for seed {seed} diverged with telemetry enabled"
         );
         eprintln!(
             "chaos seed {seed}: {} offered, {} admitted, {} survived, \
@@ -53,5 +58,11 @@ fn main() {
     std::fs::create_dir_all("results").expect("create results/");
     let json = format!("[\n  {}\n]\n", lines.join(",\n  "));
     std::fs::write("results/chaos.json", json).expect("write results/chaos.json");
-    println!("wrote results/chaos.json ({} seeds)", seeds.len());
+    let snapshot = telemetry::snapshot();
+    std::fs::write("results/telemetry.json", snapshot.to_json())
+        .expect("write results/telemetry.json");
+    println!(
+        "wrote results/chaos.json ({} seeds) and results/telemetry.json",
+        seeds.len()
+    );
 }

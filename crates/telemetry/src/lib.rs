@@ -1,0 +1,995 @@
+//! Deterministic telemetry for the NFV multicast planner and engine.
+//!
+//! This crate is a process-global registry of named **counters**, **gauges**,
+//! and fixed-bucket **histograms**, plus a structured **event log**. It is
+//! deliberately dependency-free and deterministic by construction:
+//!
+//! * Every quantity recorded from result-affecting code is a logical count
+//!   (runs, hits, prunes, waves, ...), never a wall-clock measurement.
+//! * Events carry a logical sequence number (their position in the log), not
+//!   a timestamp, and are only recorded from sequential control paths.
+//! * Wall-clock helpers exist behind the opt-in `timing` cargo feature; the
+//!   default build contains no time source at all, so the `D2` lint rule and
+//!   the chaos byte-identical-replay gate stay green.
+//!
+//! Recording is gated on a global enable flag (off by default). When the
+//! flag is off every record call is a single relaxed atomic load, and the
+//! registry contents never change — so instrumented library code can run
+//! under parallel test harnesses without cross-test interference. Binaries
+//! that want the numbers (e.g. `sim --bin fig5`, `sim --bin chaos`) call
+//! [`enable`] up front and [`snapshot`] at the end.
+//!
+//! Counter updates use relaxed atomics. In the one parallel region of the
+//! workspace (speculative batch planning in `nfv-engine`), each wave does a
+//! fixed amount of planning work regardless of thread interleaving, so the
+//! *totals* are deterministic even though the update order is not.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+#[cfg(feature = "timing")]
+pub mod timing;
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// Every named counter in the registry.
+///
+/// Counters are monotonic `u64`s recorded from result-affecting code; they
+/// must only ever count logical work (never time, never memory addresses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    // -- netgraph -----------------------------------------------------------
+    /// Full Dijkstra executions (both plain and target-pruned variants).
+    DijkstraRuns,
+    /// Decrease-key operations performed by the indexed quad heap.
+    HeapDecreaseKeys,
+    /// Multi-source Voronoi closure constructions.
+    VoronoiClosureBuilds,
+    /// Shortest-path-tree cache hits (CSR SSSP cache).
+    SptCacheHits,
+    /// Shortest-path-tree cache misses (fresh Dijkstra required).
+    SptCacheMisses,
+    // -- nfv_multicast ------------------------------------------------------
+    /// `PathCache` admissions decided on the cheap full-graph fingerprint.
+    PathCacheFastPath,
+    /// `PathCache` admissions that needed the full pseudo-tree scan.
+    PathCacheSlowPath,
+    /// Candidate server combinations fully evaluated by `Appro_Multi`.
+    CombosEvaluated,
+    /// Combinations pruned by the LB1 attach-cost lower bound.
+    CombosPrunedLb1,
+    /// Combinations pruned by the LB2 spanning lower bound.
+    CombosPrunedLb2,
+    /// Combinations skipped because their winner vector was already seen.
+    CombosDeduped,
+    // -- nfv_online ---------------------------------------------------------
+    /// Requests admitted by the online algorithm.
+    OnlineAdmitted,
+    /// Requests rejected by the online algorithm (any reason).
+    OnlineRejected,
+    /// Rejections because no feasible pseudo-tree exists.
+    OnlineRejectedInfeasible,
+    /// Rejections because the tree cost crossed the admission threshold.
+    OnlineRejectedThreshold,
+    /// Rejections at the final capacity check against the ledger.
+    OnlineRejectedCapacity,
+    /// Candidate servers skipped because the exponential cost saturated
+    /// (utilisation at or above the sigma threshold).
+    OnlineSaturatedServers,
+    /// Admission-graph cache hits inside `OnlineCp`.
+    AdmissionCacheHits,
+    /// Admission-graph rebuilds inside `OnlineCp`.
+    AdmissionCacheRebuilds,
+    /// Sessions departed and released back to the substrate.
+    SessionsDeparted,
+    // -- engine -------------------------------------------------------------
+    /// Speculative planning waves executed by the batch engine.
+    EngineWaves,
+    /// Speculative plans committed without replanning.
+    EngineSpeculativeCommits,
+    /// Speculative plans invalidated and replanned sequentially.
+    EngineReplans,
+    /// Sessions found broken by a fault event.
+    RepairBroken,
+    /// Sessions fully rerouted by the repair loop.
+    RepairRepaired,
+    /// Sessions kept alive with a degraded terminal set.
+    RepairDegraded,
+    /// Sessions dropped by the repair loop.
+    RepairDropped,
+    /// Sessions deferred to a later repair pass.
+    RepairDeferred,
+    /// Invariant-auditor passes that completed clean.
+    AuditPasses,
+    /// Departures for sessions the manager does not know (guarded no-ops).
+    DoubleRelease,
+    // -- telemetry internal -------------------------------------------------
+    /// Events discarded because the event log hit its capacity bound.
+    EventsDropped,
+}
+
+impl Counter {
+    /// Every counter, in registry (serialisation) order.
+    pub const ALL: [Counter; 31] = [
+        Counter::DijkstraRuns,
+        Counter::HeapDecreaseKeys,
+        Counter::VoronoiClosureBuilds,
+        Counter::SptCacheHits,
+        Counter::SptCacheMisses,
+        Counter::PathCacheFastPath,
+        Counter::PathCacheSlowPath,
+        Counter::CombosEvaluated,
+        Counter::CombosPrunedLb1,
+        Counter::CombosPrunedLb2,
+        Counter::CombosDeduped,
+        Counter::OnlineAdmitted,
+        Counter::OnlineRejected,
+        Counter::OnlineRejectedInfeasible,
+        Counter::OnlineRejectedThreshold,
+        Counter::OnlineRejectedCapacity,
+        Counter::OnlineSaturatedServers,
+        Counter::AdmissionCacheHits,
+        Counter::AdmissionCacheRebuilds,
+        Counter::SessionsDeparted,
+        Counter::EngineWaves,
+        Counter::EngineSpeculativeCommits,
+        Counter::EngineReplans,
+        Counter::RepairBroken,
+        Counter::RepairRepaired,
+        Counter::RepairDegraded,
+        Counter::RepairDropped,
+        Counter::RepairDeferred,
+        Counter::AuditPasses,
+        Counter::DoubleRelease,
+        Counter::EventsDropped,
+    ];
+
+    /// Stable snake_case name used in JSON and text snapshots.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::DijkstraRuns => "dijkstra_runs",
+            Counter::HeapDecreaseKeys => "heap_decrease_keys",
+            Counter::VoronoiClosureBuilds => "voronoi_closure_builds",
+            Counter::SptCacheHits => "spt_cache_hits",
+            Counter::SptCacheMisses => "spt_cache_misses",
+            Counter::PathCacheFastPath => "path_cache_fast_path",
+            Counter::PathCacheSlowPath => "path_cache_slow_path",
+            Counter::CombosEvaluated => "combos_evaluated",
+            Counter::CombosPrunedLb1 => "combos_pruned_lb1",
+            Counter::CombosPrunedLb2 => "combos_pruned_lb2",
+            Counter::CombosDeduped => "combos_deduped",
+            Counter::OnlineAdmitted => "online_admitted",
+            Counter::OnlineRejected => "online_rejected",
+            Counter::OnlineRejectedInfeasible => "online_rejected_infeasible",
+            Counter::OnlineRejectedThreshold => "online_rejected_threshold",
+            Counter::OnlineRejectedCapacity => "online_rejected_capacity",
+            Counter::OnlineSaturatedServers => "online_saturated_servers",
+            Counter::AdmissionCacheHits => "admission_cache_hits",
+            Counter::AdmissionCacheRebuilds => "admission_cache_rebuilds",
+            Counter::SessionsDeparted => "sessions_departed",
+            Counter::EngineWaves => "engine_waves",
+            Counter::EngineSpeculativeCommits => "engine_speculative_commits",
+            Counter::EngineReplans => "engine_replans",
+            Counter::RepairBroken => "repair_broken",
+            Counter::RepairRepaired => "repair_repaired",
+            Counter::RepairDegraded => "repair_degraded",
+            Counter::RepairDropped => "repair_dropped",
+            Counter::RepairDeferred => "repair_deferred",
+            Counter::AuditPasses => "audit_passes",
+            Counter::DoubleRelease => "double_release",
+            Counter::EventsDropped => "events_dropped",
+        }
+    }
+}
+
+const COUNTER_COUNT: usize = Counter::ALL.len();
+
+static COUNTERS: [AtomicU64; COUNTER_COUNT] = [const { AtomicU64::new(0) }; COUNTER_COUNT];
+
+// ---------------------------------------------------------------------------
+// Gauges
+// ---------------------------------------------------------------------------
+
+/// Every named gauge in the registry. Gauges hold the most recent value of a
+/// level-style quantity (set, not accumulated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Live sessions currently holding resources.
+    ActiveSessions,
+    /// Sessions parked in the repair retry queue.
+    PendingRepairs,
+}
+
+impl Gauge {
+    /// Every gauge, in registry order.
+    pub const ALL: [Gauge; 2] = [Gauge::ActiveSessions, Gauge::PendingRepairs];
+
+    /// Stable snake_case name used in JSON and text snapshots.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Gauge::ActiveSessions => "active_sessions",
+            Gauge::PendingRepairs => "pending_repairs",
+        }
+    }
+}
+
+const GAUGE_COUNT: usize = Gauge::ALL.len();
+
+static GAUGES: [AtomicU64; GAUGE_COUNT] = [const { AtomicU64::new(0) }; GAUGE_COUNT];
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// Every named histogram in the registry. All histograms share the same
+/// fixed power-of-two bucket layout (see [`HIST_EDGES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// Requests planned per speculative batch wave.
+    BatchWaveSize,
+    /// Sessions broken per fault event handed to the repair loop.
+    RepairBatchBroken,
+    /// Combinations evaluated per `Appro_Multi` scan.
+    CombosPerScan,
+}
+
+impl Hist {
+    /// Every histogram, in registry order.
+    pub const ALL: [Hist; 3] = [
+        Hist::BatchWaveSize,
+        Hist::RepairBatchBroken,
+        Hist::CombosPerScan,
+    ];
+
+    /// Stable snake_case name used in JSON and text snapshots.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Hist::BatchWaveSize => "batch_wave_size",
+            Hist::RepairBatchBroken => "repair_batch_broken",
+            Hist::CombosPerScan => "combos_per_scan",
+        }
+    }
+}
+
+/// Inclusive upper edges of the shared histogram buckets; one extra overflow
+/// bucket captures everything above the last edge.
+pub const HIST_EDGES: [u64; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+
+const HIST_COUNT: usize = Hist::ALL.len();
+const BUCKET_COUNT: usize = HIST_EDGES.len() + 1;
+
+static HISTOGRAMS: [AtomicU64; HIST_COUNT * BUCKET_COUNT] =
+    [const { AtomicU64::new(0) }; HIST_COUNT * BUCKET_COUNT];
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// A structured telemetry event. Events are enum-shaped (never free-form
+/// strings) and are only recorded from sequential control paths, so their
+/// sequence numbers are deterministic across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A departure arrived for a session the manager does not know; the
+    /// resources were already released and the call was a guarded no-op.
+    UnknownDeparture {
+        /// Raw id of the departing request.
+        request: u64,
+    },
+    /// A broken session was fully rerouted.
+    SessionRepaired {
+        /// Raw id of the repaired request.
+        request: u64,
+    },
+    /// A broken session was kept alive with a reduced terminal set.
+    SessionDegraded {
+        /// Raw id of the degraded request.
+        request: u64,
+        /// Number of terminals shed to keep the session alive.
+        shed_terminals: u64,
+    },
+    /// A broken session could not be repaired and was dropped.
+    SessionDropped {
+        /// Raw id of the dropped request.
+        request: u64,
+    },
+    /// A broken session was deferred to a later repair pass.
+    SessionDeferred {
+        /// Raw id of the deferred request.
+        request: u64,
+    },
+}
+
+impl Event {
+    /// Stable snake_case tag used in JSON and text snapshots.
+    pub const fn kind(self) -> &'static str {
+        match self {
+            Event::UnknownDeparture { .. } => "unknown_departure",
+            Event::SessionRepaired { .. } => "session_repaired",
+            Event::SessionDegraded { .. } => "session_degraded",
+            Event::SessionDropped { .. } => "session_dropped",
+            Event::SessionDeferred { .. } => "session_deferred",
+        }
+    }
+
+    /// The request id the event refers to.
+    pub const fn request(self) -> u64 {
+        match self {
+            Event::UnknownDeparture { request }
+            | Event::SessionRepaired { request }
+            | Event::SessionDegraded { request, .. }
+            | Event::SessionDropped { request }
+            | Event::SessionDeferred { request } => request,
+        }
+    }
+
+    /// Secondary payload (0 when the variant carries none).
+    pub const fn arg(self) -> u64 {
+        match self {
+            Event::SessionDegraded { shed_terminals, .. } => shed_terminals,
+            _ => 0,
+        }
+    }
+
+    /// Rebuild an event from its serialised `(kind, request, arg)` triple.
+    pub fn from_parts(kind: &str, request: u64, arg: u64) -> Option<Event> {
+        match kind {
+            "unknown_departure" => Some(Event::UnknownDeparture { request }),
+            "session_repaired" => Some(Event::SessionRepaired { request }),
+            "session_degraded" => Some(Event::SessionDegraded {
+                request,
+                shed_terminals: arg,
+            }),
+            "session_dropped" => Some(Event::SessionDropped { request }),
+            "session_deferred" => Some(Event::SessionDeferred { request }),
+            _ => None,
+        }
+    }
+}
+
+/// An event together with its logical sequence number (position in the log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// 0-based position of the event in the log.
+    pub seq: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+/// Hard bound on the in-memory event log; further events increment
+/// [`Counter::EventsDropped`] instead of growing the log.
+pub const MAX_EVENTS: usize = 4096;
+
+static EVENTS: Mutex<Vec<EventRecord>> = Mutex::new(Vec::new());
+
+fn events_lock() -> std::sync::MutexGuard<'static, Vec<EventRecord>> {
+    match EVENTS.lock() {
+        Ok(guard) => guard,
+        // A panic while holding the log lock cannot corrupt a Vec of Copy
+        // records; recover the data rather than propagating the poison.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global enable gate and recording API
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn recording on. Off by default so instrumented library code is inert
+/// under parallel test harnesses.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn recording off. Already-recorded data is kept until [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether recording is currently on.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+static ZERO_CELL: AtomicU64 = AtomicU64::new(0);
+
+fn counter_cell(c: Counter) -> &'static AtomicU64 {
+    // The index is always in range by construction; the fallback cell keeps
+    // this total without indexing panics.
+    COUNTERS.get(c as usize).unwrap_or(&ZERO_CELL)
+}
+
+fn gauge_cell(g: Gauge) -> &'static AtomicU64 {
+    GAUGES.get(g as usize).unwrap_or(&ZERO_CELL)
+}
+
+fn hist_cell(h: Hist, bucket: usize) -> &'static AtomicU64 {
+    HISTOGRAMS
+        .get(h as usize * BUCKET_COUNT + bucket)
+        .unwrap_or(&ZERO_CELL)
+}
+
+/// Increment a counter by one.
+#[inline]
+pub fn hit(c: Counter) {
+    add(c, 1);
+}
+
+/// Increment a counter by `n`.
+#[inline]
+pub fn add(c: Counter, n: u64) {
+    if !is_enabled() {
+        return;
+    }
+    counter_cell(c).fetch_add(n, Ordering::Relaxed);
+}
+
+/// Read a counter's current value (works even while disabled).
+pub fn counter_value(c: Counter) -> u64 {
+    counter_cell(c).load(Ordering::Relaxed)
+}
+
+/// Set a gauge to `v`.
+#[inline]
+pub fn gauge_set(g: Gauge, v: u64) {
+    if !is_enabled() {
+        return;
+    }
+    gauge_cell(g).store(v, Ordering::Relaxed);
+}
+
+/// Read a gauge's current value (works even while disabled).
+pub fn gauge_value(g: Gauge) -> u64 {
+    gauge_cell(g).load(Ordering::Relaxed)
+}
+
+/// Record one observation `v` into histogram `h`.
+#[inline]
+pub fn observe(h: Hist, v: u64) {
+    if !is_enabled() {
+        return;
+    }
+    let bucket = HIST_EDGES
+        .iter()
+        .position(|&edge| v <= edge)
+        .unwrap_or(HIST_EDGES.len());
+    hist_cell(h, bucket).fetch_add(1, Ordering::Relaxed);
+}
+
+/// Append a structured event to the log. Must only be called from
+/// sequential control paths so sequence numbers stay deterministic.
+pub fn record(event: Event) {
+    if !is_enabled() {
+        return;
+    }
+    let mut log = events_lock();
+    if log.len() >= MAX_EVENTS {
+        drop(log);
+        counter_cell(Counter::EventsDropped).fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let seq = log.len() as u64;
+    log.push(EventRecord { seq, event });
+}
+
+/// Zero every counter, gauge, and histogram and clear the event log.
+/// Does not change the enabled flag.
+pub fn reset() {
+    for cell in COUNTERS
+        .iter()
+        .chain(GAUGES.iter())
+        .chain(HISTOGRAMS.iter())
+    {
+        cell.store(0, Ordering::Relaxed);
+    }
+    events_lock().clear();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// A point-in-time copy of the whole registry, suitable for serialisation,
+/// diffing, and regression pinning.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter, in registry order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, in registry order.
+    pub gauges: Vec<(String, u64)>,
+    /// One entry per histogram, in registry order.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// The event log in sequence order.
+    pub events: Vec<EventRecord>,
+}
+
+/// Frozen contents of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// The histogram's registry name.
+    pub name: String,
+    /// `(inclusive_upper_edge, count)` per bucket; the final bucket uses
+    /// `u64::MAX` as its edge and holds the overflow count.
+    pub buckets: Vec<(u64, u64)>,
+    /// Total number of observations.
+    pub total: u64,
+}
+
+/// Capture the current registry contents.
+pub fn snapshot() -> Snapshot {
+    let counters = Counter::ALL
+        .iter()
+        .map(|&c| (c.name().to_owned(), counter_value(c)))
+        .collect();
+    let gauges = Gauge::ALL
+        .iter()
+        .map(|&g| (g.name().to_owned(), gauge_value(g)))
+        .collect();
+    let histograms = Hist::ALL
+        .iter()
+        .map(|&h| {
+            let mut buckets = Vec::with_capacity(BUCKET_COUNT);
+            let mut total = 0u64;
+            for b in 0..BUCKET_COUNT {
+                let edge = HIST_EDGES.get(b).copied().unwrap_or(u64::MAX);
+                let count = hist_cell(h, b).load(Ordering::Relaxed);
+                total += count;
+                buckets.push((edge, count));
+            }
+            HistogramSnapshot {
+                name: h.name().to_owned(),
+                buckets,
+                total,
+            }
+        })
+        .collect();
+    let events = events_lock().clone();
+    Snapshot {
+        counters,
+        gauges,
+        histograms,
+        events,
+    }
+}
+
+impl Snapshot {
+    /// Serialise to the stable JSON shape written to `results/telemetry.json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{name}\": {value}");
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{name}\": {value}");
+        }
+        out.push_str("\n  },\n  \"histograms\": [");
+        for (i, hist) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"total\": {}, \"buckets\": [",
+                hist.name, hist.total
+            );
+            for (j, (edge, count)) in hist.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{edge}, {count}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  ],\n  \"events\": [");
+        for (i, rec) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"seq\": {}, \"kind\": \"{}\", \"request\": {}, \"arg\": {}}}",
+                rec.seq,
+                rec.event.kind(),
+                rec.event.request(),
+                rec.event.arg()
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parse a snapshot previously produced by [`Snapshot::to_json`].
+    /// Accepts any whitespace layout; returns `None` on malformed input or
+    /// on an unknown event kind.
+    pub fn from_json(text: &str) -> Option<Snapshot> {
+        json::parse_snapshot(text)
+    }
+
+    /// Render a human-readable text report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== counters ==\n");
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "  {name:<28} {value}");
+        }
+        out.push_str("== gauges ==\n");
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "  {name:<28} {value}");
+        }
+        out.push_str("== histograms ==\n");
+        for hist in &self.histograms {
+            let _ = write!(out, "  {:<28} total={}", hist.name, hist.total);
+            for (edge, count) in &hist.buckets {
+                if *count == 0 {
+                    continue;
+                }
+                if *edge == u64::MAX {
+                    let _ = write!(out, "  inf:{count}");
+                } else {
+                    let _ = write!(out, "  le{edge}:{count}");
+                }
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "== events ({}) ==", self.events.len());
+        for rec in &self.events {
+            let _ = write!(
+                out,
+                "  [{}] {} request={}",
+                rec.seq,
+                rec.event.kind(),
+                rec.event.request()
+            );
+            if let Event::SessionDegraded { shed_terminals, .. } = rec.event {
+                let _ = write!(out, " shed_terminals={shed_terminals}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Look up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for the snapshot shape
+// ---------------------------------------------------------------------------
+
+mod json {
+    //! A tiny recursive-descent reader for exactly the JSON subset that
+    //! [`Snapshot::to_json`](super::Snapshot::to_json) emits: objects with
+    //! string keys, arrays, unsigned integers, and plain (escape-free)
+    //! strings. Kept in-tree so the round-trip regression test needs no
+    //! external JSON dependency.
+
+    use super::{Event, EventRecord, HistogramSnapshot, Snapshot};
+
+    struct Reader<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        fn new(text: &'a str) -> Self {
+            Reader {
+                bytes: text.as_bytes(),
+                pos: 0,
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> Option<u8> {
+            let b = self.peek()?;
+            self.pos += 1;
+            Some(b)
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn require(&mut self, b: u8) -> Option<()> {
+            self.skip_ws();
+            if self.bump()? == b {
+                Some(())
+            } else {
+                None
+            }
+        }
+
+        /// `true` if the next non-whitespace byte is `b` (consumed if so).
+        fn eat(&mut self, b: u8) -> bool {
+            self.skip_ws();
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn string(&mut self) -> Option<String> {
+            self.require(b'"')?;
+            let start = self.pos;
+            loop {
+                match self.bump()? {
+                    b'"' => break,
+                    b'\\' => return None, // writer never emits escapes
+                    _ => {}
+                }
+            }
+            let raw = self.bytes.get(start..self.pos - 1)?;
+            String::from_utf8(raw.to_vec()).ok()
+        }
+
+        fn u64(&mut self) -> Option<u64> {
+            self.skip_ws();
+            let mut value: u64 = 0;
+            let mut any = false;
+            while let Some(b @ b'0'..=b'9') = self.peek() {
+                value = value.checked_mul(10)?.checked_add(u64::from(b - b'0'))?;
+                self.pos += 1;
+                any = true;
+            }
+            if any {
+                Some(value)
+            } else {
+                None
+            }
+        }
+
+        /// `{"name": value, ...}` with integer values.
+        fn u64_map(&mut self) -> Option<Vec<(String, u64)>> {
+            self.require(b'{')?;
+            let mut out = Vec::new();
+            if self.eat(b'}') {
+                return Some(out);
+            }
+            loop {
+                let key = self.string()?;
+                self.require(b':')?;
+                let value = self.u64()?;
+                out.push((key, value));
+                if self.eat(b'}') {
+                    return Some(out);
+                }
+                self.require(b',')?;
+            }
+        }
+
+        fn key(&mut self, expected: &str) -> Option<()> {
+            let key = self.string()?;
+            if key == expected {
+                self.require(b':')
+            } else {
+                None
+            }
+        }
+
+        fn histogram(&mut self) -> Option<HistogramSnapshot> {
+            self.require(b'{')?;
+            self.key("name")?;
+            let name = self.string()?;
+            self.require(b',')?;
+            self.key("total")?;
+            let total = self.u64()?;
+            self.require(b',')?;
+            self.key("buckets")?;
+            self.require(b'[')?;
+            let mut buckets = Vec::new();
+            if !self.eat(b']') {
+                loop {
+                    self.require(b'[')?;
+                    let edge = self.u64()?;
+                    self.require(b',')?;
+                    let count = self.u64()?;
+                    self.require(b']')?;
+                    buckets.push((edge, count));
+                    if self.eat(b']') {
+                        break;
+                    }
+                    self.require(b',')?;
+                }
+            }
+            self.require(b'}')?;
+            Some(HistogramSnapshot {
+                name,
+                buckets,
+                total,
+            })
+        }
+
+        fn event(&mut self) -> Option<EventRecord> {
+            self.require(b'{')?;
+            self.key("seq")?;
+            let seq = self.u64()?;
+            self.require(b',')?;
+            self.key("kind")?;
+            let kind = self.string()?;
+            self.require(b',')?;
+            self.key("request")?;
+            let request = self.u64()?;
+            self.require(b',')?;
+            self.key("arg")?;
+            let arg = self.u64()?;
+            self.require(b'}')?;
+            let event = Event::from_parts(&kind, request, arg)?;
+            Some(EventRecord { seq, event })
+        }
+    }
+
+    pub(super) fn parse_snapshot(text: &str) -> Option<Snapshot> {
+        let mut r = Reader::new(text);
+        r.require(b'{')?;
+        r.key("counters")?;
+        let counters = r.u64_map()?;
+        r.require(b',')?;
+        r.key("gauges")?;
+        let gauges = r.u64_map()?;
+        r.require(b',')?;
+        r.key("histograms")?;
+        r.require(b'[')?;
+        let mut histograms = Vec::new();
+        if !r.eat(b']') {
+            loop {
+                histograms.push(r.histogram()?);
+                if r.eat(b']') {
+                    break;
+                }
+                r.require(b',')?;
+            }
+        }
+        r.require(b',')?;
+        r.key("events")?;
+        r.require(b'[')?;
+        let mut events = Vec::new();
+        if !r.eat(b']') {
+            loop {
+                events.push(r.event()?);
+                if r.eat(b']') {
+                    break;
+                }
+                r.require(b',')?;
+            }
+        }
+        r.require(b'}')?;
+        r.skip_ws();
+        if r.peek().is_some() {
+            return None;
+        }
+        Some(Snapshot {
+            counters,
+            gauges,
+            histograms,
+            events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Unit tests share one process-global registry, so everything that
+    // mutates it lives in this single test; the cargo test harness may run
+    // `#[test]` fns in parallel threads.
+    #[test]
+    fn registry_record_snapshot_roundtrip() {
+        reset();
+        // Disabled: recording is inert.
+        disable();
+        hit(Counter::DijkstraRuns);
+        gauge_set(Gauge::ActiveSessions, 9);
+        observe(Hist::BatchWaveSize, 3);
+        record(Event::SessionDropped { request: 1 });
+        assert_eq!(counter_value(Counter::DijkstraRuns), 0);
+        assert_eq!(gauge_value(Gauge::ActiveSessions), 0);
+        assert!(snapshot().events.is_empty());
+
+        // Enabled: everything lands.
+        enable();
+        hit(Counter::DijkstraRuns);
+        add(Counter::CombosEvaluated, 41);
+        gauge_set(Gauge::ActiveSessions, 7);
+        observe(Hist::BatchWaveSize, 1);
+        observe(Hist::BatchWaveSize, 1);
+        observe(Hist::BatchWaveSize, 5);
+        observe(Hist::BatchWaveSize, 1_000_000);
+        record(Event::UnknownDeparture { request: 42 });
+        record(Event::SessionDegraded {
+            request: 3,
+            shed_terminals: 2,
+        });
+        disable();
+
+        assert_eq!(counter_value(Counter::DijkstraRuns), 1);
+        assert_eq!(counter_value(Counter::CombosEvaluated), 41);
+        assert_eq!(gauge_value(Gauge::ActiveSessions), 7);
+
+        let snap = snapshot();
+        assert_eq!(snap.counter("combos_evaluated"), Some(41));
+        assert_eq!(snap.counter("no_such_counter"), None);
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events.first().map(|r| r.seq), Some(0));
+        assert_eq!(
+            snap.events.get(1).map(|r| r.event),
+            Some(Event::SessionDegraded {
+                request: 3,
+                shed_terminals: 2
+            })
+        );
+        let wave = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "batch_wave_size")
+            .expect("batch_wave_size histogram present");
+        assert_eq!(wave.total, 4);
+        assert_eq!(wave.buckets.first(), Some(&(1, 2)));
+        assert_eq!(wave.buckets.last(), Some(&(u64::MAX, 1)));
+
+        // JSON round-trip is exact.
+        let json = snap.to_json();
+        assert_eq!(Snapshot::from_json(&json), Some(snap.clone()));
+        // Text rendering mentions the non-zero rows.
+        let text = snap.to_text();
+        assert!(text.contains("combos_evaluated"));
+        assert!(text.contains("session_degraded"));
+
+        reset();
+        assert_eq!(counter_value(Counter::DijkstraRuns), 0);
+        assert!(snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn registry_order_matches_discriminants() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(*g as usize, i);
+        }
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            assert_eq!(*h as usize, i);
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert_eq!(Snapshot::from_json(""), None);
+        assert_eq!(Snapshot::from_json("{}"), None);
+        assert_eq!(Snapshot::from_json("{\"counters\": {\"a\": 1}"), None);
+        let good = Snapshot::default().to_json();
+        assert!(Snapshot::from_json(&good).is_some());
+        assert_eq!(Snapshot::from_json(&format!("{good}x")), None);
+    }
+}

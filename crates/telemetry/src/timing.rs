@@ -1,0 +1,57 @@
+// lint:allow-file(D2): opt-in wall-clock helpers; this module only exists
+// behind the `timing` cargo feature and is never compiled into
+// result-affecting builds, so determinism gates are unaffected.
+
+//! Opt-in wall-clock timing helpers (cargo feature `timing`).
+//!
+//! Nothing in here feeds back into planner results: a [`Stopwatch`] only
+//! reports durations to the caller, and the default build of the crate does
+//! not compile this module at all. Keeping every time source behind this
+//! feature is what lets the `D2` lint rule stay deny-clean and the chaos
+//! replay gate stay byte-identical.
+
+use std::time::{Duration, Instant};
+
+/// A simple wall-clock stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Wall-clock time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed time in fractional seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+/// Time a closure, returning its result and the wall-clock duration.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let watch = Stopwatch::start();
+    let value = f();
+    (value, watch.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_reports_nonnegative_time() {
+        let (value, took) = time_it(|| 21 * 2);
+        assert_eq!(value, 42);
+        assert!(took >= Duration::ZERO);
+    }
+}

@@ -1,0 +1,129 @@
+//! Regression tests for the shared admission tolerances.
+//!
+//! The planner-side feasibility predicate (`residual + CAPACITY_EPS >=
+//! need`) and the ledger's admission check (`load <= residual +
+//! CAPACITY_EPS` inside [`Sdn::allocate`]) are the *same* inequality
+//! built from the *same* constant, so a plan the planner filters accept
+//! can never be rejected at commit time. These tests walk demands across
+//! the tolerance boundary and assert the two sides never disagree —
+//! the exact bug class the scattered hand-written `1e-9` literals used
+//! to invite.
+
+use nfv_multicast::{appro_multi_cap, Admission};
+use sdn::{
+    Allocation, MulticastRequest, NfvType, RequestId, Sdn, SdnBuilder, ServiceChain, CAPACITY_EPS,
+};
+
+/// s —— m (server) —— d, with every capacity set to `bandwidth` /
+/// `computing` so boundary demands are easy to dial in.
+fn line_net(bandwidth: f64, computing: f64) -> (Sdn, [netgraph::NodeId; 3], [netgraph::EdgeId; 2]) {
+    let mut bld = SdnBuilder::new();
+    let s = bld.add_switch();
+    let m = bld.add_server(computing, 1.0);
+    let d = bld.add_switch();
+    let e0 = bld.add_link(s, m, bandwidth, 1.0).unwrap();
+    let e1 = bld.add_link(m, d, bandwidth, 1.0).unwrap();
+    (bld.build().unwrap(), [s, m, d], [e0, e1])
+}
+
+/// The planner-side predicate, verbatim.
+fn planner_feasible(residual: f64, need: f64) -> bool {
+    residual + CAPACITY_EPS >= need
+}
+
+#[test]
+fn link_predicate_agrees_with_ledger_on_the_boundary() {
+    let cap = 100.0;
+    let (sdn, _, e) = line_net(cap, 1_000.0);
+    let residual = sdn.residual_bandwidth(e[0]);
+    assert_eq!(residual, cap);
+    let boundary = [
+        cap - 1.0,
+        cap - CAPACITY_EPS,
+        f64::next_down(cap),
+        cap,
+        f64::next_up(cap),
+        cap + 0.5 * CAPACITY_EPS,
+        cap + CAPACITY_EPS,
+        cap + 2.0 * CAPACITY_EPS,
+        cap + 1.0,
+    ];
+    for &need in &boundary {
+        let mut a = Allocation::new(RequestId(0));
+        a.add_link(e[0], need);
+        assert_eq!(
+            planner_feasible(residual, need),
+            sdn.can_allocate(&a),
+            "planner and ledger disagree at link demand {need}"
+        );
+    }
+}
+
+#[test]
+fn server_predicate_agrees_with_ledger_on_the_boundary() {
+    let cap = 1_000.0;
+    let (sdn, v, _) = line_net(500.0, cap);
+    let residual = sdn.residual_computing(v[1]).expect("server");
+    assert_eq!(residual, cap);
+    let boundary = [
+        cap - 1.0,
+        f64::next_down(cap),
+        cap,
+        f64::next_up(cap),
+        cap + 0.5 * CAPACITY_EPS,
+        cap + CAPACITY_EPS,
+        cap + 2.0 * CAPACITY_EPS,
+        cap + 1.0,
+    ];
+    for &need in &boundary {
+        let mut a = Allocation::new(RequestId(0));
+        a.add_server(v[1], need);
+        assert_eq!(
+            planner_feasible(residual, need),
+            sdn.can_allocate(&a),
+            "planner and ledger disagree at server demand {need}"
+        );
+    }
+}
+
+#[test]
+fn exact_capacity_admission_always_commits() {
+    // A request whose bandwidth exactly equals the only path's link
+    // capacity: the planner must either reject it or produce a tree the
+    // ledger commits — an Admitted plan failing `allocate` would be the
+    // boundary-disagreement bug.
+    let (mut sdn, v, _) = line_net(100.0, 1_000.0);
+    let req = MulticastRequest::new(
+        RequestId(7),
+        v[0],
+        vec![v[2]],
+        100.0,
+        ServiceChain::new(vec![NfvType::Firewall]),
+    );
+    match appro_multi_cap(&sdn, &req, 1) {
+        Admission::Admitted(tree) => {
+            let alloc = tree.allocation(&req);
+            assert!(
+                sdn.can_allocate(&alloc),
+                "planner admitted a tree the ledger rejects"
+            );
+            sdn.allocate(&alloc).expect("admitted tree must commit");
+        }
+        Admission::Rejected => panic!("exact-capacity request should be feasible"),
+    }
+    // The link is now exactly full; any further demand must be rejected
+    // by planner and ledger alike.
+    let residual = sdn.residual_bandwidth(netgraph::EdgeId::new(0));
+    let extra = 10.0 * CAPACITY_EPS;
+    let mut a = Allocation::new(RequestId(8));
+    a.add_link(netgraph::EdgeId::new(0), extra);
+    assert_eq!(planner_feasible(residual, extra), sdn.can_allocate(&a));
+    let follow_up = MulticastRequest::new(
+        RequestId(9),
+        v[0],
+        vec![v[2]],
+        1.0,
+        ServiceChain::new(vec![NfvType::Firewall]),
+    );
+    assert_eq!(appro_multi_cap(&sdn, &follow_up, 1), Admission::Rejected);
+}
