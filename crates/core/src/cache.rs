@@ -31,7 +31,7 @@
 
 use crate::appro_multi::appro_multi_with_spts;
 use crate::{appro_multi_cap_with_scratch, Admission, ApproScratch, PseudoMulticastTree};
-use netgraph::{CsrGraph, NodeId, ShortestPathTree, SptCache};
+use netgraph::{CsrGraph, DijkstraScratch, LandmarkOracle, NodeId, ShortestPathTree, SptCache};
 use sdn::{MulticastRequest, Sdn};
 use std::sync::Arc;
 
@@ -84,6 +84,11 @@ impl Fingerprint {
 #[derive(Debug, Clone)]
 pub struct PathCache {
     cache: SptCache,
+    /// Optional landmark oracle over the same unit-cost snapshot; used to
+    /// pre-select a promising server combination and seed the scan's
+    /// branch-and-bound with its exact cost. Decisions stay byte-identical
+    /// (the seed bound only prunes strictly-worse combinations).
+    oracle: Option<LandmarkOracle>,
     fingerprint: Fingerprint,
     /// Combination-scan working memory, reused across requests.
     scratch: ApproScratch,
@@ -93,17 +98,57 @@ pub struct PathCache {
     slow_path: u64,
 }
 
+/// Scaling knobs for [`PathCache`]. The default (`None` capacity, zero
+/// landmarks) reproduces the original unbounded, oracle-free cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PathCacheOptions {
+    /// Bound on resident shortest-path trees (`None` = unbounded). At 10k+
+    /// nodes one tree is `Θ(n)` memory, so bound this to keep the cache
+    /// from growing towards `Θ(n²)`.
+    pub capacity: Option<usize>,
+    /// Number of landmarks for the ALT distance oracle (0 = no oracle).
+    /// 8–16 is plenty; construction costs one Dijkstra per landmark.
+    pub landmarks: usize,
+}
+
 impl PathCache {
-    /// Creates a cache over `sdn`'s topology.
+    /// Creates an unbounded, oracle-free cache over `sdn`'s topology.
     #[must_use]
     pub fn new(sdn: &Sdn) -> Self {
+        PathCache::with_options(sdn, PathCacheOptions::default())
+    }
+
+    /// Creates a cache over `sdn`'s topology with explicit scaling knobs.
+    #[must_use]
+    pub fn with_options(sdn: &Sdn, options: PathCacheOptions) -> Self {
+        let csr = CsrGraph::from_graph(sdn.graph());
+        let oracle = (options.landmarks > 0)
+            .then(|| LandmarkOracle::build(&csr, options.landmarks, &mut DijkstraScratch::new()));
+        let cache = match options.capacity {
+            Some(cap) => SptCache::with_capacity(csr, cap),
+            None => SptCache::new(csr),
+        };
         PathCache {
-            cache: SptCache::new(CsrGraph::from_graph(sdn.graph())),
+            cache,
+            oracle,
             fingerprint: Fingerprint::of(sdn),
             scratch: ApproScratch::new(),
             fast_path: 0,
             slow_path: 0,
         }
+    }
+
+    /// Pins `source`'s tree against eviction in a bounded cache (no-op
+    /// when unbounded). Pin the hot multicast sources — e.g. a session's
+    /// ingress — so churn in destination queries cannot evict them.
+    pub fn pin_source(&mut self, source: NodeId) {
+        self.cache.pin(source);
+    }
+
+    /// Trees evicted from the bounded SPT cache since creation.
+    #[must_use]
+    pub fn spt_evictions(&self) -> u64 {
+        self.cache.evictions()
     }
 
     /// Refreshes the residual fingerprint if `sdn` mutated since the last
@@ -193,6 +238,26 @@ pub fn appro_multi_cached(
     let spt_dests: Vec<Arc<ShortestPathTree>> =
         request.destinations.iter().map(|&d| cache.spt(d)).collect();
     let dest_refs: Vec<&ShortestPathTree> = spt_dests.iter().map(Arc::as_ref).collect();
+    // Oracle mode: pre-evaluate one promising singleton exactly and seed
+    // the branch-and-bound with its cost, so pruning fires from the very
+    // first combination instead of only after the first evaluation.
+    let initial_bound = match &cache.oracle {
+        Some(oracle) => match oracle_seed_server(sdn, request, &spt_source, oracle) {
+            Some(seed) => appro_multi_with_spts(
+                sdn,
+                request,
+                1,
+                &[seed],
+                &spt_source,
+                &dest_refs,
+                &mut cache.scratch,
+                f64::INFINITY,
+            )
+            .map_or(f64::INFINITY, |t| t.total_cost()),
+            None => f64::INFINITY,
+        },
+        None => f64::INFINITY,
+    };
     appro_multi_with_spts(
         sdn,
         request,
@@ -201,7 +266,39 @@ pub fn appro_multi_cached(
         &spt_source,
         &dest_refs,
         &mut cache.scratch,
+        initial_bound,
     )
+}
+
+/// Picks the server minimising the oracle's estimate of a singleton
+/// pseudo-tree cost: exact ingress (source tree is resident) plus
+/// admissible per-destination attach bounds. The estimate only chooses
+/// *which* singleton to pre-evaluate — correctness never depends on it.
+fn oracle_seed_server(
+    sdn: &Sdn,
+    request: &MulticastRequest,
+    spt_source: &ShortestPathTree,
+    oracle: &LandmarkOracle,
+) -> Option<NodeId> {
+    let b = request.bandwidth;
+    let demand = request.computing_demand();
+    let mut best: Option<(f64, NodeId)> = None;
+    for &v in sdn.servers() {
+        let Some(dist) = spt_source.distance(v) else {
+            continue;
+        };
+        let Some(unit) = sdn.unit_computing_cost(v) else {
+            continue;
+        };
+        let mut score = dist * b + unit * demand;
+        for &d in &request.destinations {
+            score += b * oracle.lower_bound(d, v);
+        }
+        if best.is_none_or(|(s, _)| score < s) {
+            best = Some((score, v));
+        }
+    }
+    best.map(|(_, v)| v)
 }
 
 /// [`appro_multi_cap`] driven by cached shortest-path trees where valid.
@@ -400,6 +497,93 @@ mod tests {
         let req = random_request(&mut rng, 9, 12);
         let _ = appro_multi_cap_cached(&sdn, &req, 2, &mut cache);
         assert_eq!(cache.fast_path_count(), fast_before + 1);
+    }
+
+    #[test]
+    fn capacity_one_cache_produces_byte_identical_plans() {
+        // Regression for unbounded SptCache growth: a capacity-1 cache
+        // thrashes on every query yet must plan exactly like the default.
+        for seed in 0..4u64 {
+            let mut plain_net = random_net(seed, 14);
+            let mut bounded_net = plain_net.clone();
+            let mut unbounded = PathCache::new(&plain_net);
+            let mut bounded = PathCache::with_options(
+                &bounded_net,
+                PathCacheOptions {
+                    capacity: Some(1),
+                    landmarks: 0,
+                },
+            );
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xB0B);
+            for i in 0..20 {
+                let req = random_request(&mut rng, i, 14);
+                let a = appro_multi_cap_cached(&plain_net, &req, 2, &mut unbounded);
+                let b = appro_multi_cap_cached(&bounded_net, &req, 2, &mut bounded);
+                assert_eq!(a, b, "seed {seed} req {i}");
+                if let Admission::Admitted(tree) = &a {
+                    plain_net.allocate(&tree.allocation(&req)).unwrap();
+                    bounded_net.allocate(&tree.allocation(&req)).unwrap();
+                }
+            }
+            assert!(
+                bounded.spt_evictions() > 0,
+                "seed {seed}: cache never thrashed"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_seeded_cache_matches_default() {
+        for seed in 0..4u64 {
+            let mut plain_net = random_net(seed, 15);
+            let mut oracle_net = plain_net.clone();
+            let mut plain = PathCache::new(&plain_net);
+            let mut seeded = PathCache::with_options(
+                &oracle_net,
+                PathCacheOptions {
+                    capacity: Some(4),
+                    landmarks: 6,
+                },
+            );
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x07AC);
+            for i in 0..20 {
+                let req = random_request(&mut rng, i, 15);
+                for k in 1..=2 {
+                    assert_eq!(
+                        appro_multi_cached(&plain_net, &req, k, &mut plain),
+                        appro_multi_cached(&oracle_net, &req, k, &mut seeded),
+                        "seed {seed} req {i} k {k}"
+                    );
+                }
+                let a = appro_multi_cap_cached(&plain_net, &req, 2, &mut plain);
+                let b = appro_multi_cap_cached(&oracle_net, &req, 2, &mut seeded);
+                assert_eq!(a, b, "seed {seed} req {i} cap");
+                if let Admission::Admitted(tree) = &a {
+                    plain_net.allocate(&tree.allocation(&req)).unwrap();
+                    oracle_net.allocate(&tree.allocation(&req)).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_source_survives_thrash() {
+        let sdn = random_net(2, 12);
+        let mut cache = PathCache::with_options(
+            &sdn,
+            PathCacheOptions {
+                capacity: Some(2),
+                landmarks: 0,
+            },
+        );
+        cache.pin_source(NodeId::new(0));
+        let _ = cache.spt(NodeId::new(0));
+        for i in 1..12 {
+            let _ = cache.spt(NodeId::new(i));
+        }
+        let hits_before = cache.spt_hits();
+        let _ = cache.spt(NodeId::new(0));
+        assert_eq!(cache.spt_hits(), hits_before + 1, "pinned tree was evicted");
     }
 
     #[test]

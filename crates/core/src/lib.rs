@@ -69,7 +69,7 @@ pub use appro_multi::{
     SteinerRoutine,
 };
 pub use auxiliary::AuxiliaryGraph;
-pub use cache::{appro_multi_cached, appro_multi_cap_cached, PathCache};
+pub use cache::{appro_multi_cached, appro_multi_cap_cached, PathCache, PathCacheOptions};
 pub use capacitated::{appro_multi_cap, appro_multi_cap_with_scratch, Admission};
 pub use combinations::{combinations_up_to, Combinations};
 pub use delay::{appro_multi_delay_bounded, max_delivery_hops, DelayBounded};

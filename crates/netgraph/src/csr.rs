@@ -64,6 +64,80 @@ impl CsrGraph {
         }
     }
 
+    /// Builds a snapshot directly from an undirected edge list, without an
+    /// intermediate [`Graph`]: edge `i` of the list gets [`EdgeId`] `i`,
+    /// and the arc order within each node is the order its edges appear in
+    /// the list — exactly the adjacency order [`Graph::add_edge`] would
+    /// have produced, so this is equivalent to
+    /// `CsrGraph::from_graph(&g)` for the graph built from the same list.
+    ///
+    /// Two counting-sort passes, `O(n + m)`, no per-node allocations; this
+    /// is the entry point the scalable topology generators stream into.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or an edge is a self-loop.
+    #[must_use]
+    pub fn from_edge_list(nodes: usize, edges: &[(NodeId, NodeId, f64)]) -> Self {
+        let mut degree = vec![0usize; nodes];
+        for &(u, v, _) in edges {
+            assert!(
+                u.index() < nodes && v.index() < nodes,
+                "edge endpoint out of range"
+            );
+            assert!(u != v, "self-loops are not supported");
+            for end in [u, v] {
+                if let Some(d) = degree.get_mut(end.index()) {
+                    *d += 1;
+                }
+            }
+        }
+        let arcs = 2 * edges.len();
+        let mut offsets = Vec::with_capacity(nodes + 1);
+        offsets.push(0);
+        let mut acc = 0usize;
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        // cursor[v] = next free arc slot for v.
+        let mut cursor: Vec<usize> = offsets
+            .get(..nodes)
+            .map(<[usize]>::to_vec)
+            .unwrap_or_default();
+        let mut targets = vec![NodeId::new(0); arcs];
+        let mut edge_ids = vec![EdgeId::new(0); arcs];
+        let mut weights = vec![0.0f64; arcs];
+        for (i, &(u, v, w)) in edges.iter().enumerate() {
+            let id = EdgeId::new(i);
+            for (from, to) in [(u, v), (v, u)] {
+                let slot = match cursor.get_mut(from.index()) {
+                    Some(c) => {
+                        let s = *c;
+                        *c += 1;
+                        s
+                    }
+                    None => continue,
+                };
+                if let (Some(t), Some(e), Some(wt)) = (
+                    targets.get_mut(slot),
+                    edge_ids.get_mut(slot),
+                    weights.get_mut(slot),
+                ) {
+                    *t = to;
+                    *e = id;
+                    *wt = w;
+                }
+            }
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            edge_ids,
+            weights,
+        }
+    }
+
     /// Number of nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {
@@ -217,30 +291,70 @@ fn dijkstra_csr_impl(
 /// about *why* its snapshot might go stale — the owner calls
 /// [`SptCache::invalidate`] when the weights underlying the snapshot
 /// change (in the SDN crates: when residual capacities move).
+///
+/// ## Bounded mode
+///
+/// [`SptCache::new`] is unbounded — fine at the paper's n=250, but one
+/// full tree is `Θ(n)` memory, so at 10k+ nodes an unbounded cache grows
+/// towards `Θ(n²)`. [`SptCache::with_capacity`] bounds the number of
+/// resident trees: on a miss at capacity, the **unpinned** resident tree
+/// with the oldest last-use tick is evicted (deterministic — ticks are a
+/// monotone counter, never wall clock). Sources pinned via
+/// [`SptCache::pin`] (e.g. a session's multicast source that every
+/// request re-queries) are never evicted; when every resident tree is
+/// pinned, the freshly computed tree is returned *uncached* rather than
+/// displacing a pin. Eviction never changes answers — a re-computed tree
+/// is bit-identical to the evicted one.
 #[derive(Debug, Clone)]
 pub struct SptCache {
     csr: CsrGraph,
     scratch: DijkstraScratch,
     trees: Vec<Option<Arc<ShortestPathTree>>>,
+    /// Max resident trees; `None` = unbounded.
+    capacity: Option<usize>,
+    pinned: Vec<bool>,
+    /// Last-use tick per source (valid only while resident).
+    stamp: Vec<u64>,
+    tick: u64,
+    resident: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl SptCache {
-    /// Creates an empty cache over `csr`.
+    /// Creates an empty unbounded cache over `csr`.
     #[must_use]
     pub fn new(csr: CsrGraph) -> Self {
+        SptCache::build(csr, None)
+    }
+
+    /// Creates an empty cache over `csr` holding at most `capacity`
+    /// resident trees (LRU eviction, see the type-level docs). A capacity
+    /// of zero caches nothing and degrades to plain repeated Dijkstra.
+    #[must_use]
+    pub fn with_capacity(csr: CsrGraph, capacity: usize) -> Self {
+        SptCache::build(csr, Some(capacity))
+    }
+
+    fn build(csr: CsrGraph, capacity: Option<usize>) -> Self {
         let n = csr.node_count();
         SptCache {
             csr,
             scratch: DijkstraScratch::new(),
             trees: vec![None; n],
+            capacity,
+            pinned: vec![false; n],
+            stamp: vec![0; n],
+            tick: 0,
+            resident: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
-    /// Convenience: snapshot `g` and cache over it.
+    /// Convenience: snapshot `g` and cache over it (unbounded).
     #[must_use]
     pub fn for_graph(g: &Graph) -> Self {
         SptCache::new(CsrGraph::from_graph(g))
@@ -252,38 +366,107 @@ impl SptCache {
         &self.csr
     }
 
+    /// The resident-tree bound (`None` = unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Marks `source` as never-evictable while resident. Pinning is
+    /// advisory: it does not force computation, and an out-of-range id is
+    /// ignored.
+    pub fn pin(&mut self, source: NodeId) {
+        if let Some(p) = self.pinned.get_mut(source.index()) {
+            *p = true;
+        }
+    }
+
+    /// Clears a pin set by [`SptCache::pin`].
+    pub fn unpin(&mut self, source: NodeId) {
+        if let Some(p) = self.pinned.get_mut(source.index()) {
+            *p = false;
+        }
+    }
+
     /// The full shortest-path tree rooted at `source`, computing it on
     /// first request. Identical to `dijkstra(g, source)` on the snapshot's
-    /// source graph.
+    /// source graph, whether the tree was cached, evicted-and-recomputed,
+    /// or (all-pins case) returned uncached.
     ///
     /// # Panics
     ///
     /// Panics if `source` is not a node of the snapshot.
     pub fn spt(&mut self, source: NodeId) -> Arc<ShortestPathTree> {
-        if let Some(t) = &self.trees[source.index()] {
+        self.tick += 1;
+        if let Some(Some(t)) = self.trees.get(source.index()) {
+            let t = Arc::clone(t);
+            if let Some(s) = self.stamp.get_mut(source.index()) {
+                *s = self.tick;
+            }
             self.hits += 1;
             telemetry::hit(telemetry::Counter::SptCacheHits);
-            return Arc::clone(t);
+            return t;
         }
         self.misses += 1;
         telemetry::hit(telemetry::Counter::SptCacheMisses);
         let tree = Arc::new(dijkstra_csr(&self.csr, source, &mut self.scratch));
-        self.trees[source.index()] = Some(Arc::clone(&tree));
+        if let Some(cap) = self.capacity {
+            if self.resident >= cap && !self.evict_one() {
+                // At capacity with every resident tree pinned (or cap 0):
+                // hand the tree out without displacing anything.
+                return tree;
+            }
+        }
+        if let Some(slot) = self.trees.get_mut(source.index()) {
+            *slot = Some(Arc::clone(&tree));
+            self.resident += 1;
+        }
+        if let Some(s) = self.stamp.get_mut(source.index()) {
+            *s = self.tick;
+        }
         tree
     }
 
+    /// Evicts the unpinned resident tree with the oldest last-use tick.
+    /// Returns `false` when nothing is evictable.
+    fn evict_one(&mut self) -> bool {
+        let mut victim: Option<(u64, usize)> = None;
+        for (i, slot) in self.trees.iter().enumerate() {
+            if slot.is_none() || self.pinned.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let s = self.stamp.get(i).copied().unwrap_or(0);
+            if victim.is_none_or(|(vs, _)| s < vs) {
+                victim = Some((s, i));
+            }
+        }
+        match victim {
+            Some((_, i)) => {
+                if let Some(slot) = self.trees.get_mut(i) {
+                    *slot = None;
+                }
+                self.resident = self.resident.saturating_sub(1);
+                self.evictions += 1;
+                telemetry::hit(telemetry::Counter::SptCacheEvictions);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Drops every cached tree (the snapshot itself is retained — edge
-    /// weights in this codebase are immutable unit costs).
+    /// weights in this codebase are immutable unit costs). Pins survive.
     pub fn invalidate(&mut self) {
         for t in &mut self.trees {
             *t = None;
         }
+        self.resident = 0;
     }
 
     /// Number of sources currently cached.
     #[must_use]
     pub fn cached_sources(&self) -> usize {
-        self.trees.iter().filter(|t| t.is_some()).count()
+        self.resident
     }
 
     /// Cache hits since creation.
@@ -296,6 +479,12 @@ impl SptCache {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Trees evicted since creation (always zero for unbounded caches).
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 }
 
@@ -421,5 +610,107 @@ mod tests {
     fn csr_dijkstra_rejects_unknown_source() {
         let csr = CsrGraph::from_graph(&Graph::new());
         let _ = dijkstra_csr(&csr, NodeId::new(0), &mut DijkstraScratch::new());
+    }
+
+    #[test]
+    fn from_edge_list_matches_from_graph() {
+        let edges = [
+            (NodeId::new(0), NodeId::new(1), 1.0),
+            (NodeId::new(0), NodeId::new(2), 4.0),
+            (NodeId::new(1), NodeId::new(2), 2.0),
+            (NodeId::new(1), NodeId::new(3), 6.0),
+            (NodeId::new(2), NodeId::new(3), 3.0),
+            (NodeId::new(1), NodeId::new(4), 0.5),
+        ];
+        let mut g = Graph::with_nodes(5);
+        for &(u, v, w) in &edges {
+            g.add_edge(u, v, w).unwrap();
+        }
+        let via_graph = CsrGraph::from_graph(&g);
+        let direct = CsrGraph::from_edge_list(5, &edges);
+        assert_eq!(direct, via_graph);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edge_list_rejects_bad_endpoint() {
+        let _ = CsrGraph::from_edge_list(2, &[(NodeId::new(0), NodeId::new(2), 1.0)]);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_and_respects_pins() {
+        let (g, v) = diamond();
+        let mut cache = SptCache::with_capacity(CsrGraph::from_graph(&g), 2);
+        assert_eq!(cache.capacity(), Some(2));
+        let t0 = cache.spt(v[0]);
+        let _t1 = cache.spt(v[1]);
+        assert_eq!(cache.cached_sources(), 2);
+        // Touch v0 so v1 is the LRU victim.
+        let _ = cache.spt(v[0]);
+        let _t2 = cache.spt(v[2]);
+        assert_eq!(cache.cached_sources(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // v1 was evicted: re-requesting it is a miss but bit-identical.
+        // Touch v0 first so v2 (not v0) is the next victim.
+        let _ = cache.spt(v[0]);
+        let misses_before = cache.misses();
+        let t1_again = cache.spt(v[1]);
+        assert_eq!(cache.misses(), misses_before + 1);
+        assert_eq!(cache.evictions(), 2);
+        assert_same_tree(&t1_again, &dijkstra(&g, v[1]), g.node_count());
+        // v0 survived both evictions (it was always the freshest).
+        let hits_before = cache.hits();
+        let t0_again = cache.spt(v[0]);
+        assert_eq!(cache.hits(), hits_before + 1);
+        assert!(Arc::ptr_eq(&t0, &t0_again));
+    }
+
+    #[test]
+    fn pinned_trees_are_never_evicted() {
+        let (g, v) = diamond();
+        let mut cache = SptCache::with_capacity(CsrGraph::from_graph(&g), 1);
+        cache.pin(v[0]);
+        let t0 = cache.spt(v[0]);
+        // All residents pinned: further sources are served uncached, the
+        // pin stays resident, nothing is evicted.
+        let t1 = cache.spt(v[1]);
+        assert_same_tree(&t1, &dijkstra(&g, v[1]), g.node_count());
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.cached_sources(), 1);
+        assert!(Arc::ptr_eq(&t0, &cache.spt(v[0])));
+        // Unpinning makes v0 evictable again.
+        cache.unpin(v[0]);
+        let _ = cache.spt(v[2]);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.cached_sources(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_cache_never_stores() {
+        let (g, v) = diamond();
+        let mut cache = SptCache::with_capacity(CsrGraph::from_graph(&g), 0);
+        for _ in 0..3 {
+            let t = cache.spt(v[0]);
+            assert_same_tree(&t, &dijkstra(&g, v[0]), g.node_count());
+        }
+        assert_eq!(cache.cached_sources(), 0);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn bounded_cache_answers_match_unbounded() {
+        let (g, v) = diamond();
+        let mut bounded = SptCache::with_capacity(CsrGraph::from_graph(&g), 1);
+        let mut unbounded = SptCache::for_graph(&g);
+        // A query order that thrashes the capacity-1 cache.
+        let order = [v[0], v[1], v[0], v[2], v[3], v[0], v[1]];
+        for &s in &order {
+            let a = bounded.spt(s);
+            let b = unbounded.spt(s);
+            assert_same_tree(&a, &b, g.node_count());
+        }
+        assert!(bounded.evictions() > 0);
     }
 }

@@ -42,6 +42,7 @@ mod heap;
 mod ids;
 mod ksp;
 mod mst;
+mod oracle;
 mod paths;
 mod stats;
 mod subgraph;
@@ -58,6 +59,7 @@ pub use heap::IndexedQuadHeap;
 pub use ids::{EdgeId, NodeId};
 pub use ksp::k_shortest_paths;
 pub use mst::{kruskal, prim, MstResult};
+pub use oracle::LandmarkOracle;
 pub use paths::{bellman_ford, dijkstra, dijkstra_with_targets, Path, ShortestPathTree};
 pub use stats::{clustering_coefficient, graph_stats, GraphStats};
 pub use subgraph::{induced_subgraph, FilteredGraph};

@@ -2,7 +2,10 @@
 //! model and LCA-based pseudo-multicast trees.
 
 use crate::OnlineAlgorithm;
-use netgraph::{induced_subgraph, EdgeId, FilteredGraph, Graph};
+use netgraph::{
+    induced_subgraph, CsrGraph, DijkstraScratch, EdgeId, FilteredGraph, Graph, LandmarkOracle,
+    NodeId,
+};
 use nfv_multicast::{PseudoMulticastTree, ServerUse};
 use sdn::{ExponentialCostModel, LinearCostModel, MulticastRequest, Sdn};
 
@@ -58,6 +61,10 @@ struct AdmissionGraphCache {
     bandwidth_bits: u64,
     filtered: FilteredGraph,
     weighted: Graph,
+    /// Landmark oracle over `weighted` (present only in oracle mode):
+    /// admissible lower bounds on weighted-graph distances, rebuilt
+    /// together with the graph it describes so it can never go stale.
+    oracle: Option<LandmarkOracle>,
 }
 
 /// The `Online_CP` admission algorithm (Algorithm 2, `K = 1`).
@@ -65,6 +72,8 @@ struct AdmissionGraphCache {
 pub struct OnlineCp {
     mode: CostMode,
     rule: ThresholdRule,
+    /// Landmarks for the candidate-scan oracle (0 = exact scan).
+    oracle_landmarks: usize,
     cache: Option<AdmissionGraphCache>,
     cache_hits: u64,
 }
@@ -92,6 +101,26 @@ impl OnlineCp {
     pub fn with_threshold_rule(mut self, rule: ThresholdRule) -> Self {
         self.rule = rule;
         self
+    }
+
+    /// Enables the landmark-oracle candidate scan: servers are ordered by
+    /// an admissible lower bound on their admission weight and evaluated
+    /// lazily, stopping once the bound proves no remaining server can beat
+    /// the incumbent. Decisions are byte-identical to the exact scan —
+    /// the bound never underestimates a winner away — but at 5k+ nodes
+    /// most candidates skip their Steiner construction entirely.
+    ///
+    /// `landmarks = 0` disables the oracle (the default exact scan).
+    #[must_use]
+    pub fn with_oracle(mut self, landmarks: usize) -> Self {
+        self.oracle_landmarks = landmarks;
+        self
+    }
+
+    /// The configured oracle landmark count (0 = exact scan).
+    #[must_use]
+    pub fn oracle_landmarks(&self) -> usize {
+        self.oracle_landmarks
     }
 
     /// The active cost mode.
@@ -123,8 +152,13 @@ impl OnlineCp {
     }
 
     /// Returns (building if needed) the admission graph for bandwidth `b`
-    /// against the current residual state.
-    fn admission_graph(&mut self, sdn: &Sdn, b: f64) -> (&FilteredGraph, &Graph) {
+    /// against the current residual state, plus the landmark oracle over
+    /// its weighted copy when oracle mode is on.
+    fn admission_graph(
+        &mut self,
+        sdn: &Sdn,
+        b: f64,
+    ) -> (&FilteredGraph, &Graph, Option<&LandmarkOracle>) {
         let version = sdn.version();
         let bandwidth_bits = b.to_bits();
         let fresh = self
@@ -170,15 +204,23 @@ impl OnlineCp {
                     .add_edge(e.u, e.v, w)
                     .expect("filtered edges are valid"); // lint:allow(P1): copies an edge the parent graph already validated
             }
+            // The oracle prices the same weighted graph the Steiner scan
+            // runs on, so its bounds are admissible for exactly the trees
+            // this cache generation will build.
+            let oracle = (self.oracle_landmarks > 0).then(|| {
+                let csr = CsrGraph::from_graph(&weighted);
+                LandmarkOracle::build(&csr, self.oracle_landmarks, &mut DijkstraScratch::new())
+            });
             self.cache = Some(AdmissionGraphCache {
                 version,
                 bandwidth_bits,
                 filtered,
                 weighted,
+                oracle,
             });
         }
         let c = self.cache.as_ref().expect("cache was just filled"); // lint:allow(P1): the branch above just filled the cache
-        (&c.filtered, &c.weighted)
+        (&c.filtered, &c.weighted, c.oracle.as_ref())
     }
 }
 
@@ -186,6 +228,134 @@ impl OnlineCp {
 struct Candidate {
     weight: f64,
     tree: PseudoMulticastTree,
+}
+
+/// A server that passed the cheap phase-1 checks (alive, residual
+/// computing, saturation threshold) and still awaits the expensive
+/// Steiner-tree evaluation. `lb` is an admissible lower bound on the
+/// candidate's final admission weight (just `wv` until the oracle adds
+/// its distance term).
+struct Survivor {
+    pos: usize,
+    v: NodeId,
+    wv: f64,
+    lb: f64,
+}
+
+/// What evaluating one surviving server produced.
+enum EvalOutcome {
+    /// Steps 8-12 succeeded; the candidate still faces the final
+    /// allocation check.
+    Admissible(Candidate),
+    /// The link-side admission threshold (step 9) rejected the tree.
+    ThresholdBlocked,
+    /// No Steiner tree connects the terminals through this server.
+    Skip,
+}
+
+/// Everything the per-server Steiner evaluation (steps 8-12 of
+/// Algorithm 2 plus candidate materialization) needs, bundled so the
+/// exact and oracle scans share a single code path and can never drift
+/// apart.
+struct AdmissionCtx<'a> {
+    sdn: &'a Sdn,
+    request: &'a MulticastRequest,
+    b: f64,
+    demand: f64,
+    sigma: f64,
+    mode: CostMode,
+    rule: ThresholdRule,
+    filtered: &'a FilteredGraph,
+    weighted: &'a Graph,
+}
+
+impl AdmissionCtx<'_> {
+    fn evaluate(
+        &self,
+        v: NodeId,
+        wv: f64,
+        bank: Option<&mut steiner::TerminalSptBank>,
+    ) -> EvalOutcome {
+        let (sdn, request, weighted) = (self.sdn, self.request, self.weighted);
+        // Step 8: Steiner tree over {s_k, v} ∪ D_k in G_k. The banked
+        // variant reuses the anchor SPTs shared by every candidate and is
+        // byte-identical to the fresh construction.
+        let mut terminals = vec![request.source, v];
+        terminals.extend(request.destinations.iter().copied());
+        let tree = match bank {
+            Some(bank) => steiner::kmb_with_bank(weighted, &terminals, bank),
+            None => steiner::kmb(weighted, &terminals),
+        };
+        let Some(tree) = tree else {
+            return EvalOutcome::Skip;
+        };
+        // Step 9: link-side admission threshold.
+        let tree_weight: f64 = tree.cost();
+        if self.mode == CostMode::Exponential {
+            let violates = match self.rule {
+                ThresholdRule::TreeSum => tree_weight >= self.sigma,
+                ThresholdRule::PerEdge => tree
+                    .edges()
+                    .iter()
+                    .any(|&e| weighted.edge(e).weight >= self.sigma),
+            };
+            if violates {
+                return EvalOutcome::ThresholdBlocked;
+            }
+        }
+        // Steps 10-12: LCA send-back construction.
+        let Some(rooted) = tree.root_at(weighted, request.source) else {
+            return EvalOutcome::Skip;
+        };
+        let lca = rooted.lca();
+        let mut lca_args = vec![v];
+        lca_args.extend(request.destinations.iter().copied());
+        let u = lca.lca_of_set(&lca_args);
+        let sendback = rooted.path_between(v, u);
+        let sendback_weight: f64 = sendback.cost();
+
+        let weight = tree_weight + wv + sendback_weight;
+
+        // Materialize the pseudo-multicast tree in original edge ids.
+        let ingress = rooted.path_between(request.source, v);
+        let ingress_ids: Vec<EdgeId> = self.filtered.parent_edges(ingress.edges());
+        let ingress_set: std::collections::BTreeSet<EdgeId> = ingress_ids.iter().copied().collect();
+        let all_tree: Vec<EdgeId> = self.filtered.parent_edges(tree.edges());
+        let distribution: Vec<EdgeId> = all_tree
+            .iter()
+            .copied()
+            .filter(|e| !ingress_set.contains(e))
+            .collect();
+        let extra: Vec<EdgeId> = self.filtered.parent_edges(sendback.edges());
+
+        let ingress_cost: f64 = ingress_ids
+            .iter()
+            .map(|&e| sdn.unit_bandwidth_cost(e) * self.b)
+            .sum();
+        let computing_cost = sdn.unit_computing_cost(v).expect("server") * self.demand; // lint:allow(P1): v is drawn from servers()
+        let bandwidth_cost: f64 = all_tree
+            .iter()
+            .chain(&extra)
+            .map(|&e| sdn.unit_bandwidth_cost(e) * self.b)
+            .sum();
+        EvalOutcome::Admissible(Candidate {
+            weight,
+            tree: PseudoMulticastTree {
+                request: request.id,
+                source: request.source,
+                servers: vec![ServerUse {
+                    server: v,
+                    ingress_edges: ingress_ids,
+                    ingress_cost,
+                    computing_cost,
+                }],
+                distribution_edges: distribution,
+                extra_traversals: extra,
+                bandwidth_cost,
+                computing_cost,
+            },
+        })
+    }
 }
 
 impl OnlineAlgorithm for OnlineCp {
@@ -205,15 +375,29 @@ impl OnlineAlgorithm for OnlineCp {
 
         let mode = self.mode;
         let rule = self.rule;
-        let (filtered, weighted) = self.admission_graph(sdn, b);
+        let (filtered, weighted, oracle) = self.admission_graph(sdn, b);
         if weighted.edge_count() == 0 {
             telemetry::hit(telemetry::Counter::OnlineRejectedInfeasible);
             return None;
         }
+        let ctx = AdmissionCtx {
+            sdn,
+            request,
+            b,
+            demand,
+            sigma,
+            mode,
+            rule,
+            filtered,
+            weighted,
+        };
 
+        // Phase 1: cheap per-server checks. These always run over every
+        // server, so the saturation telemetry and the threshold-blocked
+        // rejection reason are identical with and without the oracle.
         let mut threshold_blocked = false;
-        let mut candidates: Vec<Candidate> = Vec::new();
-        for &v in sdn.servers() {
+        let mut survivors: Vec<Survivor> = Vec::new();
+        for (pos, &v) in sdn.servers().iter().enumerate() {
             // Hard feasibility: the server must be up and the chain must
             // fit its residual capacity (a dead server reads as zero).
             if !sdn.is_server_alive(v)
@@ -233,80 +417,98 @@ impl OnlineAlgorithm for OnlineCp {
                 threshold_blocked = true;
                 continue;
             }
-            // Step 8: Steiner tree over {s_k, v} ∪ D_k in G_k.
-            let mut terminals = vec![request.source, v];
+            survivors.push(Survivor { pos, v, wv, lb: wv });
+        }
+
+        if let Some(oracle) = oracle {
+            // Oracle scan: order survivors by an admissible lower bound on
+            // their final admission weight (`wv` plus the Steiner bound
+            // over {s_k, v} ∪ D_k, since the send-back term is ≥ 0), then
+            // evaluate lazily. The bound never exceeds the true weight, so
+            // stopping once it passes the incumbent cannot change the
+            // decision — only skip Steiner constructions that were going
+            // to lose anyway.
+            let mut terminals = vec![request.source];
             terminals.extend(request.destinations.iter().copied());
-            let Some(tree) = steiner::kmb(weighted, &terminals) else {
-                continue;
-            };
-            // Step 9: link-side admission threshold.
-            let tree_weight: f64 = tree.cost();
-            if mode == CostMode::Exponential {
-                let violates = match rule {
-                    ThresholdRule::TreeSum => tree_weight >= sigma,
-                    ThresholdRule::PerEdge => tree
-                        .edges()
-                        .iter()
-                        .any(|&e| weighted.edge(e).weight >= sigma),
-                };
-                if violates {
-                    threshold_blocked = true;
-                    continue;
+            for s in &mut survivors {
+                terminals.push(s.v);
+                s.lb += steiner::steiner_lower_bound(&terminals, |x, y| oracle.lower_bound(x, y));
+                terminals.pop();
+            }
+            // One SPT bank for the whole scan: the anchor terminals'
+            // Dijkstra runs are shared across every candidate instead of
+            // re-run per server (the scan's dominant cost at 5k+ nodes).
+            let mut bank_targets = terminals.clone();
+            bank_targets.extend(survivors.iter().map(|s| s.v));
+            let mut bank = steiner::TerminalSptBank::new(bank_targets);
+            survivors.sort_by(|x, y| {
+                x.lb.partial_cmp(&y.lb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(x.pos.cmp(&y.pos))
+            });
+
+            let mut had_candidates = false;
+            let mut best: Option<(f64, usize, PseudoMulticastTree)> = None;
+            for (idx, s) in survivors.iter().enumerate() {
+                if let Some((best_w, _, _)) = &best {
+                    // Strictly worse than the incumbent (with a margin so
+                    // float noise can never prune an exact tie, which the
+                    // position rule below might still award differently).
+                    if s.lb > best_w * (1.0 + 1e-9) + 1e-9 {
+                        telemetry::add(
+                            telemetry::Counter::OnlineCandidatesPruned,
+                            (survivors.len() - idx) as u64,
+                        );
+                        break;
+                    }
+                }
+                match ctx.evaluate(s.v, s.wv, Some(&mut bank)) {
+                    EvalOutcome::Admissible(c) => {
+                        had_candidates = true;
+                        // The final ledger check runs per candidate here;
+                        // the exact scan's "sort then first-allocatable"
+                        // is the same min over (weight, server position).
+                        if sdn.can_allocate(&c.tree.allocation(request)) {
+                            let replace = match &best {
+                                None => true,
+                                Some((bw, bp, _)) => {
+                                    c.weight < *bw || (c.weight == *bw && s.pos < *bp)
+                                }
+                            };
+                            if replace {
+                                best = Some((c.weight, s.pos, c.tree));
+                            }
+                        }
+                    }
+                    EvalOutcome::ThresholdBlocked => threshold_blocked = true,
+                    EvalOutcome::Skip => {}
                 }
             }
-            // Steps 10-12: LCA send-back construction.
-            let Some(rooted) = tree.root_at(weighted, request.source) else {
-                continue;
-            };
-            let lca = rooted.lca();
-            let mut lca_args = vec![v];
-            lca_args.extend(request.destinations.iter().copied());
-            let u = lca.lca_of_set(&lca_args);
-            let sendback = rooted.path_between(v, u);
-            let sendback_weight: f64 = sendback.cost();
-
-            let weight = tree_weight + wv + sendback_weight;
-
-            // Materialize the pseudo-multicast tree in original edge ids.
-            let ingress = rooted.path_between(request.source, v);
-            let ingress_ids: Vec<EdgeId> = filtered.parent_edges(ingress.edges());
-            let ingress_set: std::collections::BTreeSet<EdgeId> =
-                ingress_ids.iter().copied().collect();
-            let all_tree: Vec<EdgeId> = filtered.parent_edges(tree.edges());
-            let distribution: Vec<EdgeId> = all_tree
-                .iter()
-                .copied()
-                .filter(|e| !ingress_set.contains(e))
-                .collect();
-            let extra: Vec<EdgeId> = filtered.parent_edges(sendback.edges());
-
-            let ingress_cost: f64 = ingress_ids
-                .iter()
-                .map(|&e| sdn.unit_bandwidth_cost(e) * b)
-                .sum();
-            let computing_cost = sdn.unit_computing_cost(v).expect("server") * demand; // lint:allow(P1): v is drawn from servers()
-            let bandwidth_cost: f64 = all_tree
-                .iter()
-                .chain(&extra)
-                .map(|&e| sdn.unit_bandwidth_cost(e) * b)
-                .sum();
-            candidates.push(Candidate {
-                weight,
-                tree: PseudoMulticastTree {
-                    request: request.id,
-                    source: request.source,
-                    servers: vec![ServerUse {
-                        server: v,
-                        ingress_edges: ingress_ids,
-                        ingress_cost,
-                        computing_cost,
-                    }],
-                    distribution_edges: distribution,
-                    extra_traversals: extra,
-                    bandwidth_cost,
-                    computing_cost,
-                },
+            if let Some((_, _, tree)) = best {
+                return Some(tree);
+            }
+            // No early-exit fired on this path (it requires an incumbent),
+            // so every survivor was evaluated and the rejection reason is
+            // computed from exactly the same evidence as the exact scan.
+            telemetry::hit(if had_candidates {
+                telemetry::Counter::OnlineRejectedCapacity
+            } else if threshold_blocked {
+                telemetry::Counter::OnlineRejectedThreshold
+            } else {
+                telemetry::Counter::OnlineRejectedInfeasible
             });
+            return None;
+        }
+
+        // Exact scan (the paper's listing): evaluate every survivor in
+        // server order.
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for s in &survivors {
+            match ctx.evaluate(s.v, s.wv, None) {
+                EvalOutcome::Admissible(c) => candidates.push(c),
+                EvalOutcome::ThresholdBlocked => threshold_blocked = true,
+                EvalOutcome::Skip => {}
+            }
         }
 
         // Try candidates cheapest-first; the send-back path may need 2·b_k
@@ -504,6 +706,63 @@ mod tests {
             }
         }
         assert_eq!(warm_net, cold_net);
+    }
+
+    #[test]
+    fn oracle_scan_matches_exact_decisions() {
+        // Ring of 16 nodes with chords, a server on every third node.
+        // The oracle-ordered lazy scan must admit exactly the same trees
+        // as the exact scan across a full allocating sequence, including
+        // the requests that end up rejected.
+        let mut bld = SdnBuilder::new();
+        let nodes: Vec<NodeId> = (0..16)
+            .map(|i| {
+                if i % 3 == 0 {
+                    bld.add_server(4_000.0, 1.0 + (i % 5) as f64 * 0.1)
+                } else {
+                    bld.add_switch()
+                }
+            })
+            .collect();
+        for i in 0..16 {
+            bld.add_link(
+                nodes[i],
+                nodes[(i + 1) % 16],
+                2_000.0,
+                1.0 + (i % 4) as f64 * 0.25,
+            )
+            .unwrap();
+        }
+        for i in (0..16).step_by(4) {
+            bld.add_link(nodes[i], nodes[(i + 7) % 16], 2_000.0, 1.5)
+                .unwrap();
+        }
+        let sdn0 = bld.build().unwrap();
+        let mut exact_net = sdn0.clone();
+        let mut oracle_net = sdn0;
+        let mut exact = OnlineCp::new();
+        let mut fast = OnlineCp::new().with_oracle(4);
+        assert_eq!(fast.oracle_landmarks(), 4);
+        assert_eq!(exact.oracle_landmarks(), 0);
+        let mut admitted = 0;
+        for i in 0..40u64 {
+            let src = nodes[(i as usize * 5) % 16];
+            let dst = nodes[(i as usize * 11 + 3) % 16];
+            if src == dst {
+                continue;
+            }
+            let req = MulticastRequest::new(RequestId(i), src, vec![dst], 120.0, chain());
+            let a = exact.admit(&exact_net, &req);
+            let b = fast.admit(&oracle_net, &req);
+            assert_eq!(a, b, "request {}", req.id);
+            if let (Some(ta), Some(tb)) = (&a, &b) {
+                exact_net.allocate(&ta.allocation(&req)).unwrap();
+                oracle_net.allocate(&tb.allocation(&req)).unwrap();
+                admitted += 1;
+            }
+        }
+        assert!(admitted > 0, "fixture admits nothing; test is vacuous");
+        assert_eq!(exact_net, oracle_net);
     }
 
     #[test]

@@ -1,21 +1,33 @@
 //! Hot-path benchmark snapshot: `cargo run -p sim --release --bin bench
-//! [quick|full] [--check]`.
+//! [quick|full|scale] [--check]`.
 //!
-//! Times the `Appro_Multi` combination scan — pruned + warm scratch vs.
-//! the unpruned audit scan — on the paper's Fig. 5 configuration
-//! (250-switch Waxman network, `K = 3`, one sweep per `D_max/|V|`
-//! ratio), plus Mehlhorn vs. KMB on the same topology, and writes the
-//! measurements to `BENCH_2.json` (hand-rolled JSON; the workspace has
-//! no serde_json).
+//! The default mode times the `Appro_Multi` combination scan — pruned +
+//! warm scratch vs. the unpruned audit scan — on the paper's Fig. 5
+//! configuration (250-switch Waxman network, `K = 3`, one sweep per
+//! `D_max/|V|` ratio), plus Mehlhorn vs. KMB on the same topology, and
+//! writes the measurements to `BENCH_2.json` (hand-rolled JSON; the
+//! workspace has no serde_json).
 //!
-//! With `--check`, the committed `BENCH_2.json` is read *first* and the
-//! run fails (exit 1) if the freshly measured pruned-vs-unpruned speedup
-//! regressed by more than 25% against the committed baseline — the CI
-//! `bench-smoke` gate. Speedup ratios, not absolute times, are compared,
-//! so the gate is robust to slow CI machines.
+//! `scale` instead benchmarks the landmark-oracle layer on a 5 120-node
+//! fat-tree: `Online_CP` with the oracle-ordered lazy candidate scan vs.
+//! the exact scan (asserting byte-identical admissions along the way),
+//! plus oracle-seeded vs. plain `Appro_Multi` through a bounded
+//! [`PathCache`], writing `BENCH_3.json` with the headline
+//! `oracle_speedup` ratio.
+//!
+//! With `--check`, the committed snapshot is read *first* and the run
+//! fails (exit 1) if the freshly measured speedup regressed by more than
+//! 25% against the committed baseline — the CI `bench-smoke` /
+//! `scale-smoke` gates. (`scale --check` additionally enforces the
+//! absolute ≥ 2x floor.) Speedup ratios, not absolute times, are
+//! compared, so the gates are robust to slow CI machines.
 
-use nfv_multicast::{appro_multi_unpruned, appro_multi_with_scratch, ApproScratch};
-use sim::{mean, time_it, waxman_sdn};
+use nfv_multicast::{
+    appro_multi_cached, appro_multi_unpruned, appro_multi_with_scratch, ApproScratch, PathCache,
+    PathCacheOptions,
+};
+use nfv_online::{OnlineAlgorithm, OnlineCp};
+use sim::{fat_tree_sdn, mean, time_it, waxman_sdn};
 use std::fmt::Write as _;
 use workload::RequestGenerator;
 
@@ -121,19 +133,276 @@ fn render_json(
     out
 }
 
-/// Extracts the `"hot_speedup"` value from a committed snapshot without a
-/// JSON parser dependency.
-fn parse_hot_speedup(json: &str) -> Option<f64> {
-    let key = "\"hot_speedup\":";
-    let start = json.find(key)? + key.len();
-    let rest = &json[start..];
+/// Extracts a top-level numeric `"key": value` from a committed snapshot
+/// without a JSON parser dependency.
+fn parse_numeric_key(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = json.get(start..)?;
     let end = rest.find([',', '\n', '}'])?;
-    rest[..end].trim().parse().ok()
+    rest.get(..end)?.trim().parse().ok()
+}
+
+fn parse_hot_speedup(json: &str) -> Option<f64> {
+    parse_numeric_key(json, "hot_speedup")
+}
+
+// ---------------------------------------------------------------------------
+// `scale` mode: the landmark-oracle layer at 5k nodes.
+// ---------------------------------------------------------------------------
+
+/// Committed scaling baseline, relative to the repo root.
+const SCALE_SNAPSHOT: &str = "BENCH_3.json";
+/// Fat-tree radix: `k = 64` gives `k²/4 + k² = 5 120` nodes.
+const SCALE_K: usize = 64;
+const SCALE_SERVERS: usize = 32;
+const SCALE_LANDMARKS: usize = 8;
+const SCALE_ONLINE_REQUESTS: usize = 6;
+const SCALE_APPRO_REQUESTS: usize = 3;
+/// `scale --check` fails outright below this absolute speedup, however
+/// low the committed baseline drifts.
+const SCALE_FLOOR: f64 = 2.0;
+
+struct OnlineScalePoint {
+    exact_total_ms: f64,
+    oracle_total_ms: f64,
+    admitted: usize,
+    requests: usize,
+    pruned_candidates: u64,
+}
+
+/// Runs the same request sequence through the exact and the
+/// oracle-ordered `Online_CP` scans on clones of one network, asserting
+/// byte-identical decisions request by request.
+fn run_scale_online(sdn: &sdn::Sdn, requests: &[sdn::MulticastRequest]) -> OnlineScalePoint {
+    let mut exact_net = sdn.clone();
+    let mut oracle_net = sdn.clone();
+    let mut exact = OnlineCp::new();
+    let mut fast = OnlineCp::new().with_oracle(SCALE_LANDMARKS);
+    let pruned_before = telemetry::counter_value(telemetry::Counter::OnlineCandidatesPruned);
+    let mut exact_total_ms = 0.0;
+    let mut oracle_total_ms = 0.0;
+    let mut admitted = 0;
+    for req in requests {
+        let (slow, t_slow) = time_it(|| exact.admit(&exact_net, req));
+        let (fast_tree, t_fast) = time_it(|| fast.admit(&oracle_net, req));
+        assert_eq!(
+            slow, fast_tree,
+            "oracle scan diverged from the exact scan on request {}",
+            req.id
+        );
+        exact_total_ms += t_slow;
+        oracle_total_ms += t_fast;
+        if let (Some(a), Some(b)) = (slow, fast_tree) {
+            exact_net
+                .allocate(&a.allocation(req))
+                .expect("admitted tree allocates");
+            oracle_net
+                .allocate(&b.allocation(req))
+                .expect("admitted tree allocates");
+            admitted += 1;
+        }
+    }
+    OnlineScalePoint {
+        exact_total_ms,
+        oracle_total_ms,
+        admitted,
+        requests: requests.len(),
+        pruned_candidates: telemetry::counter_value(telemetry::Counter::OnlineCandidatesPruned)
+            - pruned_before,
+    }
+}
+
+struct ApproScalePoint {
+    plain_total_ms: f64,
+    seeded_total_ms: f64,
+    requests: usize,
+    spt_hits: u64,
+    spt_misses: u64,
+    spt_evictions: u64,
+}
+
+/// Plans the same requests twice (cold + warm pass) through a plain
+/// unbounded [`PathCache`] and through a bounded, oracle-seeded one,
+/// asserting identical plans everywhere.
+fn run_scale_appro(sdn: &sdn::Sdn, requests: &[sdn::MulticastRequest]) -> ApproScalePoint {
+    let mut plain = PathCache::new(sdn);
+    let mut plain_total_ms = 0.0;
+    let mut reference = Vec::new();
+    for pass in 0..2 {
+        for req in requests {
+            let (tree, t) = time_it(|| appro_multi_cached(sdn, req, 1, &mut plain));
+            plain_total_ms += t;
+            if pass == 0 {
+                reference.push(tree);
+            }
+        }
+    }
+
+    let hits_before = telemetry::counter_value(telemetry::Counter::SptCacheHits);
+    let misses_before = telemetry::counter_value(telemetry::Counter::SptCacheMisses);
+    let mut seeded = PathCache::with_options(
+        sdn,
+        PathCacheOptions {
+            capacity: Some(64),
+            landmarks: SCALE_LANDMARKS,
+        },
+    );
+    let mut seeded_total_ms = 0.0;
+    for _ in 0..2 {
+        for (req, expected) in requests.iter().zip(&reference) {
+            let (tree, t) = time_it(|| appro_multi_cached(sdn, req, 1, &mut seeded));
+            seeded_total_ms += t;
+            assert_eq!(
+                &tree, expected,
+                "oracle-seeded plan diverged from the plain plan on request {}",
+                req.id
+            );
+        }
+    }
+    ApproScalePoint {
+        plain_total_ms,
+        seeded_total_ms,
+        requests: requests.len(),
+        spt_hits: telemetry::counter_value(telemetry::Counter::SptCacheHits) - hits_before,
+        spt_misses: telemetry::counter_value(telemetry::Counter::SptCacheMisses) - misses_before,
+        spt_evictions: seeded.spt_evictions(),
+    }
+}
+
+fn render_scale_json(n: usize, online: &OnlineScalePoint, appro: &ApproScalePoint) -> String {
+    let oracle_speedup = online.exact_total_ms / online.oracle_total_ms;
+    let hit_rate = if appro.spt_hits + appro.spt_misses > 0 {
+        appro.spt_hits as f64 / (appro.spt_hits + appro.spt_misses) as f64
+    } else {
+        0.0
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"bench-v3-scale\",");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{ \"fat_tree_k\": {SCALE_K}, \"n\": {n}, \"servers\": {SCALE_SERVERS}, \"landmarks\": {SCALE_LANDMARKS}, \"online_requests\": {}, \"appro_requests\": {} }},",
+        online.requests, appro.requests
+    );
+    let _ = writeln!(out, "  \"oracle_speedup\": {oracle_speedup:.4},");
+    let _ = writeln!(
+        out,
+        "  \"online\": {{ \"exact_total_ms\": {:.3}, \"oracle_total_ms\": {:.3}, \"admitted\": {}, \"pruned_candidates\": {} }},",
+        online.exact_total_ms, online.oracle_total_ms, online.admitted, online.pruned_candidates
+    );
+    let _ = writeln!(
+        out,
+        "  \"appro\": {{ \"plain_total_ms\": {:.3}, \"seeded_total_ms\": {:.3}, \"seeded_speedup\": {:.4} }},",
+        appro.plain_total_ms,
+        appro.seeded_total_ms,
+        appro.plain_total_ms / appro.seeded_total_ms
+    );
+    let _ = writeln!(
+        out,
+        "  \"spt_cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {hit_rate:.4}, \"evictions\": {} }}",
+        appro.spt_hits, appro.spt_misses, appro.spt_evictions
+    );
+    out.push_str("}\n");
+    out
+}
+
+fn run_scale(check: bool) {
+    telemetry::enable();
+    // `NFV_SCALE_K` overrides the fat-tree radix for manual scaling
+    // sweeps (the EXPERIMENTS.md table). Override runs print
+    // measurements but never touch BENCH_3.json, and the CI gate always
+    // runs at the committed default.
+    let k_override: Option<usize> = std::env::var("NFV_SCALE_K")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&k| k != SCALE_K);
+    let fat_tree_k = k_override.unwrap_or(SCALE_K);
+    assert!(
+        !(check && k_override.is_some()),
+        "--check compares against the committed baseline and cannot run with NFV_SCALE_K"
+    );
+    let baseline = if check {
+        let json = std::fs::read_to_string(SCALE_SNAPSHOT)
+            .unwrap_or_else(|e| panic!("--check needs a committed {SCALE_SNAPSHOT}: {e}"));
+        let b = parse_numeric_key(&json, "oracle_speedup")
+            .expect("baseline has an oracle_speedup field");
+        println!("baseline oracle_speedup: {b:.2}x");
+        Some(b)
+    } else {
+        None
+    };
+
+    let (sdn, build_ms) = time_it(|| fat_tree_sdn(fat_tree_k, SCALE_SERVERS, 0));
+    let n = sdn.node_count();
+    println!(
+        "bench: scale, fat-tree k={fat_tree_k} (n={n}, built in {build_ms:.1} ms), \
+         {SCALE_SERVERS} servers, {SCALE_LANDMARKS} landmarks"
+    );
+
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut gen = RequestGenerator::new(n).with_dmax_ratio(0.001);
+    let online_reqs = gen.generate_batch(SCALE_ONLINE_REQUESTS, &mut rng);
+    let appro_reqs = gen.generate_batch(SCALE_APPRO_REQUESTS, &mut rng);
+
+    let online = run_scale_online(&sdn, &online_reqs);
+    assert!(online.admitted > 0, "scale fixture admits nothing");
+    println!(
+        "  online: exact {:8.1} ms  oracle {:8.1} ms  speedup {:.2}x  \
+         ({}/{} admitted, {} candidates pruned)",
+        online.exact_total_ms,
+        online.oracle_total_ms,
+        online.exact_total_ms / online.oracle_total_ms,
+        online.admitted,
+        online.requests,
+        online.pruned_candidates
+    );
+
+    let appro = run_scale_appro(&sdn, &appro_reqs);
+    println!(
+        "  appro:  plain {:8.1} ms  seeded {:8.1} ms  speedup {:.2}x  \
+         (spt cache: {} hits / {} misses / {} evictions)",
+        appro.plain_total_ms,
+        appro.seeded_total_ms,
+        appro.plain_total_ms / appro.seeded_total_ms,
+        appro.spt_hits,
+        appro.spt_misses,
+        appro.spt_evictions
+    );
+
+    let json = render_scale_json(n, &online, &appro);
+    let oracle_speedup = parse_numeric_key(&json, "oracle_speedup").expect("own JSON is parseable");
+    println!("oracle_speedup: {oracle_speedup:.2}x");
+
+    if k_override.is_some() {
+        println!("(NFV_SCALE_K sweep run: snapshot not written)");
+        return;
+    }
+    if let Some(baseline) = baseline {
+        std::fs::write("BENCH_3.new.json", &json).expect("write BENCH_3.new.json");
+        let floor = (baseline / MAX_REGRESSION).max(SCALE_FLOOR);
+        if oracle_speedup < floor {
+            eprintln!(
+                "FAIL: oracle_speedup {oracle_speedup:.2}x below {floor:.2}x \
+                 (baseline {baseline:.2}x / {MAX_REGRESSION}, absolute floor {SCALE_FLOOR}x)"
+            );
+            std::process::exit(1);
+        }
+        println!("OK: within 25% of the committed baseline ({baseline:.2}x) and above the {SCALE_FLOOR}x floor");
+    } else {
+        std::fs::write(SCALE_SNAPSHOT, &json).expect("write BENCH_3.json");
+        println!("wrote {SCALE_SNAPSHOT}");
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
+    if args.iter().any(|a| a == "scale") {
+        run_scale(check);
+        return;
+    }
     let mode = if args.iter().any(|a| a == "full") {
         "full"
     } else {

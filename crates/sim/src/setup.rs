@@ -106,6 +106,21 @@ pub fn geant_sdn(seed: u64) -> Sdn {
     .expect("geant annotation is well-formed")
 }
 
+/// Builds the scaling setting: a `k`-ary fat-tree (data-center example of
+/// §I) streamed straight from [`topology::fat_tree_edges`], with `servers`
+/// spread-placed servers and the §VI-A capacity ranges. `fat_tree(64)`
+/// yields 5 120 nodes, the floor of the CI scaling gate; `fat_tree(80)`
+/// crosses 10k. Deterministic per `(k, servers, seed)`.
+#[must_use]
+pub fn fat_tree_sdn(k: usize, servers: usize, seed: u64) -> Sdn {
+    let (edges, _layout) = topology::fat_tree_edges(k);
+    let g = edges.to_graph();
+    let servers = place_servers_spread(&g, servers);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA7_7EEE ^ (k as u64).rotate_left(17));
+    annotate(&g, &servers, &AnnotationParams::default(), &mut rng)
+        .expect("fat-tree annotation is well-formed")
+}
+
 /// Builds the AS1755 ISP setting: 87 PoPs with nine spread servers (the
 /// density \[19\] reports for mid-size ISPs). Capacities re-sampled per
 /// `seed`.
@@ -147,6 +162,15 @@ mod tests {
         assert_eq!(isp_sdn(0).servers().len(), 9);
         assert_eq!(geant_sdn(0).node_count(), 40);
         assert_eq!(isp_sdn(0).node_count(), 87);
+    }
+
+    #[test]
+    fn fat_tree_sdn_is_deterministic_and_sized() {
+        let a = fat_tree_sdn(8, 6, 3);
+        let b = fat_tree_sdn(8, 6, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.node_count(), 8 * 8 / 4 + 8 * 8);
+        assert_eq!(a.servers().len(), 6);
     }
 
     #[test]

@@ -28,6 +28,118 @@ use netgraph::{dijkstra_with_targets, kruskal, Graph, NodeId, ShortestPathTree};
 /// Complexity: `O(t·(m + n) log n + m log m)` with `t` terminals.
 #[must_use]
 pub fn kmb(g: &Graph, terminals: &[NodeId]) -> Option<SteinerTree> {
+    let uniq = dedup_terminals(g, terminals)?;
+    if uniq.len() == 1 {
+        return Some(SteinerTree::from_parts(uniq, Vec::new(), 0.0));
+    }
+    // Step 1: shortest paths from every terminal to every other terminal.
+    let spts: Vec<ShortestPathTree> = uniq
+        .iter()
+        .map(|&t| dijkstra_with_targets(g, t, &uniq))
+        .collect();
+    let spt_refs: Vec<&ShortestPathTree> = spts.iter().collect();
+    kmb_core(g, uniq, &spt_refs)
+}
+
+/// Shortest-path trees from terminals, computed once and shared across
+/// the repeated [`kmb_with_bank`] calls of a candidate scan whose
+/// terminal sets overlap (e.g. `Online_CP` evaluating many servers
+/// against one fixed `{source} ∪ destinations` anchor set).
+///
+/// Every tree is computed by `dijkstra_with_targets` against the bank's
+/// full `targets` superset. Dijkstra settles nodes in a deterministic
+/// `(distance, node id)` order that does not depend on the target set, so
+/// distances *and* predecessor chains to any node of `targets` are
+/// bit-identical to what a per-call Dijkstra over a terminal subset would
+/// produce — which is what makes [`kmb_with_bank`] byte-identical to
+/// [`kmb`].
+#[derive(Debug, Clone)]
+pub struct TerminalSptBank {
+    targets: Vec<NodeId>,
+    entries: Vec<(NodeId, ShortestPathTree)>,
+}
+
+impl TerminalSptBank {
+    /// Creates an empty bank whose trees will be valid for any terminal
+    /// drawn from `targets`.
+    #[must_use]
+    pub fn new(targets: Vec<NodeId>) -> Self {
+        TerminalSptBank {
+            targets,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The target superset every banked tree covers.
+    #[must_use]
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// Number of shortest-path trees computed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no tree has been computed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Index of the tree rooted at `t`, computing it on first use. The
+    /// linear probe is fine: banks hold tens of entries, not thousands.
+    fn spt_index(&mut self, g: &Graph, t: NodeId) -> usize {
+        if let Some(pos) = self.entries.iter().position(|(root, _)| *root == t) {
+            return pos;
+        }
+        self.entries
+            .push((t, dijkstra_with_targets(g, t, &self.targets)));
+        self.entries.len() - 1
+    }
+}
+
+/// [`kmb`] with the step-1 shortest-path trees drawn from (and cached in)
+/// `bank` instead of recomputed per call. Byte-identical to [`kmb`] for
+/// every terminal set drawn from `bank.targets()` — see
+/// [`TerminalSptBank`] for why.
+///
+/// # Panics
+///
+/// Panics if some terminal is not in `bank.targets()`: a banked tree may
+/// have stopped early before settling it, so serving the call would risk
+/// a silently wrong answer instead.
+#[must_use]
+pub fn kmb_with_bank(
+    g: &Graph,
+    terminals: &[NodeId],
+    bank: &mut TerminalSptBank,
+) -> Option<SteinerTree> {
+    let uniq = dedup_terminals(g, terminals)?;
+    if uniq.len() == 1 {
+        return Some(SteinerTree::from_parts(uniq, Vec::new(), 0.0));
+    }
+    for &t in &uniq {
+        assert!(
+            bank.targets.contains(&t),
+            "terminal {t} is outside the bank's target set"
+        );
+    }
+    let indices: Vec<usize> = uniq.iter().map(|&t| bank.spt_index(g, t)).collect();
+    let spt_refs: Vec<&ShortestPathTree> = indices
+        .iter()
+        .map(|&i| {
+            let (_, spt) = bank.entries.get(i).expect("index from spt_index"); // lint:allow(P1): spt_index returns in-bounds positions
+            spt
+        })
+        .collect();
+    kmb_core(g, uniq, &spt_refs)
+}
+
+/// Deduplicates terminals preserving caller order; `None` when empty or
+/// when some terminal is not a node of `g`.
+fn dedup_terminals(g: &Graph, terminals: &[NodeId]) -> Option<Vec<NodeId>> {
     // Dense node ids make a bool vector the cheapest dedup set — no
     // hashing, and iteration order stays the caller's terminal order.
     let mut seen = vec![false; g.node_count()];
@@ -44,16 +156,13 @@ pub fn kmb(g: &Graph, terminals: &[NodeId]) -> Option<SteinerTree> {
     if uniq.is_empty() {
         return None;
     }
-    if uniq.len() == 1 {
-        return Some(SteinerTree::from_parts(uniq, Vec::new(), 0.0));
-    }
+    Some(uniq)
+}
 
-    // Step 1: shortest paths from every terminal to every other terminal.
-    let spts: Vec<ShortestPathTree> = uniq
-        .iter()
-        .map(|&t| dijkstra_with_targets(g, t, &uniq))
-        .collect();
-
+/// Steps 1b–5 of KMB, shared by [`kmb`] and [`kmb_with_bank`]:
+/// `spts[i]` must be a shortest-path tree rooted at `uniq[i]` with every
+/// terminal of `uniq` settled.
+fn kmb_core(g: &Graph, uniq: Vec<NodeId>, spts: &[&ShortestPathTree]) -> Option<SteinerTree> {
     // Metric closure as a little complete graph whose node i = uniq[i].
     let t = uniq.len();
     let mut closure = Graph::with_nodes(t);
@@ -207,6 +316,50 @@ mod tests {
         let tree = kmb(&g, &v).unwrap();
         let mst = netgraph::kruskal(&g);
         assert!((tree.cost() - mst.total_weight).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bank_is_byte_identical_to_fresh_kmb() {
+        // A lumpy deterministic graph with plenty of equal-length path
+        // candidates, scanned the way Online_CP does: fixed anchors, a
+        // varying extra terminal per call.
+        let mut g = Graph::new();
+        let v: Vec<NodeId> = (0..24).map(|_| g.add_node()).collect();
+        for i in 0..24 {
+            g.add_edge(v[i], v[(i + 1) % 24], 1.0 + (i % 5) as f64 * 0.3)
+                .unwrap();
+        }
+        for i in (0..24).step_by(3) {
+            g.add_edge(v[i], v[(i + 9) % 24], 2.0 + (i % 4) as f64 * 0.2)
+                .unwrap();
+        }
+        let anchors = [v[0], v[7], v[13]];
+        let extras: Vec<NodeId> = (0..24).step_by(2).map(|i| v[i]).collect();
+        let mut targets = anchors.to_vec();
+        targets.extend(&extras);
+        let mut bank = TerminalSptBank::new(targets);
+        for &x in &extras {
+            let mut terminals = anchors.to_vec();
+            terminals.push(x);
+            let fresh = kmb(&g, &terminals).expect("connected");
+            let banked = kmb_with_bank(&g, &terminals, &mut bank).expect("connected");
+            assert_eq!(fresh.terminals(), banked.terminals());
+            assert_eq!(fresh.edges(), banked.edges());
+            assert!((fresh.cost() - banked.cost()).abs() == 0.0, "cost drifted");
+        }
+        // The anchors' trees were computed once, not once per call.
+        assert_eq!(bank.len(), anchors.len() + extras.len() - 1); // v[0] is both
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the bank's target set")]
+    fn bank_rejects_uncovered_terminals() {
+        let mut g = Graph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, 1.0).unwrap();
+        let mut bank = TerminalSptBank::new(vec![a]);
+        let _ = kmb_with_bank(&g, &[a, b], &mut bank);
     }
 
     #[test]

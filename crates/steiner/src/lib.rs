@@ -15,6 +15,10 @@
 //! * [`dreyfus_wagner`] — the exact dynamic program, exponential in the
 //!   terminal count; the test oracle that certifies the approximation
 //!   ratios empirically.
+//! * [`steiner_lower_bound`] — an admissible lower bound on any spanning
+//!   tree's weight from a pairwise distance bound (e.g. a landmark/ALT
+//!   oracle), for ordering and pruning Steiner instances before they are
+//!   built.
 //!
 //! ## Example
 //!
@@ -39,6 +43,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod bound;
 mod exact;
 mod improve;
 mod kmb;
@@ -47,9 +52,10 @@ mod prune;
 mod sph;
 mod tree;
 
+pub use bound::steiner_lower_bound;
 pub use exact::{dreyfus_wagner, MAX_TERMINALS};
 pub use improve::improve;
-pub use kmb::kmb;
+pub use kmb::{kmb, kmb_with_bank, TerminalSptBank};
 pub use mehlhorn::mehlhorn;
 pub use prune::prune_non_terminal_leaves;
 pub use sph::sph;

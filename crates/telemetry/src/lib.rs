@@ -56,6 +56,10 @@ pub enum Counter {
     SptCacheHits,
     /// Shortest-path-tree cache misses (fresh Dijkstra required).
     SptCacheMisses,
+    /// Shortest-path trees evicted from a bounded SSSP cache.
+    SptCacheEvictions,
+    /// Landmark distance-oracle constructions.
+    OracleBuilds,
     // -- nfv_multicast ------------------------------------------------------
     /// `PathCache` admissions decided on the cheap full-graph fingerprint.
     PathCacheFastPath,
@@ -83,6 +87,9 @@ pub enum Counter {
     /// Candidate servers skipped because the exponential cost saturated
     /// (utilisation at or above the sigma threshold).
     OnlineSaturatedServers,
+    /// Candidate servers whose exact Steiner evaluation was skipped because
+    /// the oracle lower bound already exceeded the incumbent admission cost.
+    OnlineCandidatesPruned,
     /// Admission-graph cache hits inside `OnlineCp`.
     AdmissionCacheHits,
     /// Admission-graph rebuilds inside `OnlineCp`.
@@ -117,12 +124,14 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in registry (serialisation) order.
-    pub const ALL: [Counter; 31] = [
+    pub const ALL: [Counter; 34] = [
         Counter::DijkstraRuns,
         Counter::HeapDecreaseKeys,
         Counter::VoronoiClosureBuilds,
         Counter::SptCacheHits,
         Counter::SptCacheMisses,
+        Counter::SptCacheEvictions,
+        Counter::OracleBuilds,
         Counter::PathCacheFastPath,
         Counter::PathCacheSlowPath,
         Counter::CombosEvaluated,
@@ -135,6 +144,7 @@ impl Counter {
         Counter::OnlineRejectedThreshold,
         Counter::OnlineRejectedCapacity,
         Counter::OnlineSaturatedServers,
+        Counter::OnlineCandidatesPruned,
         Counter::AdmissionCacheHits,
         Counter::AdmissionCacheRebuilds,
         Counter::SessionsDeparted,
@@ -159,6 +169,8 @@ impl Counter {
             Counter::VoronoiClosureBuilds => "voronoi_closure_builds",
             Counter::SptCacheHits => "spt_cache_hits",
             Counter::SptCacheMisses => "spt_cache_misses",
+            Counter::SptCacheEvictions => "spt_cache_evictions",
+            Counter::OracleBuilds => "oracle_builds",
             Counter::PathCacheFastPath => "path_cache_fast_path",
             Counter::PathCacheSlowPath => "path_cache_slow_path",
             Counter::CombosEvaluated => "combos_evaluated",
@@ -171,6 +183,7 @@ impl Counter {
             Counter::OnlineRejectedThreshold => "online_rejected_threshold",
             Counter::OnlineRejectedCapacity => "online_rejected_capacity",
             Counter::OnlineSaturatedServers => "online_saturated_servers",
+            Counter::OnlineCandidatesPruned => "online_candidates_pruned",
             Counter::AdmissionCacheHits => "admission_cache_hits",
             Counter::AdmissionCacheRebuilds => "admission_cache_rebuilds",
             Counter::SessionsDeparted => "sessions_departed",
