@@ -1,5 +1,6 @@
 //! Batch admission: parallel speculative planning + sequential commit.
 
+use crate::spec::{feasibility_disturbed, validate_speculative, TouchedSet};
 use nfv_multicast::{appro_multi_cap_with_scratch, Admission, ApproScratch};
 use sdn::{MulticastRequest, Sdn};
 
@@ -66,6 +67,12 @@ pub struct BatchReport {
     /// requests re-planned by later waves plus inline sequential replans,
     /// all caused by an earlier commit moving a feasible subgraph.
     pub replanned: usize,
+    /// Distinct touched elements scanned by the commit loop's disturbance
+    /// checks, summed over validated requests. The touched set is
+    /// deduplicated, so an element loaded by many commits in one wave is
+    /// counted (and checked) once per pending request, not once per
+    /// commit.
+    pub disturbance_checks: usize,
 }
 
 /// The reference implementation: admits `requests` strictly one at a time,
@@ -180,10 +187,10 @@ pub fn admit_batch(
         }
 
         // Commit in batch order. Track which links/servers this wave's
-        // commits touched; a plan is valid only if none of them crossed
-        // the request's feasibility threshold since the wave snapshot.
-        let mut touched_links: Vec<netgraph::EdgeId> = Vec::new();
-        let mut touched_servers: Vec<netgraph::NodeId> = Vec::new();
+        // commits touched (deduplicated); a plan is valid only if none of
+        // them crossed the request's feasibility threshold since the wave
+        // snapshot.
+        let mut touched = TouchedSet::new();
         // Deferring a disturbed suffix to another parallel wave only pays
         // when there are threads to spread it over and waves left.
         let defer_allowed = workers > 1 && wave < config.max_waves;
@@ -191,23 +198,19 @@ pub fn admit_batch(
         let mut inline_tail = false;
         for (pos, (&i, plan)) in pending.iter().zip(plans).enumerate() {
             let req = &requests[i];
-            let b = req.bandwidth;
-            let demand = req.computing_demand();
-            let link_feasibility_changed = touched_links.iter().any(|&e| {
-                let feasible_then = snap_bandwidth[e.index()] + sdn::CAPACITY_EPS >= b;
-                let feasible_now = sdn.residual_bandwidth(e) + sdn::CAPACITY_EPS >= b;
-                feasible_then != feasible_now
-            });
-            let server_feasibility_changed = touched_servers.iter().any(|&v| {
-                let feasible_then =
-                    snap_computing[v.index()].is_some_and(|r| r + sdn::CAPACITY_EPS >= demand);
-                let feasible_now = sdn
-                    .residual_computing(v)
-                    .is_some_and(|r| r + sdn::CAPACITY_EPS >= demand);
-                feasible_then != feasible_now
-            });
-
-            let disturbed = link_feasibility_changed || server_feasibility_changed;
+            report.disturbance_checks += touched.len();
+            let disturbed = feasibility_disturbed(
+                &touched,
+                |e| {
+                    snap_bandwidth
+                        .get(e.index())
+                        .copied()
+                        .unwrap_or(f64::NEG_INFINITY)
+                },
+                |v| snap_computing.get(v.index()).copied().flatten(),
+                sdn,
+                req,
+            );
             if disturbed && defer_allowed && !inline_tail {
                 // Defer the rest of the batch to the next parallel wave.
                 break;
@@ -227,28 +230,14 @@ pub fn admit_batch(
                 report.speculative_hits += 1;
                 telemetry::hit(telemetry::Counter::EngineSpeculativeCommits);
                 // lint:allow(P1): the planning pass above filled every pending slot
-                match plan.expect("every pending request was planned") {
-                    Admission::Admitted(tree) => {
-                        if sdn.can_allocate(&tree.allocation(req)) {
-                            Admission::Admitted(tree)
-                        } else {
-                            Admission::Rejected
-                        }
-                    }
-                    Admission::Rejected => Admission::Rejected,
-                }
+                validate_speculative(plan.expect("every pending request was planned"), req, sdn)
             };
 
             if let Admission::Admitted(tree) = &decision {
                 let alloc = tree.allocation(req);
                 sdn.allocate(&alloc)
                     .expect("admitted tree fits residual capacities"); // lint:allow(P1): the tree was planned on this exact residual state
-                for (e, _) in alloc.links() {
-                    touched_links.push(e);
-                }
-                for (v, _) in alloc.servers() {
-                    touched_servers.push(v);
-                }
+                touched.absorb(&alloc);
                 report.admitted += 1;
             } else {
                 report.rejected += 1;
@@ -360,6 +349,33 @@ mod tests {
         assert!(decisions.is_empty());
         assert_eq!(report, BatchReport::default());
         assert_eq!(net, before);
+    }
+
+    #[test]
+    fn disturbance_scan_deduplicates_shared_elements() {
+        // Four identical requests on a single path s - v - d: every
+        // admitted tree loads the same two links and one server.
+        let mut bld = SdnBuilder::new();
+        let s = bld.add_switch();
+        let v = bld.add_server(1e9, 1.0);
+        let d = bld.add_switch();
+        bld.add_link(s, v, 1e9, 1.0).unwrap();
+        bld.add_link(v, d, 1e9, 1.0).unwrap();
+        let mut net = bld.build().unwrap();
+        let requests: Vec<MulticastRequest> = (0..4)
+            .map(|i| MulticastRequest::new(RequestId(i), s, vec![d], 100.0, chain()))
+            .collect();
+        let (decisions, report) =
+            admit_batch(&mut net, &requests, &EngineConfig::new(1).with_workers(2));
+        assert!(decisions
+            .iter()
+            .all(|d| matches!(d, Admission::Admitted(_))));
+        assert_eq!(report.speculative_hits, 4);
+        // The touched set holds 3 distinct elements after the first
+        // commit, so requests 1..3 scan 3 elements each (9 total). The
+        // old Vec bookkeeping accumulated one entry per element per
+        // commit and would have scanned 3 + 6 + 9 = 18.
+        assert_eq!(report.disturbance_checks, 9);
     }
 
     #[test]

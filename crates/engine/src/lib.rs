@@ -14,16 +14,31 @@
 //! to the plain sequential loop. The outcome is byte-identical to
 //! [`admit_sequential`] in every case, at a fraction of the wall-clock
 //! time for non-conflicting batches on multicore hosts.
+//!
+//! For *unbounded streams* — arrivals, departures, and faults arriving
+//! forever — [`pipeline::AdmissionPipeline`] replaces the wave barrier
+//! with a continuous plan/commit pipeline: workers plan a bounded
+//! in-flight window against versioned snapshots while the committer
+//! commits in strict arrival order, validating each speculative plan with
+//! the same disturbance check (shared via the crate's `spec` helpers), so
+//! streaming decisions stay byte-identical to the sequential reference
+//! too.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod audit;
 mod batch;
+pub mod pipeline;
 pub mod repair;
+mod spec;
 
 pub use audit::{audit, AuditError, Auditor, CacheStamp};
 pub use batch::{admit_batch, admit_sequential, BatchReport, EngineConfig};
+pub use pipeline::{
+    run_stream, AdmissionPipeline, FaultEvent, PipelineConfig, PipelineOutcome, PipelineReport,
+    StreamEvent,
+};
 pub use repair::{
     CommittedSession, Departure, RepairConfig, RepairPolicy, RepairReport, SessionManager,
 };

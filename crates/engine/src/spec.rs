@@ -1,0 +1,148 @@
+//! Shared plan/validate/commit helpers for speculative admission.
+//!
+//! Both the wave-barrier batch engine ([`crate::admit_batch`]) and the
+//! streaming pipeline ([`crate::pipeline`]) follow the same contract: a
+//! plan computed against an older residual state may be committed iff no
+//! commit or release since that state crossed the request's feasibility
+//! thresholds — the set of links with residual bandwidth `>= b_k` and
+//! servers with residual computing `>= C(SC_k)` (both with the shared
+//! [`sdn::CAPACITY_EPS`] slack). The planner's output depends on the
+//! residual state only through that feasible subgraph, so an undisturbed
+//! plan *is* the tree the sequential loop would have computed.
+//!
+//! This module holds the pieces both engines share: the deduplicated
+//! touched-element set, the threshold-crossing predicate, and the final
+//! live-state validation of an undisturbed speculative plan.
+
+use nfv_multicast::Admission;
+use sdn::{Allocation, MulticastRequest, Sdn};
+use std::collections::BTreeSet;
+
+/// Deduplicated set of links and servers whose residuals moved since a
+/// snapshot was taken.
+///
+/// Earlier the batch engine kept plain `Vec`s that accumulated one entry
+/// per commit per element, so an element shared by many committed trees
+/// was re-checked once per tree on every pending request — `O(touched ×
+/// pending)` with `touched` counting duplicates. Sets keep the scan
+/// proportional to the number of *distinct* disturbed elements.
+#[derive(Debug, Clone, Default)]
+pub struct TouchedSet {
+    /// Links whose residual bandwidth changed.
+    pub links: BTreeSet<netgraph::EdgeId>,
+    /// Servers whose residual computing changed.
+    pub servers: BTreeSet<netgraph::NodeId>,
+}
+
+impl TouchedSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        TouchedSet::default()
+    }
+
+    /// Number of distinct touched elements (links + servers).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.links.len() + self.servers.len()
+    }
+
+    /// `true` when nothing was touched.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.servers.is_empty()
+    }
+
+    /// Records every link and server `alloc` loads (a commit) or frees
+    /// (a release) — both directions can flip a feasibility bit.
+    pub fn absorb(&mut self, alloc: &Allocation) {
+        for (e, _) in alloc.links() {
+            self.links.insert(e);
+        }
+        for (v, _) in alloc.servers() {
+            self.servers.insert(v);
+        }
+    }
+}
+
+/// Whether any touched element crossed `request`'s feasibility threshold
+/// between the snapshot the plan was computed on (read through
+/// `then_bandwidth` / `then_computing`) and the live state `now`.
+///
+/// `then_computing` returns `None` for nodes that are not servers —
+/// mirroring [`Sdn::residual_computing`] on the snapshot side.
+pub fn feasibility_disturbed(
+    touched: &TouchedSet,
+    then_bandwidth: impl Fn(netgraph::EdgeId) -> f64,
+    then_computing: impl Fn(netgraph::NodeId) -> Option<f64>,
+    now: &Sdn,
+    request: &MulticastRequest,
+) -> bool {
+    let b = request.bandwidth;
+    let demand = request.computing_demand();
+    let link_flipped = touched.links.iter().any(|&e| {
+        let feasible_then = then_bandwidth(e) + sdn::CAPACITY_EPS >= b;
+        let feasible_now = now.residual_bandwidth(e) + sdn::CAPACITY_EPS >= b;
+        feasible_then != feasible_now
+    });
+    if link_flipped {
+        return true;
+    }
+    touched.servers.iter().any(|&v| {
+        let feasible_then = then_computing(v).is_some_and(|r| r + sdn::CAPACITY_EPS >= demand);
+        let feasible_now = now
+            .residual_computing(v)
+            .is_some_and(|r| r + sdn::CAPACITY_EPS >= demand);
+        feasible_then != feasible_now
+    })
+}
+
+/// Final validation of an undisturbed speculative plan against the live
+/// state: the feasible subgraph is identical, so the tree is the one the
+/// sequential loop would have computed, but its *accumulated* load check
+/// (a tree may traverse one link several times) must run against the
+/// live residuals it is about to be charged to.
+#[must_use]
+pub fn validate_speculative(plan: Admission, request: &MulticastRequest, now: &Sdn) -> Admission {
+    match plan {
+        Admission::Admitted(tree) => {
+            if now.can_allocate(&tree.allocation(request)) {
+                Admission::Admitted(tree)
+            } else {
+                Admission::Rejected
+            }
+        }
+        Admission::Rejected => Admission::Rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::{EdgeId, NodeId};
+    use sdn::RequestId;
+
+    #[test]
+    fn absorb_deduplicates_across_allocations() {
+        let mut touched = TouchedSet::new();
+        let mut a = Allocation::new(RequestId(0));
+        a.add_link(EdgeId::new(0), 100.0);
+        a.add_link(EdgeId::new(1), 100.0);
+        a.add_server(NodeId::new(5), 400.0);
+        let mut b = Allocation::new(RequestId(1));
+        b.add_link(EdgeId::new(1), 50.0);
+        b.add_link(EdgeId::new(2), 50.0);
+        b.add_server(NodeId::new(5), 200.0);
+
+        touched.absorb(&a);
+        assert_eq!(touched.len(), 3);
+        touched.absorb(&b);
+        // Link 1 and server 5 are shared: the set holds the union, not
+        // one entry per commit.
+        assert_eq!(touched.links.len(), 3);
+        assert_eq!(touched.servers.len(), 1);
+        assert_eq!(touched.len(), 4);
+        touched.absorb(&a);
+        assert_eq!(touched.len(), 4, "re-absorbing must not grow the set");
+    }
+}

@@ -14,14 +14,18 @@ pub fn bfs_order(g: &Graph, start: NodeId) -> Vec<NodeId> {
     let mut seen = vec![false; g.node_count()];
     let mut order = Vec::new();
     let mut queue = VecDeque::new();
-    seen[start.index()] = true;
+    if let Some(s) = seen.get_mut(start.index()) {
+        *s = true;
+    }
     queue.push_back(start);
     while let Some(u) = queue.pop_front() {
         order.push(u);
         for nb in g.neighbors(u) {
-            if !seen[nb.node.index()] {
-                seen[nb.node.index()] = true;
-                queue.push_back(nb.node);
+            if let Some(s) = seen.get_mut(nb.node.index()) {
+                if !*s {
+                    *s = true;
+                    queue.push_back(nb.node);
+                }
             }
         }
     }
@@ -40,14 +44,14 @@ pub fn dfs_order(g: &Graph, start: NodeId) -> Vec<NodeId> {
     let mut order = Vec::new();
     let mut stack = vec![start];
     while let Some(u) = stack.pop() {
-        if seen[u.index()] {
-            continue;
+        match seen.get_mut(u.index()) {
+            Some(s) if !*s => *s = true,
+            _ => continue,
         }
-        seen[u.index()] = true;
         order.push(u);
         // Push in reverse so lower-indexed neighbors are visited first.
         for nb in g.neighbors(u).iter().rev() {
-            if !seen[nb.node.index()] {
+            if !seen.get(nb.node.index()).copied().unwrap_or(true) {
                 stack.push(nb.node);
             }
         }
@@ -65,20 +69,24 @@ pub fn connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
     let mut comp = vec![usize::MAX; n];
     let mut components: Vec<Vec<NodeId>> = Vec::new();
     for start in g.nodes() {
-        if comp[start.index()] != usize::MAX {
+        if comp.get(start.index()) != Some(&usize::MAX) {
             continue;
         }
         let id = components.len();
         let mut members = Vec::new();
         let mut queue = VecDeque::new();
-        comp[start.index()] = id;
+        if let Some(c) = comp.get_mut(start.index()) {
+            *c = id;
+        }
         queue.push_back(start);
         while let Some(u) = queue.pop_front() {
             members.push(u);
             for nb in g.neighbors(u) {
-                if comp[nb.node.index()] == usize::MAX {
-                    comp[nb.node.index()] = id;
-                    queue.push_back(nb.node);
+                if let Some(c) = comp.get_mut(nb.node.index()) {
+                    if *c == usize::MAX {
+                        *c = id;
+                        queue.push_back(nb.node);
+                    }
                 }
             }
         }

@@ -57,15 +57,22 @@ impl UnionFind {
     ///
     /// Panics if `x >= len()`.
     pub fn find(&mut self, x: usize) -> usize {
+        assert!(x < self.parent.len(), "element {x} out of range");
         let mut root = x;
-        while self.parent[root] as usize != root {
-            root = self.parent[root] as usize;
+        while let Some(&p) = self.parent.get(root) {
+            if p as usize == root {
+                break;
+            }
+            root = p as usize;
         }
         // Path compression pass.
         let mut cur = x;
-        while self.parent[cur] as usize != cur {
-            let next = self.parent[cur] as usize;
-            self.parent[cur] = root as u32;
+        while let Some(p) = self.parent.get_mut(cur) {
+            let next = *p as usize;
+            if next == cur {
+                break;
+            }
+            *p = root as u32;
             cur = next;
         }
         root
@@ -85,13 +92,21 @@ impl UnionFind {
             return false;
         }
         self.sets -= 1;
-        match self.rank[ra].cmp(&self.rank[rb]) {
-            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
-            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+        // `find` returned in-range roots, so the lookups below never miss.
+        let rank_a = self.rank.get(ra).copied().unwrap_or(0);
+        let rank_b = self.rank.get(rb).copied().unwrap_or(0);
+        let (child, root) = match rank_a.cmp(&rank_b) {
+            std::cmp::Ordering::Less => (ra, rb),
+            std::cmp::Ordering::Greater => (rb, ra),
             std::cmp::Ordering::Equal => {
-                self.parent[rb] = ra as u32;
-                self.rank[ra] += 1;
+                if let Some(r) = self.rank.get_mut(ra) {
+                    *r += 1;
+                }
+                (rb, ra)
             }
+        };
+        if let Some(p) = self.parent.get_mut(child) {
+            *p = root as u32;
         }
         true
     }

@@ -166,17 +166,35 @@ impl ActiveSessions {
     ///
     /// Panics if the ledger refuses a release (accounting bug).
     pub fn release_due(&mut self, sdn: &mut Sdn, now: f64) -> usize {
+        self.release_due_detailed(sdn, now).len()
+    }
+
+    /// Like [`ActiveSessions::release_due`], but returns the released
+    /// sessions themselves (ascending id order) so callers that layer
+    /// bookkeeping on top — e.g. a speculative pipeline tracking which
+    /// links and servers a release touched — see exactly what was freed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledger refuses a release (accounting bug).
+    pub fn release_due_detailed(
+        &mut self,
+        sdn: &mut Sdn,
+        now: f64,
+    ) -> Vec<(RequestId, Allocation)> {
         let due: Vec<RequestId> = self
             .sessions
             .iter()
             .filter(|(_, (dep, _))| *dep <= now)
             .map(|(&id, _)| id)
             .collect();
-        for id in &due {
-            let (_, alloc) = self.sessions.remove(id).expect("just listed"); // lint:allow(P1): due was collected from live sessions just above
+        let mut released = Vec::with_capacity(due.len());
+        for id in due {
+            let (_, alloc) = self.sessions.remove(&id).expect("just listed"); // lint:allow(P1): due was collected from live sessions just above
             sdn.release(&alloc).expect("release departed session"); // lint:allow(P1): the session allocation was applied, so release balances
+            released.push((id, alloc));
         }
-        due.len()
+        released
     }
 }
 
@@ -420,6 +438,43 @@ mod tests {
         assert!(active.depart(&mut sdn, RequestId(0)));
         assert!(!active.depart(&mut sdn, RequestId(0)));
         assert_eq!(active.double_release_count(), 1);
+        assert_eq!(sdn, fresh);
+    }
+
+    #[test]
+    fn release_due_detailed_returns_freed_allocations_in_id_order() {
+        // Like tiny_net, but with room for three concurrent sessions.
+        let (mut sdn, nodes) = {
+            let mut b = SdnBuilder::new();
+            let s = b.add_switch();
+            let v = b.add_server(20_000.0, 1.0);
+            let d = b.add_switch();
+            b.add_link(s, v, 1000.0, 1.0).unwrap();
+            b.add_link(v, d, 1000.0, 1.0).unwrap();
+            (b.build().unwrap(), vec![s, v, d])
+        };
+        let fresh = sdn.clone();
+        let mut active = ActiveSessions::new();
+        for id in [3u64, 1, 2] {
+            let tr = timed(&nodes, id, 0.0, 10.0);
+            // Admissions on separate Sdn clones so all three fit.
+            let tree = ShortestPathBaseline::new()
+                .admit(&fresh, &tr.request)
+                .unwrap();
+            let alloc = tree.allocation(&tr.request);
+            sdn.allocate(&alloc).unwrap();
+            let departure = if id == 2 { 50.0 } else { 10.0 };
+            active.insert(tr.request.id, departure, alloc);
+        }
+        let released = active.release_due_detailed(&mut sdn, 10.0);
+        let ids: Vec<RequestId> = released.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![RequestId(1), RequestId(3)]);
+        for (id, alloc) in &released {
+            assert_eq!(alloc.request(), *id);
+            assert!(!alloc.is_empty());
+        }
+        assert!(active.contains(RequestId(2)));
+        assert_eq!(active.release_due(&mut sdn, 100.0), 1);
         assert_eq!(sdn, fresh);
     }
 

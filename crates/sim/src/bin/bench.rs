@@ -1,5 +1,5 @@
 //! Hot-path benchmark snapshot: `cargo run -p sim --release --bin bench
-//! [quick|full|scale] [--check]`.
+//! [quick|full|scale|pipeline] [--check]`.
 //!
 //! The default mode times the `Appro_Multi` combination scan — pruned +
 //! warm scratch vs. the unpruned audit scan — on the paper's Fig. 5
@@ -15,6 +15,14 @@
 //! [`PathCache`], writing `BENCH_3.json` with the headline
 //! `oracle_speedup` ratio.
 //!
+//! `pipeline` benchmarks the streaming admission daemon: sustained
+//! decisions/sec for the sequential loop, the `admit_batch` wave barrier,
+//! and [`AdmissionPipeline`] on the same closed workloads (fig5-scale
+//! Waxman and the 5 120-node fat-tree), asserting byte-identical
+//! decisions across all three inside the binary and writing `BENCH_4.json`
+//! with the headline `pipeline_speedup` (batch wall-clock over pipeline
+//! wall-clock on the fat-tree row).
+//!
 //! With `--check`, the committed snapshot is read *first* and the run
 //! fails (exit 1) if the freshly measured speedup regressed by more than
 //! 25% against the committed baseline — the CI `bench-smoke` /
@@ -22,12 +30,13 @@
 //! absolute ≥ 2x floor.) Speedup ratios, not absolute times, are
 //! compared, so the gates are robust to slow CI machines.
 
+use nfv_engine::{admit_batch, admit_sequential, AdmissionPipeline, EngineConfig, PipelineConfig};
 use nfv_multicast::{
     appro_multi_cached, appro_multi_unpruned, appro_multi_with_scratch, ApproScratch, PathCache,
     PathCacheOptions,
 };
-use nfv_online::{OnlineAlgorithm, OnlineCp};
-use sim::{fat_tree_sdn, mean, time_it, waxman_sdn};
+use nfv_online::{OnlineAlgorithm, OnlineCp, TimedRequest};
+use sim::{ba_sdn, fat_tree_sdn, mean, metro_sdn, time_it, waxman_sdn};
 use std::fmt::Write as _;
 use workload::RequestGenerator;
 
@@ -270,7 +279,51 @@ fn run_scale_appro(sdn: &sdn::Sdn, requests: &[sdn::MulticastRequest]) -> ApproS
     }
 }
 
-fn render_scale_json(n: usize, online: &OnlineScalePoint, appro: &ApproScalePoint) -> String {
+/// One auxiliary topology family benchmarked by `scale` alongside the
+/// fat-tree gate row: the oracle-ordered vs. exact `Online_CP` scan on a
+/// structurally different network shape.
+struct TopoScalePoint {
+    label: &'static str,
+    n: usize,
+    point: OnlineScalePoint,
+}
+
+/// Runs the oracle-vs-exact comparison on the Barabási–Albert and
+/// metro-ring families (~4k nodes each): hub-dominated and sparse
+/// high-diameter shapes the fat-tree row cannot represent. Informational
+/// rows — the `--check` gate stays on the fat-tree `oracle_speedup`.
+fn run_scale_topologies() -> Vec<TopoScalePoint> {
+    use rand::SeedableRng;
+    let mut rows = Vec::new();
+    for (label, sdn) in [
+        ("barabasi_albert", ba_sdn(4_096, SCALE_SERVERS, 0)),
+        ("metro_rings", metro_sdn(64, 64, SCALE_SERVERS, 0)),
+    ] {
+        let n = sdn.node_count();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut gen = RequestGenerator::new(n).with_dmax_ratio(0.001);
+        let requests = gen.generate_batch(4, &mut rng);
+        let point = run_scale_online(&sdn, &requests);
+        assert!(point.admitted > 0, "{label} fixture admits nothing");
+        println!(
+            "  {label:>16} (n={n}): exact {:8.1} ms  oracle {:8.1} ms  speedup {:.2}x  ({}/{} admitted)",
+            point.exact_total_ms,
+            point.oracle_total_ms,
+            point.exact_total_ms / point.oracle_total_ms,
+            point.admitted,
+            point.requests
+        );
+        rows.push(TopoScalePoint { label, n, point });
+    }
+    rows
+}
+
+fn render_scale_json(
+    n: usize,
+    online: &OnlineScalePoint,
+    appro: &ApproScalePoint,
+    topologies: &[TopoScalePoint],
+) -> String {
     let oracle_speedup = online.exact_total_ms / online.oracle_total_ms;
     let hit_rate = if appro.spt_hits + appro.spt_misses > 0 {
         appro.spt_hits as f64 / (appro.spt_hits + appro.spt_misses) as f64
@@ -300,9 +353,25 @@ fn render_scale_json(n: usize, online: &OnlineScalePoint, appro: &ApproScalePoin
     );
     let _ = writeln!(
         out,
-        "  \"spt_cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {hit_rate:.4}, \"evictions\": {} }}",
+        "  \"spt_cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {hit_rate:.4}, \"evictions\": {} }},",
         appro.spt_hits, appro.spt_misses, appro.spt_evictions
     );
+    out.push_str("  \"topologies\": [\n");
+    for (i, row) in topologies.iter().enumerate() {
+        let comma = if i + 1 < topologies.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{ \"label\": \"{}\", \"n\": {}, \"exact_total_ms\": {:.3}, \"oracle_total_ms\": {:.3}, \"speedup\": {:.4}, \"admitted\": {}, \"requests\": {} }}{comma}",
+            row.label,
+            row.n,
+            row.point.exact_total_ms,
+            row.point.oracle_total_ms,
+            row.point.exact_total_ms / row.point.oracle_total_ms,
+            row.point.admitted,
+            row.point.requests
+        );
+    }
+    out.push_str("  ]\n");
     out.push_str("}\n");
     out
 }
@@ -371,7 +440,9 @@ fn run_scale(check: bool) {
         appro.spt_evictions
     );
 
-    let json = render_scale_json(n, &online, &appro);
+    let topologies = run_scale_topologies();
+
+    let json = render_scale_json(n, &online, &appro, &topologies);
     let oracle_speedup = parse_numeric_key(&json, "oracle_speedup").expect("own JSON is parseable");
     println!("oracle_speedup: {oracle_speedup:.2}x");
 
@@ -396,9 +467,274 @@ fn run_scale(check: bool) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// `pipeline` mode: streaming admission throughput, gated on BENCH_4.json.
+// ---------------------------------------------------------------------------
+
+/// Committed streaming-throughput baseline, relative to the repo root.
+const PIPE_SNAPSHOT: &str = "BENCH_4.json";
+/// `pipeline --check` fails outright when the pipeline is not at least
+/// this much faster than the `admit_batch` wave barrier on the fat-tree
+/// row, however low the committed baseline drifts.
+const PIPE_FLOOR: f64 = 1.5;
+/// Worker threads for both the batch baseline and the pipeline
+/// (`NFV_PIPELINE_WORKERS` overrides for manual sweeps; override runs
+/// never touch the snapshot). The batch engine gets the same explicit
+/// count so the comparison is wave barrier vs. pipeline, not threaded
+/// vs. sequential.
+const PIPE_WORKERS: usize = 4;
+const PIPE_WINDOW: usize = 6;
+const PIPE_REFRESH: usize = 6;
+/// Requests in the fig5-scale row (uncontended regime).
+const PIPE_FIG5_REQUESTS: usize = 64;
+/// Requests in the n=5120 fat-tree gate row (contended regime).
+const PIPE_SCALE_REQUESTS: usize = 40;
+
+/// One workload row: the same closed request sequence admitted three
+/// ways, with byte-identical decisions asserted along the way.
+struct PipelinePoint {
+    label: &'static str,
+    n: usize,
+    k: usize,
+    requests: usize,
+    sequential_ms: f64,
+    batch_ms: f64,
+    pipeline_ms: f64,
+    admitted: usize,
+    batch_replanned: usize,
+    pipe_hits: usize,
+    pipe_replanned: usize,
+    stalls: u64,
+    snapshots: u64,
+}
+
+impl PipelinePoint {
+    /// Requests decided per second of wall-clock, for one of the columns.
+    fn rps(&self, total_ms: f64) -> f64 {
+        self.requests as f64 / (total_ms / 1_000.0)
+    }
+}
+
+/// Admits `requests` sequentially, through the wave-barrier batch engine,
+/// and through the streaming pipeline (arrivals one second apart, holding
+/// times effectively infinite so the closed workloads match), asserting
+/// byte-identical decisions and residual state across all three.
+fn run_pipeline_point(
+    label: &'static str,
+    sdn: &sdn::Sdn,
+    requests: &[sdn::MulticastRequest],
+    k: usize,
+    workers: usize,
+) -> PipelinePoint {
+    let mut seq_net = sdn.clone();
+    let (seq, sequential_ms) = time_it(|| admit_sequential(&mut seq_net, requests, k));
+
+    let mut batch_net = sdn.clone();
+    let config = EngineConfig::new(k).with_workers(workers);
+    let ((batch, batch_report), batch_ms) =
+        time_it(|| admit_batch(&mut batch_net, requests, &config));
+    assert_eq!(seq, batch, "{label}: batch decisions diverged");
+    assert_eq!(seq_net, batch_net, "{label}: batch residual state diverged");
+
+    let stream: Vec<TimedRequest> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, req)| TimedRequest::new(req.clone(), i as f64, f64::MAX))
+        .collect();
+    let pipe_net = sdn.clone();
+    let pipe_cfg = PipelineConfig::new(k)
+        .with_workers(workers)
+        .with_window(PIPE_WINDOW)
+        .with_refresh(PIPE_REFRESH);
+    let (out, pipeline_ms) = time_it(move || {
+        let mut pipeline = AdmissionPipeline::launch(pipe_net, pipe_cfg);
+        for tr in stream {
+            pipeline.push(tr);
+        }
+        pipeline.finish()
+    });
+    assert_eq!(seq, out.decisions, "{label}: pipeline decisions diverged");
+    assert_eq!(
+        seq_net, out.sdn,
+        "{label}: pipeline residual state diverged"
+    );
+
+    PipelinePoint {
+        label,
+        n: sdn.node_count(),
+        k,
+        requests: requests.len(),
+        sequential_ms,
+        batch_ms,
+        pipeline_ms,
+        admitted: out.report.admitted,
+        batch_replanned: batch_report.replanned,
+        pipe_hits: out.report.speculative_hits,
+        pipe_replanned: out.report.replanned,
+        stalls: out.report.stalls,
+        snapshots: out.report.snapshots_published,
+    }
+}
+
+fn print_pipeline_point(p: &PipelinePoint) {
+    println!(
+        "  {:>14} (n={}, k={}, {} requests): seq {:8.1} ms  batch {:8.1} ms  pipeline {:8.1} ms",
+        p.label, p.n, p.k, p.requests, p.sequential_ms, p.batch_ms, p.pipeline_ms
+    );
+    println!(
+        "  {:>14}  {:6.1} / {:6.1} / {:6.1} decisions/s  speedup vs batch {:.2}x  \
+         ({} admitted, batch replans {}, pipeline {} hits + {} replans, {} stalls, {} snapshots)",
+        "",
+        p.rps(p.sequential_ms),
+        p.rps(p.batch_ms),
+        p.rps(p.pipeline_ms),
+        p.batch_ms / p.pipeline_ms,
+        p.admitted,
+        p.batch_replanned,
+        p.pipe_hits,
+        p.pipe_replanned,
+        p.stalls,
+        p.snapshots
+    );
+}
+
+fn render_pipeline_json(workers: usize, points: &[PipelinePoint]) -> String {
+    // The gate ratio comes from the last (fat-tree) row: the contended
+    // regime where the wave barrier pays for its deferred suffixes.
+    let gate = points.last().expect("at least one pipeline row");
+    let pipeline_speedup = gate.batch_ms / gate.pipeline_ms;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"bench-v4-pipeline\",");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{ \"workers\": {workers}, \"window\": {PIPE_WINDOW}, \"refresh\": {PIPE_REFRESH} }},"
+    );
+    let _ = writeln!(out, "  \"pipeline_speedup\": {pipeline_speedup:.4},");
+    out.push_str("  \"rows\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{ \"label\": \"{}\", \"n\": {}, \"k\": {}, \"requests\": {},\n      \
+             \"sequential_ms\": {:.3}, \"batch_ms\": {:.3}, \"pipeline_ms\": {:.3},\n      \
+             \"sequential_rps\": {:.2}, \"batch_rps\": {:.2}, \"pipeline_rps\": {:.2},\n      \
+             \"speedup_vs_batch\": {:.4}, \"admitted\": {}, \"batch_replanned\": {},\n      \
+             \"pipeline_speculative_hits\": {}, \"pipeline_replanned\": {}, \"stalls\": {}, \"snapshots\": {} }}{comma}",
+            p.label,
+            p.n,
+            p.k,
+            p.requests,
+            p.sequential_ms,
+            p.batch_ms,
+            p.pipeline_ms,
+            p.rps(p.sequential_ms),
+            p.rps(p.batch_ms),
+            p.rps(p.pipeline_ms),
+            p.batch_ms / p.pipeline_ms,
+            p.admitted,
+            p.batch_replanned,
+            p.pipe_hits,
+            p.pipe_replanned,
+            p.stalls,
+            p.snapshots
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run_pipeline(check: bool) {
+    telemetry::enable();
+    let workers_override: Option<usize> = std::env::var("NFV_PIPELINE_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&w| w != PIPE_WORKERS && w > 0);
+    assert!(
+        !(check && workers_override.is_some()),
+        "--check compares against the committed baseline and cannot run with NFV_PIPELINE_WORKERS"
+    );
+    let workers = workers_override.unwrap_or(PIPE_WORKERS);
+    let baseline = if check {
+        let json = std::fs::read_to_string(PIPE_SNAPSHOT)
+            .unwrap_or_else(|e| panic!("--check needs a committed {PIPE_SNAPSHOT}: {e}"));
+        let b = parse_numeric_key(&json, "pipeline_speedup")
+            .expect("baseline has a pipeline_speedup field");
+        println!("baseline pipeline_speedup: {b:.2}x");
+        Some(b)
+    } else {
+        None
+    };
+
+    use rand::SeedableRng;
+    println!("bench: pipeline, {workers} workers, window {PIPE_WINDOW}, refresh {PIPE_REFRESH}");
+
+    // Fig. 5 scale: the paper's 250-switch Waxman setting with stock
+    // demands — the uncontended regime, where the pipeline must merely
+    // not lose to the wave barrier.
+    let wax = waxman_sdn(N, 0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut gen = RequestGenerator::new(N).with_dmax_ratio(0.15);
+    let wax_reqs = gen.generate_batch(PIPE_FIG5_REQUESTS, &mut rng);
+    let wax_point = run_pipeline_point("waxman_fig5", &wax, &wax_reqs, K, workers);
+    print_pipeline_point(&wax_point);
+
+    // The 5 120-node fat-tree with hot demands (400–900 Mbps against
+    // 1–10 Gbps links): commits routinely cross feasibility thresholds,
+    // so the wave barrier defers whole suffixes while the pipeline
+    // replans only the requests actually disturbed. This is the gated
+    // row.
+    let ft = fat_tree_sdn(SCALE_K, SCALE_SERVERS, 0);
+    let n_ft = ft.node_count();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let mut gen = RequestGenerator::new(n_ft)
+        .with_dmax_ratio(0.0015)
+        .with_bandwidth_range(400.0, 900.0);
+    let ft_reqs = gen.generate_batch(PIPE_SCALE_REQUESTS, &mut rng);
+    let ft_point = run_pipeline_point("fat_tree_5120", &ft, &ft_reqs, 2, workers);
+    print_pipeline_point(&ft_point);
+
+    let points = [wax_point, ft_point];
+    let json = render_pipeline_json(workers, &points);
+    let pipeline_speedup =
+        parse_numeric_key(&json, "pipeline_speedup").expect("own JSON is parseable");
+    println!("pipeline_speedup: {pipeline_speedup:.2}x");
+
+    // The pipeline gauges/histograms ride along for the CI artifact.
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/telemetry.json", telemetry::snapshot().to_json())
+        .expect("write results/telemetry.json");
+
+    if workers_override.is_some() {
+        println!("(NFV_PIPELINE_WORKERS sweep run: snapshot not written)");
+        return;
+    }
+    if let Some(baseline) = baseline {
+        std::fs::write("BENCH_4.new.json", &json).expect("write BENCH_4.new.json");
+        let floor = (baseline / MAX_REGRESSION).max(PIPE_FLOOR);
+        if pipeline_speedup < floor {
+            eprintln!(
+                "FAIL: pipeline_speedup {pipeline_speedup:.2}x below {floor:.2}x \
+                 (baseline {baseline:.2}x / {MAX_REGRESSION}, absolute floor {PIPE_FLOOR}x)"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "OK: within 25% of the committed baseline ({baseline:.2}x) and above the {PIPE_FLOOR}x floor"
+        );
+    } else {
+        std::fs::write(PIPE_SNAPSHOT, &json).expect("write BENCH_4.json");
+        println!("wrote {PIPE_SNAPSHOT}");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
+    if args.iter().any(|a| a == "pipeline") {
+        run_pipeline(check);
+        return;
+    }
     if args.iter().any(|a| a == "scale") {
         run_scale(check);
         return;

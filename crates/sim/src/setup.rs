@@ -121,6 +121,35 @@ pub fn fat_tree_sdn(k: usize, servers: usize, seed: u64) -> Sdn {
         .expect("fat-tree annotation is well-formed")
 }
 
+/// Builds the Barabási–Albert setting: an `n`-node preferential-attachment
+/// graph (`m = 2` attachments per arrival, the internet-like regime) with
+/// `servers` spread-placed servers and the §VI-A capacity ranges. The
+/// hub-dominated degree distribution stresses planners very differently
+/// from Waxman or fat-tree meshes: most paths funnel through a few
+/// high-degree cores. Deterministic per `(n, servers, seed)`.
+#[must_use]
+pub fn ba_sdn(n: usize, servers: usize, seed: u64) -> Sdn {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBABA ^ (n as u64).rotate_left(23));
+    let g = topology::barabasi_albert_edges(n, 2, &mut rng).to_graph();
+    let servers = place_servers_spread(&g, servers);
+    annotate(&g, &servers, &AnnotationParams::default(), &mut rng)
+        .expect("barabasi-albert annotation is well-formed")
+}
+
+/// Builds the metro-ring setting: `rings` concentric unit-weight rings of
+/// `ring_size` nodes with radial links, the sparse high-diameter shape of
+/// metro aggregation networks, with `servers` spread-placed servers and
+/// the §VI-A capacity ranges. Deterministic per
+/// `(rings, ring_size, servers, seed)`.
+#[must_use]
+pub fn metro_sdn(rings: usize, ring_size: usize, servers: usize, seed: u64) -> Sdn {
+    let g = topology::metro_rings_edges(rings, ring_size).to_graph();
+    let servers = place_servers_spread(&g, servers);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x3E70 ^ (rings as u64).rotate_left(31));
+    annotate(&g, &servers, &AnnotationParams::default(), &mut rng)
+        .expect("metro-ring annotation is well-formed")
+}
+
 /// Builds the AS1755 ISP setting: 87 PoPs with nine spread servers (the
 /// density \[19\] reports for mid-size ISPs). Capacities re-sampled per
 /// `seed`.
@@ -171,6 +200,20 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.node_count(), 8 * 8 / 4 + 8 * 8);
         assert_eq!(a.servers().len(), 6);
+    }
+
+    #[test]
+    fn scale_topologies_are_deterministic_and_sized() {
+        let a = ba_sdn(200, 12, 5);
+        let b = ba_sdn(200, 12, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.node_count(), 200);
+        assert_eq!(a.servers().len(), 12);
+
+        let m = metro_sdn(4, 50, 8, 5);
+        assert_eq!(m, metro_sdn(4, 50, 8, 5));
+        assert_eq!(m.node_count(), 200);
+        assert_eq!(m.servers().len(), 8);
     }
 
     #[test]

@@ -103,6 +103,14 @@ pub enum Counter {
     EngineSpeculativeCommits,
     /// Speculative plans invalidated and replanned sequentially.
     EngineReplans,
+    /// Read-only `Sdn` snapshots published by the pipeline committer for
+    /// the planner pool to plan against.
+    PipelineSnapshots,
+    /// Times the pipeline committer had to block because the head-of-line
+    /// plan had not been delivered by a worker yet. Scheduling-dependent
+    /// (see the crate docs): decisions stay deterministic, this count does
+    /// not.
+    PipelineStalls,
     /// Sessions found broken by a fault event.
     RepairBroken,
     /// Sessions fully rerouted by the repair loop.
@@ -124,7 +132,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in registry (serialisation) order.
-    pub const ALL: [Counter; 34] = [
+    pub const ALL: [Counter; 36] = [
         Counter::DijkstraRuns,
         Counter::HeapDecreaseKeys,
         Counter::VoronoiClosureBuilds,
@@ -151,6 +159,8 @@ impl Counter {
         Counter::EngineWaves,
         Counter::EngineSpeculativeCommits,
         Counter::EngineReplans,
+        Counter::PipelineSnapshots,
+        Counter::PipelineStalls,
         Counter::RepairBroken,
         Counter::RepairRepaired,
         Counter::RepairDegraded,
@@ -190,6 +200,8 @@ impl Counter {
             Counter::EngineWaves => "engine_waves",
             Counter::EngineSpeculativeCommits => "engine_speculative_commits",
             Counter::EngineReplans => "engine_replans",
+            Counter::PipelineSnapshots => "pipeline_snapshots",
+            Counter::PipelineStalls => "pipeline_stalls",
             Counter::RepairBroken => "repair_broken",
             Counter::RepairRepaired => "repair_repaired",
             Counter::RepairDegraded => "repair_degraded",
@@ -219,17 +231,25 @@ pub enum Gauge {
     ActiveSessions,
     /// Sessions parked in the repair retry queue.
     PendingRepairs,
+    /// Speculative plans currently in flight inside the admission
+    /// pipeline's bounded window.
+    PipelineDepth,
 }
 
 impl Gauge {
     /// Every gauge, in registry order.
-    pub const ALL: [Gauge; 2] = [Gauge::ActiveSessions, Gauge::PendingRepairs];
+    pub const ALL: [Gauge; 3] = [
+        Gauge::ActiveSessions,
+        Gauge::PendingRepairs,
+        Gauge::PipelineDepth,
+    ];
 
     /// Stable snake_case name used in JSON and text snapshots.
     pub const fn name(self) -> &'static str {
         match self {
             Gauge::ActiveSessions => "active_sessions",
             Gauge::PendingRepairs => "pending_repairs",
+            Gauge::PipelineDepth => "pipeline_depth",
         }
     }
 }
@@ -253,14 +273,24 @@ pub enum Hist {
     RepairBatchBroken,
     /// Combinations evaluated per `Appro_Multi` scan.
     CombosPerScan,
+    /// Snapshot staleness at plan validation: how many snapshot epochs
+    /// the pipeline published between a plan's dispatch and its commit.
+    /// Scheduling-dependent (see the crate docs).
+    SnapshotStaleness,
+    /// Completed plans queued behind the head-of-line request when a
+    /// pipeline commit lands (out-of-order completions waiting their
+    /// turn). Scheduling-dependent (see the crate docs).
+    CommitQueueWait,
 }
 
 impl Hist {
     /// Every histogram, in registry order.
-    pub const ALL: [Hist; 3] = [
+    pub const ALL: [Hist; 5] = [
         Hist::BatchWaveSize,
         Hist::RepairBatchBroken,
         Hist::CombosPerScan,
+        Hist::SnapshotStaleness,
+        Hist::CommitQueueWait,
     ];
 
     /// Stable snake_case name used in JSON and text snapshots.
@@ -269,6 +299,8 @@ impl Hist {
             Hist::BatchWaveSize => "batch_wave_size",
             Hist::RepairBatchBroken => "repair_batch_broken",
             Hist::CombosPerScan => "combos_per_scan",
+            Hist::SnapshotStaleness => "snapshot_staleness",
+            Hist::CommitQueueWait => "commit_queue_wait",
         }
     }
 }

@@ -70,6 +70,67 @@ impl PoissonWorkload {
     }
 }
 
+/// An open-loop constant-rate workload: arrivals at a fixed cadence.
+///
+/// Where [`PoissonWorkload`] models stochastic teletraffic, this is the
+/// load-generator shape used to measure *sustained throughput*: requests
+/// arrive every `1/rate` time units regardless of how fast the system
+/// under test drains them (open loop — the generator never waits for
+/// admission). Holding times stay exponential so departures interleave
+/// with arrivals instead of expiring in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenLoopWorkload {
+    /// Arrival rate (sessions per unit time); interarrival is `1/rate`.
+    pub rate: f64,
+    /// Mean holding time (time units). Session durations are drawn from
+    /// Exp(1/mean); `f64::INFINITY` pins every duration to `f64::MAX`
+    /// (finite, so `TimedRequest` accepts it, but far past any simulated
+    /// horizon) so a run never sees departures — the pure-arrival shape
+    /// throughput benchmarks want.
+    pub mean_holding: f64,
+}
+
+impl OpenLoopWorkload {
+    /// Creates an open-loop workload description.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is positive and finite and `mean_holding`
+    /// is positive (`f64::INFINITY` allowed).
+    #[must_use]
+    pub fn new(rate: f64, mean_holding: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "bad arrival rate {rate}");
+        assert!(
+            mean_holding > 0.0 && !mean_holding.is_nan(),
+            "bad mean holding time {mean_holding}"
+        );
+        OpenLoopWorkload { rate, mean_holding }
+    }
+
+    /// Generates `count` sessions as `(request, arrival, duration)`
+    /// triples at the fixed cadence, drawing the requests from `gen`.
+    /// Arrivals start at `1/rate` (not 0) so time 0 is request-free.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        gen: &mut RequestGenerator,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<TimedSession> {
+        let step = 1.0 / self.rate;
+        (0..count)
+            .map(|i| {
+                let arrival = step * (i + 1) as f64;
+                let duration = if self.mean_holding.is_infinite() {
+                    f64::MAX
+                } else {
+                    exponential(1.0 / self.mean_holding, rng)
+                };
+                (gen.generate(rng), arrival, duration)
+            })
+            .collect()
+    }
+}
+
 /// Draws from Exp(rate) via inverse transform.
 fn exponential<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> f64 {
     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
@@ -130,5 +191,55 @@ mod tests {
     #[should_panic(expected = "bad arrival rate")]
     fn rejects_zero_rate() {
         let _ = PoissonWorkload::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_evenly_spaced() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut gen = RequestGenerator::new(50);
+        let w = OpenLoopWorkload::new(4.0, 10.0);
+        let sessions = w.generate(&mut gen, 20, &mut rng);
+        assert_eq!(sessions.len(), 20);
+        assert_eq!(sessions[0].1, 0.25);
+        for pair in sessions.windows(2) {
+            assert!((pair[1].1 - pair[0].1 - 0.25).abs() < 1e-12);
+        }
+        for (_, _, d) in &sessions {
+            assert!(*d > 0.0 && d.is_finite());
+        }
+    }
+
+    #[test]
+    fn open_loop_infinite_holding_never_departs() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut gen = RequestGenerator::new(50);
+        let w = OpenLoopWorkload::new(2.0, f64::INFINITY);
+        let sessions = w.generate(&mut gen, 10, &mut rng);
+        for (_, arrival, d) in &sessions {
+            assert_eq!(*d, f64::MAX);
+            assert!(arrival.is_finite());
+        }
+    }
+
+    #[test]
+    fn open_loop_is_deterministic_given_seed() {
+        let w = OpenLoopWorkload::new(8.0, 3.0);
+        let a = w.generate(
+            &mut RequestGenerator::new(40),
+            30,
+            &mut StdRng::seed_from_u64(5),
+        );
+        let b = w.generate(
+            &mut RequestGenerator::new(40),
+            30,
+            &mut StdRng::seed_from_u64(5),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad arrival rate")]
+    fn open_loop_rejects_infinite_rate() {
+        let _ = OpenLoopWorkload::new(f64::INFINITY, 1.0);
     }
 }

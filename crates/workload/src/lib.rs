@@ -30,7 +30,7 @@
 
 mod arrivals;
 
-pub use arrivals::{PoissonWorkload, TimedSession};
+pub use arrivals::{OpenLoopWorkload, PoissonWorkload, TimedSession};
 
 use netgraph::NodeId;
 use rand::Rng;

@@ -1,0 +1,127 @@
+//! Property tests for the streaming admission pipeline: decisions, trees,
+//! and the final residual state must be byte-identical to an independent
+//! sequential replay of the same timed stream — across random seeds,
+//! window sizes, worker counts, snapshot refresh thresholds, and
+//! interleaved departures — and shutdown must drain the in-flight window
+//! (exactly one decision per pushed arrival, in arrival order).
+//!
+//! The reference below is deliberately *not* the pipeline's own inline
+//! mode: it replays the stream with `ActiveSessions` and
+//! `appro_multi_cap_with_scratch`, sharing no speculation, snapshot, or
+//! session-manager machinery with the code under test.
+
+use integration_tests::waxman_fixture;
+use nfv_engine::{AdmissionPipeline, PipelineConfig};
+use nfv_multicast::{appro_multi_cap_with_scratch, Admission, ApproScratch};
+use nfv_online::{ActiveSessions, TimedRequest};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdn::Sdn;
+use workload::{PoissonWorkload, RequestGenerator};
+
+/// A seeded Poisson stream: exponential interarrivals and holding times,
+/// so departures genuinely interleave with arrivals.
+fn timed_stream(n: usize, count: usize, seed: u64, mean_holding: f64) -> Vec<TimedRequest> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gen = RequestGenerator::new(n);
+    PoissonWorkload::new(1.0, mean_holding)
+        .generate(&mut gen, count, &mut rng)
+        .into_iter()
+        .map(|(req, arrival, duration)| TimedRequest::new(req, arrival, duration))
+        .collect()
+}
+
+/// Independent sequential replay: release due departures, plan on the
+/// live state, commit. This is the semantics the pipeline must reproduce
+/// byte-for-byte.
+fn reference_stream(mut sdn: Sdn, stream: &[TimedRequest], k: usize) -> (Sdn, Vec<Admission>) {
+    let mut active = ActiveSessions::new();
+    let mut scratch = ApproScratch::new();
+    let mut decisions = Vec::with_capacity(stream.len());
+    for tr in stream {
+        active.release_due(&mut sdn, tr.arrival);
+        let adm = appro_multi_cap_with_scratch(&sdn, &tr.request, k, &mut scratch);
+        if let Admission::Admitted(tree) = &adm {
+            let alloc = tree.allocation(&tr.request);
+            sdn.allocate(&alloc).expect("admitted tree fits");
+            active.insert(tr.request.id, tr.arrival + tr.duration, alloc);
+        }
+        decisions.push(adm);
+    }
+    (sdn, decisions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Pipelined decisions, trees, and the final residual state are
+    /// byte-identical to the sequential replay for every worker count
+    /// (0 = inline reference mode), window size, and refresh threshold,
+    /// on streams whose departures interleave with arrivals.
+    #[test]
+    fn pipeline_equals_sequential_replay(
+        seed in 0u64..500,
+        count in 1usize..36,
+        workers in 0usize..4,
+        window in 1usize..10,
+        refresh in 1usize..4,
+    ) {
+        let n = 30;
+        let fresh = waxman_fixture(n, 420);
+        // Mean holding of 4 interarrival times: sessions overlap and
+        // plenty depart mid-stream.
+        let stream = timed_stream(n, count, seed, 4.0);
+
+        let (ref_net, ref_decisions) = reference_stream(fresh.clone(), &stream, 2);
+
+        let config = PipelineConfig::new(2)
+            .with_workers(workers)
+            .with_window(window)
+            .with_refresh(refresh);
+        let mut pipeline = AdmissionPipeline::launch(fresh, config);
+        for tr in stream {
+            pipeline.push(tr);
+        }
+        let out = pipeline.finish();
+
+        prop_assert_eq!(&out.decisions, &ref_decisions);
+        prop_assert_eq!(&out.sdn, &ref_net);
+        prop_assert_eq!(out.decisions.len(), count);
+        prop_assert_eq!(out.report.admitted + out.report.rejected, count);
+        if workers > 0 {
+            prop_assert_eq!(
+                out.report.speculative_hits + out.report.replanned,
+                count,
+                "every arrival is either a speculative hit or an inline replan"
+            );
+        }
+    }
+
+    /// Shutdown drains the window: finishing with every arrival still in
+    /// flight (window larger than the stream) loses and duplicates
+    /// nothing.
+    #[test]
+    fn finish_drains_a_full_window(
+        seed in 0u64..500,
+        count in 1usize..20,
+        workers in 1usize..4,
+    ) {
+        let n = 30;
+        let fresh = waxman_fixture(n, 421);
+        let stream = timed_stream(n, count, seed, 4.0);
+        let (ref_net, ref_decisions) = reference_stream(fresh.clone(), &stream, 2);
+
+        // Window of 64 > count: push never commits, finish() must.
+        let config = PipelineConfig::new(2).with_workers(workers).with_window(64);
+        let mut pipeline = AdmissionPipeline::launch(fresh, config);
+        for tr in stream {
+            pipeline.push(tr);
+        }
+        prop_assert_eq!(pipeline.depth(), count, "nothing committed before finish");
+        let out = pipeline.finish();
+        prop_assert_eq!(&out.decisions, &ref_decisions);
+        prop_assert_eq!(&out.sdn, &ref_net);
+        prop_assert_eq!(out.decisions.len(), count);
+    }
+}
