@@ -30,7 +30,9 @@
 //!   sequential result.
 
 use crate::appro_multi::appro_multi_with_spts;
-use crate::{appro_multi_cap_with_scratch, Admission, ApproScratch, PseudoMulticastTree};
+use crate::{
+    appro_multi_cap_plan_with_scratch, Admission, ApproScratch, CapPlan, PseudoMulticastTree,
+};
 use netgraph::{CsrGraph, DijkstraScratch, LandmarkOracle, NodeId, ShortestPathTree, SptCache};
 use sdn::{MulticastRequest, Sdn};
 use std::sync::Arc;
@@ -318,29 +320,43 @@ pub fn appro_multi_cap_cached(
     k: usize,
     cache: &mut PathCache,
 ) -> Admission {
+    // Accumulated loads (ingress overlapping distribution) are resolved
+    // against the live residual state, exactly as the uncached path does.
+    appro_multi_cap_plan_cached(sdn, request, k, cache).admit(sdn, request)
+}
+
+/// The planning pass of [`appro_multi_cap_cached`] alone: the tree (or
+/// absence of one) on the residual-feasible subgraph, *without* the final
+/// accumulated-load check — see [`CapPlan`]. Byte-identical to
+/// [`crate::appro_multi_cap_plan_with_scratch`] on the same state.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn appro_multi_cap_plan_cached(
+    sdn: &Sdn,
+    request: &MulticastRequest,
+    k: usize,
+    cache: &mut PathCache,
+) -> CapPlan {
     assert!(k >= 1, "at least one server is required (K >= 1)");
     let b = request.bandwidth;
     let demand = request.computing_demand();
     if !cache.full_graph_feasible(sdn, b, demand) {
         cache.slow_path += 1;
         telemetry::hit(telemetry::Counter::PathCacheSlowPath);
-        return appro_multi_cap_with_scratch(sdn, request, k, &mut cache.scratch);
+        return appro_multi_cap_plan_with_scratch(sdn, request, k, &mut cache.scratch);
     }
     cache.fast_path += 1;
     telemetry::hit(telemetry::Counter::PathCacheFastPath);
     // Nothing is filtered: the feasible subgraph is the full network, so
     // Algorithm 1 over cached topology trees reproduces the capacitated
     // run exactly (edge ids map to themselves).
-    let Some(tree) = appro_multi_cached(sdn, request, k, cache) else {
-        return Admission::Rejected;
-    };
-    // Accumulated loads (ingress overlapping distribution) are still
-    // checked against the live residual state, exactly as the uncached
-    // path does.
-    if !sdn.can_allocate(&tree.allocation(request)) {
-        return Admission::Rejected;
+    match appro_multi_cached(sdn, request, k, cache) {
+        Some(tree) => CapPlan::Tree(tree),
+        None => CapPlan::NoTree,
     }
-    Admission::Admitted(tree)
 }
 
 #[cfg(test)]

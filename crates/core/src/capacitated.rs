@@ -53,6 +53,45 @@ impl Admission {
     }
 }
 
+/// The raw product of a capacitated planning pass: what Algorithm 1
+/// yields on the residual-feasible subgraph, *before* the accumulated
+/// multi-traversal load check.
+///
+/// The admission decision is a function of two inputs read from the
+/// residual state: (a) the feasible subgraph — per-element single-`b_k` /
+/// single-demand thresholds — which determines the tree, and (b) the
+/// accumulated [`sdn::Allocation`] fit of that tree, which can require
+/// several multiples of `b_k` on a link traversed by both an ingress path
+/// and the distribution structure. `CapPlan` separates the two so that
+/// speculative engines can re-evaluate (b) against the residual state a
+/// commit is actually charged to: collapsing an unfit tree into a bare
+/// rejection would lose the information that the *same* tree may fit (or
+/// no longer fit) once earlier commits and releases have landed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CapPlan {
+    /// Algorithm 1 produced this tree on the feasible subgraph. Its
+    /// accumulated load has **not** been checked here — run
+    /// [`CapPlan::admit`] against the state it will be charged to.
+    Tree(PseudoMulticastTree),
+    /// No feasible tree exists on the subgraph.
+    NoTree,
+}
+
+impl CapPlan {
+    /// Resolves the plan into an admission decision against `sdn`:
+    /// admitted iff a tree exists *and* its accumulated allocation fits
+    /// `sdn`'s residuals.
+    #[must_use]
+    pub fn admit(self, sdn: &Sdn, request: &MulticastRequest) -> Admission {
+        match self {
+            CapPlan::Tree(tree) if sdn.can_allocate(&tree.allocation(request)) => {
+                Admission::Admitted(tree)
+            }
+            _ => Admission::Rejected,
+        }
+    }
+}
+
 /// Runs `Appro_Multi_Cap`: Algorithm 1 on the residual-feasible subgraph.
 ///
 /// The returned tree (if any) fits within current residual capacities
@@ -85,6 +124,23 @@ pub fn appro_multi_cap_with_scratch(
     k: usize,
     scratch: &mut ApproScratch,
 ) -> Admission {
+    appro_multi_cap_plan_with_scratch(sdn, request, k, scratch).admit(sdn, request)
+}
+
+/// The planning pass of [`appro_multi_cap_with_scratch`] alone: builds the
+/// residual-feasible subgraph and runs Algorithm 1 on it, returning the
+/// tree *without* the final accumulated-load check (see [`CapPlan`]).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn appro_multi_cap_plan_with_scratch(
+    sdn: &Sdn,
+    request: &MulticastRequest,
+    k: usize,
+    scratch: &mut ApproScratch,
+) -> CapPlan {
     assert!(k >= 1, "at least one server is required (K >= 1)");
     let b = request.bandwidth;
     let demand = request.computing_demand();
@@ -110,7 +166,7 @@ pub fn appro_multi_cap_with_scratch(
         }
     }
     if usable_servers.is_empty() {
-        return Admission::Rejected;
+        return CapPlan::NoTree;
     }
     let mut edge_map: Vec<EdgeId> = Vec::new(); // filtered edge idx -> original id
     for e in g.edges() {
@@ -123,7 +179,7 @@ pub fn appro_multi_cap_with_scratch(
     let filtered = bld.build().expect("filtered SDN is well-formed"); // lint:allow(P1): the filtered network reuses validated parameters only
 
     let Some(tree) = appro_multi_on_scratch(&filtered, request, k, &usable_servers, scratch) else {
-        return Admission::Rejected;
+        return CapPlan::NoTree;
     };
 
     // Translate edge ids back to the original network.
@@ -141,13 +197,9 @@ pub fn appro_multi_cap_with_scratch(
     }
 
     // A link may carry the request once per traversal (ingress paths can
-    // overlap the distribution structure); verify the *accumulated* load
-    // still fits before declaring admission.
-    let alloc = tree.allocation(request);
-    if !sdn.can_allocate(&alloc) {
-        return Admission::Rejected;
-    }
-    Admission::Admitted(tree)
+    // overlap the distribution structure); the caller resolves the
+    // *accumulated* load against the state the tree is charged to.
+    CapPlan::Tree(tree)
 }
 
 #[cfg(test)]

@@ -69,8 +69,14 @@ pub use appro_multi::{
     SteinerRoutine,
 };
 pub use auxiliary::AuxiliaryGraph;
-pub use cache::{appro_multi_cached, appro_multi_cap_cached, PathCache, PathCacheOptions};
-pub use capacitated::{appro_multi_cap, appro_multi_cap_with_scratch, Admission};
+pub use cache::{
+    appro_multi_cached, appro_multi_cap_cached, appro_multi_cap_plan_cached, PathCache,
+    PathCacheOptions,
+};
+pub use capacitated::{
+    appro_multi_cap, appro_multi_cap_plan_with_scratch, appro_multi_cap_with_scratch, Admission,
+    CapPlan,
+};
 pub use combinations::{combinations_up_to, Combinations};
 pub use delay::{appro_multi_delay_bounded, max_delivery_hops, DelayBounded};
 pub use exact::exact_pseudo_multicast;

@@ -145,22 +145,26 @@ pub fn admit_batch(
         telemetry::observe(telemetry::Hist::BatchWaveSize, pending.len() as u64);
         let workers = config.effective_workers(pending.len());
 
-        // Snapshot of the residual state this wave's plans are based on.
+        // Snapshot of the usable (alive-masked) residual state this wave's
+        // plans are based on — the same view the planners read, so the
+        // disturbance predicate compares like with like.
         let snap_bandwidth: Vec<f64> = sdn
             .graph()
             .edges()
-            .map(|e| sdn.residual_bandwidth(e.id))
+            .map(|e| sdn.usable_bandwidth(e.id))
             .collect();
         let snap_computing: Vec<Option<f64>> = sdn
             .graph()
             .nodes()
-            .map(|v| sdn.residual_computing(v))
+            .map(|v| sdn.usable_computing(v))
             .collect();
 
         // Plan the pending tail in parallel against the live state. Each
         // worker owns a contiguous slice and its own scratch; the network
-        // is shared read-only.
-        let mut plans: Vec<Option<Admission>> = Vec::new();
+        // is shared read-only. Plans are raw `CapPlan`s — the accumulated
+        // load check is deferred to the commit loop, which knows the
+        // state each tree is actually charged to.
+        let mut plans: Vec<Option<nfv_multicast::CapPlan>> = Vec::new();
         plans.resize_with(pending.len(), || None);
         let chunk = pending.len().div_ceil(workers);
         {
@@ -170,7 +174,7 @@ pub fn admit_batch(
                     scope.spawn(move || {
                         let mut cache = nfv_multicast::PathCache::new(snapshot);
                         for (&i, slot) in idx_chunk.iter().zip(plan_chunk.iter_mut()) {
-                            *slot = Some(nfv_multicast::appro_multi_cap_cached(
+                            *slot = Some(nfv_multicast::appro_multi_cap_plan_cached(
                                 snapshot,
                                 &requests[i],
                                 config.k,
@@ -224,9 +228,9 @@ pub fn admit_batch(
                 appro_multi_cap_with_scratch(sdn, req, config.k, &mut inline_scratch)
             } else {
                 // Identical feasible subgraph => the plan is the tree the
-                // sequential loop would have computed. Its final
-                // accumulated-load check must run against the *live*
-                // state.
+                // sequential loop would have computed. Its accumulated-
+                // load check runs against the *live* state — only the
+                // live verdict matches the sequential decision.
                 report.speculative_hits += 1;
                 telemetry::hit(telemetry::Counter::EngineSpeculativeCommits);
                 // lint:allow(P1): the planning pass above filled every pending slot

@@ -18,7 +18,12 @@
 //! committer tracks, per snapshot epoch, the deduplicated set of links
 //! and servers that commits and releases touched, and a plan commits
 //! speculatively only when none of them crossed the request's feasibility
-//! threshold between its snapshot and the live state. A disturbed (or
+//! threshold between its snapshot and the live state. Workers ship the
+//! *raw* planned tree ([`nfv_multicast::CapPlan`], before the accumulated
+//! multi-traversal load check), and the committer resolves that check
+//! against the live residuals at commit time — a tree unfit on its
+//! snapshot can become fit after departures release capacity, so only
+//! the live verdict reproduces the sequential decision. A disturbed (or
 //! lost) plan is re-planned inline on the live state — exactly the
 //! sequential decision. Decisions, trees, and the final residual state
 //! are therefore **byte-identical to the sequential reference**
@@ -37,14 +42,16 @@
 //! (always on), repair (enable with [`PipelineConfig::with_repair`] —
 //! fault events then trigger [`SessionManager::repair`]), and the
 //! invariant auditor (debug builds, or `NFV_AUDIT=1`). Fault events drain
-//! the window first, so no speculative plan ever straddles a liveness
-//! change.
+//! the window first and force the next snapshot publish past the refresh
+//! throttle, so no speculative plan ever straddles a liveness change —
+//! neither one in flight when the fault lands, nor one planned afterwards
+//! against a stale pre-fault snapshot.
 
 use crate::audit::Auditor;
 use crate::repair::{RepairConfig, RepairReport, SessionManager};
 use crate::spec::{feasibility_disturbed, validate_speculative, TouchedSet};
 use netgraph::{EdgeId, NodeId};
-use nfv_multicast::{appro_multi_cap_with_scratch, Admission, ApproScratch};
+use nfv_multicast::{appro_multi_cap_with_scratch, Admission, ApproScratch, CapPlan};
 use nfv_online::TimedRequest;
 use sdn::{MulticastRequest, RequestId, Sdn, SdnError};
 use std::collections::{BTreeMap, VecDeque};
@@ -198,7 +205,7 @@ struct PlanJob {
 /// its own thread.
 struct PlanResult {
     seq: u64,
-    plan: Option<Admission>,
+    plan: Option<CapPlan>,
 }
 
 /// An arrival whose speculative plan is still outstanding.
@@ -215,9 +222,10 @@ enum Speculation {
     Inline,
     /// The worker panicked; plan inline to surface it deterministically.
     Lost,
-    /// A speculative plan from snapshot `epoch`, pending validation.
+    /// A speculative plan from snapshot `epoch` — the raw planned tree,
+    /// its accumulated-load check still pending against the live state.
     Plan {
-        plan: Admission,
+        plan: CapPlan,
         epoch: u64,
         snapshot: Arc<Sdn>,
     },
@@ -238,7 +246,7 @@ pub struct AdmissionPipeline {
     deadlines: BTreeMap<RequestId, f64>,
     window: VecDeque<InFlight>,
     /// Out-of-order worker results parked until their turn.
-    reorder: BTreeMap<u64, Option<Admission>>,
+    reorder: BTreeMap<u64, Option<CapPlan>>,
     /// Per-epoch deduplicated sets of elements commits/releases touched
     /// while that epoch's snapshot was current.
     deltas: BTreeMap<u64, TouchedSet>,
@@ -246,6 +254,10 @@ pub struct AdmissionPipeline {
     epoch: u64,
     mutations_since_publish: usize,
     next_seq: u64,
+    /// Whether any state-changing fault was ever injected. Without a
+    /// repair service, sessions may then legitimately straddle dead
+    /// elements, so the tree-health audit stands down.
+    faulted: bool,
     last_arrival: f64,
     decisions: Vec<Admission>,
     report: PipelineReport,
@@ -301,6 +313,7 @@ impl AdmissionPipeline {
             epoch: 0,
             mutations_since_publish: 0,
             next_seq: 0,
+            faulted: false,
             last_arrival: f64::NEG_INFINITY,
             decisions: Vec::new(),
             report,
@@ -357,7 +370,11 @@ impl AdmissionPipeline {
     /// Injects a liveness event. The window is drained first (no
     /// speculative plan may straddle a liveness change), the fault is
     /// applied to the live network, and — when the repair service is
-    /// configured — broken sessions are released and replanned.
+    /// configured — broken sessions are released and replanned. Any
+    /// state-changing fault or non-quiet repair forces the next
+    /// [`push`](Self::push) to publish a fresh snapshot regardless of
+    /// [`PipelineConfig::refresh`], so no plan is ever computed against
+    /// pre-fault liveness.
     ///
     /// Returns what the repair service did (quiet when no repair service
     /// is configured).
@@ -375,14 +392,21 @@ impl AdmissionPipeline {
             FaultEvent::RecoverServer(v) => self.sdn.recover_server(v)?,
         };
         if changed {
-            self.mutations_since_publish += 1;
+            // A liveness flip is invisible to the touched-set disturbance
+            // check (it tracks residual movement only), so the stale
+            // snapshot must never serve another plan: force the next push
+            // to republish regardless of the refresh throttle.
+            self.mutations_since_publish = self.cfg.refresh;
+            self.faulted = true;
         }
         let report = if let Some(repair) = self.cfg.repair {
             let r = self
                 .sessions
                 .repair(&mut self.sdn, &repair, &mut self.scratch);
             if !r.is_quiet() {
-                self.mutations_since_publish += 1;
+                // Repair rewrites whole allocations outside the delta
+                // bookkeeping; republish before the next plan as well.
+                self.mutations_since_publish = self.cfg.refresh;
             }
             // Sessions the repair service dropped keep their scheduled
             // deadline; when it fires, the departure is a guarded no-op.
@@ -390,8 +414,8 @@ impl AdmissionPipeline {
             r
         } else {
             // Without a repair service, sessions may legitimately straddle
-            // dead elements until they depart; the auditor would flag
-            // exactly that, so it only runs when repair is configured.
+            // dead elements until they depart; check_invariants stands
+            // down once `faulted` is set, so no audit runs here either.
             RepairReport::default()
         };
         Ok(report)
@@ -476,7 +500,7 @@ impl AdmissionPipeline {
 
     /// Blocks until the plan for `seq` is available, parking other
     /// workers' results in the reorder buffer.
-    fn await_plan(&mut self, seq: u64) -> Option<Admission> {
+    fn await_plan(&mut self, seq: u64) -> Option<CapPlan> {
         let mut stalled = false;
         loop {
             if let Some(plan) = self.reorder.remove(&seq) {
@@ -598,8 +622,8 @@ impl AdmissionPipeline {
             scanned += delta.len();
             feasibility_disturbed(
                 delta,
-                |e| snapshot.residual_bandwidth(e),
-                |v| snapshot.residual_computing(v),
+                |e| snapshot.usable_bandwidth(e),
+                |v| snapshot.usable_computing(v),
                 &self.sdn,
                 req,
             )
@@ -609,6 +633,12 @@ impl AdmissionPipeline {
     }
 
     fn check_invariants(&self) {
+        // The tree-health audit flags sessions on dead elements; without
+        // a repair service that is a legitimate post-fault state, not an
+        // engine bug, so auditing stops at the first fault.
+        if self.cfg.repair.is_none() && self.faulted {
+            return;
+        }
         if self.auditor.is_enabled() {
             if let Err(e) = self.auditor.check(&self.sdn, &self.sessions) {
                 panic!("pipeline invariant violated: {e}"); // lint:allow(P1): an audit failure is an engine bug, never workload-dependent
@@ -640,7 +670,7 @@ fn worker_loop(
         };
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let cache = cache.get_or_insert_with(|| nfv_multicast::PathCache::new(&job.snapshot));
-            nfv_multicast::appro_multi_cap_cached(&job.snapshot, &job.request, k, cache)
+            nfv_multicast::appro_multi_cap_plan_cached(&job.snapshot, &job.request, k, cache)
         }));
         let plan = match outcome {
             Ok(plan) => Some(plan),

@@ -4,17 +4,44 @@
 //! streaming pipeline ([`crate::pipeline`]) follow the same contract: a
 //! plan computed against an older residual state may be committed iff no
 //! commit or release since that state crossed the request's feasibility
-//! thresholds — the set of links with residual bandwidth `>= b_k` and
-//! servers with residual computing `>= C(SC_k)` (both with the shared
-//! [`sdn::CAPACITY_EPS`] slack). The planner's output depends on the
-//! residual state only through that feasible subgraph, so an undisturbed
-//! plan *is* the tree the sequential loop would have computed.
+//! thresholds — the set of links with *usable* (alive-masked) bandwidth
+//! `>= b_k` and servers with usable computing `>= C(SC_k)` (both with the
+//! shared [`sdn::CAPACITY_EPS`] slack). Planners define the feasible
+//! subgraph through the usable view ([`Sdn::usable_bandwidth`] /
+//! [`Sdn::usable_computing`]), so the predicate reads the same view on
+//! both the snapshot and live sides.
+//!
+//! The sequential decision is a function of **two** residual reads, and
+//! the speculative protocol covers each with a different mechanism:
+//!
+//! 1. **The feasible subgraph** (per-element single-threshold bits)
+//!    determines which tree Algorithm 1 yields. The touched-set predicate
+//!    [`feasibility_disturbed`] certifies that no bit flipped between the
+//!    snapshot and the live state, so an undisturbed
+//!    [`CapPlan`](nfv_multicast::CapPlan) *is* the plan the sequential
+//!    loop would have computed on the live state.
+//! 2. **The accumulated multi-traversal load check**: a tree can traverse
+//!    one link in both an ingress path and the distribution structure, so
+//!    admission needs `j·b_k` residual on such a link (`j` ≥ 2) — a
+//!    threshold the single-`b_k` subgraph bits cannot see. Speculations
+//!    therefore carry the *raw* planned tree (before that check), and
+//!    [`validate_speculative`] resolves it against the **live** residuals
+//!    at commit time. Collapsing the planner output to admit/reject on
+//!    the snapshot would be unsound in both directions: a tree unfit on
+//!    the snapshot can fit after releases, and vice versa.
+//!
+//! The touched-set mechanism only tracks *residual* movement (commits and
+//! releases). Liveness flips are invisible to it by design: both engines
+//! guarantee that no speculative plan ever spans a liveness change — the
+//! batch engine admits no faults mid-batch, and the pipeline drains its
+//! window on every fault and force-republishes its snapshot before the
+//! next plan is dispatched (see [`crate::pipeline`]).
 //!
 //! This module holds the pieces both engines share: the deduplicated
 //! touched-element set, the threshold-crossing predicate, and the final
-//! live-state validation of an undisturbed speculative plan.
+//! live-state resolution of an undisturbed speculative plan.
 
-use nfv_multicast::Admission;
+use nfv_multicast::{Admission, CapPlan};
 use sdn::{Allocation, MulticastRequest, Sdn};
 use std::collections::BTreeSet;
 
@@ -69,8 +96,11 @@ impl TouchedSet {
 /// between the snapshot the plan was computed on (read through
 /// `then_bandwidth` / `then_computing`) and the live state `now`.
 ///
-/// `then_computing` returns `None` for nodes that are not servers —
-/// mirroring [`Sdn::residual_computing`] on the snapshot side.
+/// Both sides are the alive-masked *usable* view the planners see:
+/// `then_bandwidth` / `then_computing` must mirror
+/// [`Sdn::usable_bandwidth`] / [`Sdn::usable_computing`] on the snapshot
+/// (`then_computing` returns `None` for nodes that are not servers), and
+/// the live side reads the same accessors on `now`.
 pub fn feasibility_disturbed(
     touched: &TouchedSet,
     then_bandwidth: impl Fn(netgraph::EdgeId) -> f64,
@@ -82,7 +112,7 @@ pub fn feasibility_disturbed(
     let demand = request.computing_demand();
     let link_flipped = touched.links.iter().any(|&e| {
         let feasible_then = then_bandwidth(e) + sdn::CAPACITY_EPS >= b;
-        let feasible_now = now.residual_bandwidth(e) + sdn::CAPACITY_EPS >= b;
+        let feasible_now = now.usable_bandwidth(e) + sdn::CAPACITY_EPS >= b;
         feasible_then != feasible_now
     });
     if link_flipped {
@@ -91,29 +121,24 @@ pub fn feasibility_disturbed(
     touched.servers.iter().any(|&v| {
         let feasible_then = then_computing(v).is_some_and(|r| r + sdn::CAPACITY_EPS >= demand);
         let feasible_now = now
-            .residual_computing(v)
+            .usable_computing(v)
             .is_some_and(|r| r + sdn::CAPACITY_EPS >= demand);
         feasible_then != feasible_now
     })
 }
 
-/// Final validation of an undisturbed speculative plan against the live
-/// state: the feasible subgraph is identical, so the tree is the one the
-/// sequential loop would have computed, but its *accumulated* load check
-/// (a tree may traverse one link several times) must run against the
-/// live residuals it is about to be charged to.
+/// Final resolution of an undisturbed speculative plan against the live
+/// state: the feasible subgraph is identical, so the planned tree (or the
+/// absence of one) is exactly what the sequential loop would compute on
+/// the live state — and the decision then hinges on the *accumulated*
+/// load check (a tree may traverse one link several times), which must
+/// run against the live residuals it is about to be charged to. The
+/// snapshot-side verdict of that check is irrelevant and deliberately not
+/// part of [`CapPlan`]: only the live verdict matches the sequential
+/// decision.
 #[must_use]
-pub fn validate_speculative(plan: Admission, request: &MulticastRequest, now: &Sdn) -> Admission {
-    match plan {
-        Admission::Admitted(tree) => {
-            if now.can_allocate(&tree.allocation(request)) {
-                Admission::Admitted(tree)
-            } else {
-                Admission::Rejected
-            }
-        }
-        Admission::Rejected => Admission::Rejected,
-    }
+pub fn validate_speculative(plan: CapPlan, request: &MulticastRequest, now: &Sdn) -> Admission {
+    plan.admit(now, request)
 }
 
 #[cfg(test)]

@@ -182,6 +182,23 @@ mod tests {
         assert!(is_connected(&Graph::with_nodes(1)));
     }
 
+    // Both traversals share one out-of-range contract: the documented
+    // panic, checked up front — never a silent empty (or partial) order.
+
+    #[test]
+    #[should_panic(expected = "not in graph")]
+    fn bfs_panics_on_foreign_start() {
+        let (g, _) = two_components();
+        let _ = bfs_order(&g, NodeId::new(g.node_count()));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in graph")]
+    fn dfs_panics_on_foreign_start() {
+        let (g, _) = two_components();
+        let _ = dfs_order(&g, NodeId::new(g.node_count()));
+    }
+
     #[test]
     fn fully_connected_graph() {
         let mut g = Graph::new();

@@ -646,10 +646,16 @@ fn render_pipeline_json(workers: usize, points: &[PipelinePoint]) -> String {
 
 fn run_pipeline(check: bool) {
     telemetry::enable();
-    let workers_override: Option<usize> = std::env::var("NFV_PIPELINE_WORKERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&w| w != PIPE_WORKERS && w > 0);
+    // Any set NFV_PIPELINE_WORKERS is an override — even the default
+    // worker count — so override runs never write the snapshot and
+    // --check always refuses the env var. Junk values fail loudly
+    // instead of silently running the gated configuration.
+    let workers_override: Option<usize> = std::env::var("NFV_PIPELINE_WORKERS").ok().map(|v| {
+        v.parse::<usize>()
+            .ok()
+            .filter(|&w| w > 0)
+            .unwrap_or_else(|| panic!("NFV_PIPELINE_WORKERS must be a positive integer, got {v:?}"))
+    });
     assert!(
         !(check && workers_override.is_some()),
         "--check compares against the committed baseline and cannot run with NFV_PIPELINE_WORKERS"

@@ -1,22 +1,27 @@
 //! Property tests for the streaming admission pipeline: decisions, trees,
 //! and the final residual state must be byte-identical to an independent
 //! sequential replay of the same timed stream — across random seeds,
-//! window sizes, worker counts, snapshot refresh thresholds, and
-//! interleaved departures — and shutdown must drain the in-flight window
-//! (exactly one decision per pushed arrival, in arrival order).
+//! window sizes, worker counts, snapshot refresh thresholds, interleaved
+//! departures, and injected link/server faults — and shutdown must drain
+//! the in-flight window (exactly one decision per pushed arrival, in
+//! arrival order).
 //!
 //! The reference below is deliberately *not* the pipeline's own inline
 //! mode: it replays the stream with `ActiveSessions` and
 //! `appro_multi_cap_with_scratch`, sharing no speculation, snapshot, or
-//! session-manager machinery with the code under test.
+//! session-manager machinery with the code under test. (The one exception
+//! is the repair-service property, whose reference *is* the inline
+//! pipeline: `SessionManager::repair` has no independent twin to replay.)
 
 use integration_tests::waxman_fixture;
-use nfv_engine::{AdmissionPipeline, PipelineConfig};
+use nfv_engine::{
+    run_stream, AdmissionPipeline, FaultEvent, PipelineConfig, RepairConfig, StreamEvent,
+};
 use nfv_multicast::{appro_multi_cap_with_scratch, Admission, ApproScratch};
 use nfv_online::{ActiveSessions, TimedRequest};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use sdn::Sdn;
 use workload::{PoissonWorkload, RequestGenerator};
 
@@ -48,6 +53,70 @@ fn reference_stream(mut sdn: Sdn, stream: &[TimedRequest], k: usize) -> (Sdn, Ve
             active.insert(tr.request.id, tr.arrival + tr.duration, alloc);
         }
         decisions.push(adm);
+    }
+    (sdn, decisions)
+}
+
+/// Interleaves `faults` random link/server fail/recover events (drawn
+/// from `sdn`'s own elements, so every event names a known target) into
+/// the sorted arrival stream at random positions.
+fn faulty_events(
+    sdn: &Sdn,
+    stream: Vec<TimedRequest>,
+    faults: usize,
+    seed: u64,
+) -> Vec<StreamEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let links: Vec<_> = sdn.graph().edges().map(|e| e.id).collect();
+    let servers: Vec<_> = sdn.servers().to_vec();
+    let mut events: Vec<StreamEvent> = stream.into_iter().map(StreamEvent::Arrival).collect();
+    for _ in 0..faults {
+        let fault = match rng.gen_range(0..4) {
+            0 => FaultEvent::FailLink(links[rng.gen_range(0..links.len())]),
+            1 => FaultEvent::RecoverLink(links[rng.gen_range(0..links.len())]),
+            2 => FaultEvent::FailServer(servers[rng.gen_range(0..servers.len())]),
+            _ => FaultEvent::RecoverServer(servers[rng.gen_range(0..servers.len())]),
+        };
+        let pos = rng.gen_range(0..=events.len());
+        events.insert(pos, StreamEvent::Fault(fault));
+    }
+    events
+}
+
+/// Independent sequential replay of a mixed arrival/fault stream without
+/// a repair service: faults flip liveness on the reference network at the
+/// same stream positions, and planning reads the usable (alive-masked)
+/// view exactly as the pipeline's committer does.
+fn reference_faulty_stream(
+    mut sdn: Sdn,
+    events: &[StreamEvent],
+    k: usize,
+) -> (Sdn, Vec<Admission>) {
+    let mut active = ActiveSessions::new();
+    let mut scratch = ApproScratch::new();
+    let mut decisions = Vec::new();
+    for ev in events {
+        match ev {
+            StreamEvent::Arrival(tr) => {
+                active.release_due(&mut sdn, tr.arrival);
+                let adm = appro_multi_cap_with_scratch(&sdn, &tr.request, k, &mut scratch);
+                if let Admission::Admitted(tree) = &adm {
+                    let alloc = tree.allocation(&tr.request);
+                    sdn.allocate(&alloc).expect("admitted tree fits");
+                    active.insert(tr.request.id, tr.arrival + tr.duration, alloc);
+                }
+                decisions.push(adm);
+            }
+            StreamEvent::Fault(f) => {
+                let _changed = match *f {
+                    FaultEvent::FailLink(e) => sdn.fail_link(e),
+                    FaultEvent::RecoverLink(e) => sdn.recover_link(e),
+                    FaultEvent::FailServer(v) => sdn.fail_server(v),
+                    FaultEvent::RecoverServer(v) => sdn.recover_server(v),
+                }
+                .expect("fixture faults name known elements");
+            }
+        }
     }
     (sdn, decisions)
 }
@@ -123,5 +192,74 @@ proptest! {
         prop_assert_eq!(&out.decisions, &ref_decisions);
         prop_assert_eq!(&out.sdn, &ref_net);
         prop_assert_eq!(out.decisions.len(), count);
+    }
+
+    /// Faults interleaved with arrivals stay byte-identical to the
+    /// sequential replay even when the refresh throttle would otherwise
+    /// keep a pre-fault snapshot live (`refresh in 2..8`): a liveness
+    /// flip is invisible to the touched-set disturbance check, so the
+    /// pipeline must force-republish before the next plan is dispatched.
+    #[test]
+    fn faults_under_throttled_refresh_equal_sequential_replay(
+        seed in 0u64..500,
+        count in 4usize..30,
+        workers in 0usize..4,
+        window in 1usize..10,
+        refresh in 2usize..8,
+        faults in 1usize..6,
+        fault_seed in 0u64..1000,
+    ) {
+        let n = 30;
+        let fresh = waxman_fixture(n, 422);
+        let stream = timed_stream(n, count, seed, 4.0);
+        let events = faulty_events(&fresh, stream, faults, fault_seed);
+        let (ref_net, ref_decisions) = reference_faulty_stream(fresh.clone(), &events, 2);
+
+        let config = PipelineConfig::new(2)
+            .with_workers(workers)
+            .with_window(window)
+            .with_refresh(refresh);
+        let out = run_stream(fresh, events, config)
+            .expect("fixture faults name known elements");
+
+        prop_assert_eq!(&out.decisions, &ref_decisions);
+        prop_assert_eq!(&out.sdn, &ref_net);
+        prop_assert_eq!(out.decisions.len(), count);
+    }
+
+    /// With the repair service on, the full stack (faults, repairs,
+    /// departures) is deterministic: any pipelined worker count replays
+    /// the inline (workers = 0) reference byte-for-byte under throttled
+    /// refresh.
+    #[test]
+    fn faults_with_repair_pipelined_equals_inline(
+        seed in 0u64..500,
+        count in 4usize..24,
+        workers in 1usize..4,
+        window in 1usize..8,
+        refresh in 2usize..8,
+        faults in 1usize..5,
+        fault_seed in 0u64..1000,
+    ) {
+        let n = 30;
+        let fresh = waxman_fixture(n, 423);
+        let stream = timed_stream(n, count, seed, 4.0);
+        let events = faulty_events(&fresh, stream, faults, fault_seed);
+
+        let inline_cfg = PipelineConfig::new(2).with_repair(RepairConfig::new(2));
+        let reference = run_stream(fresh.clone(), events.clone(), inline_cfg)
+            .expect("fixture faults name known elements");
+
+        let cfg = PipelineConfig::new(2)
+            .with_workers(workers)
+            .with_window(window)
+            .with_refresh(refresh)
+            .with_repair(RepairConfig::new(2));
+        let out = run_stream(fresh, events, cfg)
+            .expect("fixture faults name known elements");
+
+        prop_assert_eq!(&out.decisions, &reference.decisions);
+        prop_assert_eq!(&out.sdn, &reference.sdn);
+        prop_assert_eq!(out.report.departed, reference.report.departed);
     }
 }
