@@ -176,14 +176,22 @@ impl AuxiliaryGraph {
                 distribution_cost += self.graph.edge(e).weight;
             } else {
                 let vi = idx - self.base_edges;
-                let (path, ingress_cost) = &self.ingress[vi];
+                let (Some((path, ingress_cost)), Some(&server), Some(&server_cost)) = (
+                    self.ingress.get(vi),
+                    self.virtual_servers.get(vi),
+                    self.server_costs.get(vi),
+                ) else {
+                    // A foreign edge is a caller bug per the documented contract.
+                    // lint:allow(P1): documented panic contract
+                    panic!("steiner tree references edge outside the auxiliary graph");
+                };
                 servers.push(ServerUse {
-                    server: self.virtual_servers[vi],
+                    server,
                     ingress_edges: path.clone(),
                     ingress_cost: *ingress_cost,
-                    computing_cost: self.server_costs[vi],
+                    computing_cost: server_cost,
                 });
-                computing_cost += self.server_costs[vi];
+                computing_cost += server_cost;
             }
         }
         assert!(
@@ -208,7 +216,8 @@ impl AuxiliaryGraph {
         let ingress_cost: f64 = pseudo
             .ingress_union()
             .iter()
-            .map(|&e| self.unit_costs[e.index()] * b)
+            .filter_map(|&e| self.unit_costs.get(e.index()))
+            .map(|&unit| unit * b)
             .sum();
         pseudo.bandwidth_cost = ingress_cost + distribution_cost;
         debug_assert!(

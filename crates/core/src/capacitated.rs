@@ -16,6 +16,7 @@
 use crate::{appro_multi_on_scratch, ApproScratch, PseudoMulticastTree};
 use netgraph::{EdgeId, NodeId};
 use sdn::{MulticastRequest, Sdn, SdnBuilder};
+use std::collections::BTreeSet;
 
 /// The outcome of a capacitated admission attempt.
 #[derive(Debug, Clone, PartialEq)]
@@ -141,6 +142,28 @@ pub fn appro_multi_cap_plan_with_scratch(
     k: usize,
     scratch: &mut ApproScratch,
 ) -> CapPlan {
+    appro_multi_cap_plan_excluding(sdn, request, k, &BTreeSet::new(), scratch)
+}
+
+/// [`appro_multi_cap_plan_with_scratch`] on the subgraph without the links
+/// in `excluded`: the excluded links are dropped from the feasible sub-SDN
+/// exactly like dead or saturated ones.
+///
+/// This is the planning primitive of backup-tree protection: planning with
+/// `excluded = {e}` yields the tree the session would use if link `e`
+/// failed, computed *before* it fails.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn appro_multi_cap_plan_excluding(
+    sdn: &Sdn,
+    request: &MulticastRequest,
+    k: usize,
+    excluded: &BTreeSet<EdgeId>,
+    scratch: &mut ApproScratch,
+) -> CapPlan {
     assert!(k >= 1, "at least one server is required (K >= 1)");
     let b = request.bandwidth;
     let demand = request.computing_demand();
@@ -170,7 +193,10 @@ pub fn appro_multi_cap_plan_with_scratch(
     }
     let mut edge_map: Vec<EdgeId> = Vec::new(); // filtered edge idx -> original id
     for e in g.edges() {
-        if sdn.is_link_alive(e.id) && sdn.residual_bandwidth(e.id) + 1e-9 >= b {
+        if sdn.is_link_alive(e.id)
+            && !excluded.contains(&e.id)
+            && sdn.residual_bandwidth(e.id) + 1e-9 >= b
+        {
             bld.add_link(e.u, e.v, sdn.bandwidth_capacity(e.id), e.weight)
                 .expect("copied link is valid"); // lint:allow(P1): copies a link the parent network already validated
             edge_map.push(e.id);
@@ -182,19 +208,23 @@ pub fn appro_multi_cap_plan_with_scratch(
         return CapPlan::NoTree;
     };
 
-    // Translate edge ids back to the original network.
+    // Translate edge ids back to the original network. Every edge of the
+    // planned tree is an edge of the filtered graph, so the map lookup
+    // always succeeds; an out-of-range id would mean the planner invented
+    // an edge, and keeping it untranslated would silently corrupt the
+    // tree — fail loudly instead.
+    let translate = |e: &mut EdgeId| {
+        *e = edge_map
+            .get(e.index())
+            .copied()
+            .expect("planned edge is an edge of the filtered graph"); // lint:allow(P1): planner only emits filtered-graph edges
+    };
     let mut tree = tree;
     for su in &mut tree.servers {
-        for e in &mut su.ingress_edges {
-            *e = edge_map[e.index()];
-        }
+        su.ingress_edges.iter_mut().for_each(translate);
     }
-    for e in &mut tree.distribution_edges {
-        *e = edge_map[e.index()];
-    }
-    for e in &mut tree.extra_traversals {
-        *e = edge_map[e.index()];
-    }
+    tree.distribution_edges.iter_mut().for_each(translate);
+    tree.extra_traversals.iter_mut().for_each(translate);
 
     // A link may carry the request once per traversal (ingress paths can
     // overlap the distribution structure); the caller resolves the

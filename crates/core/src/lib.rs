@@ -74,8 +74,8 @@ pub use cache::{
     PathCacheOptions,
 };
 pub use capacitated::{
-    appro_multi_cap, appro_multi_cap_plan_with_scratch, appro_multi_cap_with_scratch, Admission,
-    CapPlan,
+    appro_multi_cap, appro_multi_cap_plan_excluding, appro_multi_cap_plan_with_scratch,
+    appro_multi_cap_with_scratch, Admission, CapPlan,
 };
 pub use combinations::{combinations_up_to, Combinations};
 pub use delay::{appro_multi_delay_bounded, max_delivery_hops, DelayBounded};

@@ -146,6 +146,16 @@ pub fn audit(sdn: &Sdn, manager: &SessionManager) -> Result<(), AuditError> {
             *server_load.entry(v).or_insert(0.0) += l;
         }
     }
+    // Reserved backup trees hold real ledger capacity too (policy
+    // `Reserved`); best-effort backups hold none and contribute nothing.
+    for alloc in manager.backup_reservations() {
+        for (e, l) in alloc.links() {
+            *link_load.entry(e).or_insert(0.0) += l;
+        }
+        for (v, l) in alloc.servers() {
+            *server_load.entry(v).or_insert(0.0) += l;
+        }
+    }
 
     for e in sdn.graph().edges() {
         let cap = sdn.bandwidth_capacity(e.id);

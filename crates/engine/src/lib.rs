@@ -31,6 +31,7 @@ pub mod audit;
 mod batch;
 pub mod pipeline;
 pub mod repair;
+pub mod resilience;
 mod spec;
 
 pub use audit::{audit, AuditError, Auditor, CacheStamp};
@@ -42,3 +43,4 @@ pub use pipeline::{
 pub use repair::{
     CommittedSession, Departure, RepairConfig, RepairPolicy, RepairReport, SessionManager,
 };
+pub use resilience::{BackupPolicy, BackupTree, GraftOutcome, PruneOutcome, ResilienceConfig};

@@ -82,6 +82,10 @@ pub struct PipelineConfig {
     /// [`AdmissionPipeline::inject`] run [`SessionManager::repair`] with
     /// this config after applying the fault.
     pub repair: Option<RepairConfig>,
+    /// Proactive protection: when set, every admission is followed by
+    /// [`SessionManager::protect`], so a later fault can restore the
+    /// session with a precomputed backup-tree swap instead of a replan.
+    pub resilience: Option<crate::resilience::ResilienceConfig>,
 }
 
 impl PipelineConfig {
@@ -95,6 +99,7 @@ impl PipelineConfig {
             window: 8,
             refresh: 1,
             repair: None,
+            resilience: None,
         }
     }
 
@@ -123,6 +128,13 @@ impl PipelineConfig {
     #[must_use]
     pub fn with_repair(mut self, repair: RepairConfig) -> Self {
         self.repair = Some(repair);
+        self
+    }
+
+    /// Enables proactive backup-tree protection.
+    #[must_use]
+    pub fn with_resilience(mut self, resilience: crate::resilience::ResilienceConfig) -> Self {
+        self.resilience = Some(resilience);
         self
     }
 }
@@ -304,7 +316,9 @@ impl AdmissionPipeline {
         AdmissionPipeline {
             cfg: config,
             sdn,
-            sessions: SessionManager::new(),
+            sessions: config
+                .resilience
+                .map_or_else(SessionManager::new, SessionManager::with_resilience),
             deadlines: BTreeMap::new(),
             window: VecDeque::new(),
             reorder: BTreeMap::new(),
@@ -565,6 +579,18 @@ impl AdmissionPipeline {
             self.deadlines.insert(req.id, now + timed.duration);
             self.report.admitted += 1;
             self.mutations_since_publish += 1;
+            if self.cfg.resilience.is_some() {
+                // Protect at admission time. Reserved-policy reservations
+                // move live residuals, so they enter the epoch delta like
+                // any other commit.
+                let charged = self
+                    .sessions
+                    .protect(&mut self.sdn, req.id, &mut self.scratch);
+                for reservation in &charged {
+                    self.touch(reservation);
+                    self.mutations_since_publish += 1;
+                }
+            }
         } else {
             self.report.rejected += 1;
         }
@@ -584,6 +610,9 @@ impl AdmissionPipeline {
         for id in due {
             self.deadlines.remove(&id);
             let alloc = self.sessions.session(id).map(|s| s.allocation.clone());
+            // The departure also hands back any reserved backup capacity;
+            // snapshot those allocations before they are discarded.
+            let reservations = self.sessions.reserved_backup_allocations(id);
             let outcome = self
                 .sessions
                 .depart(&mut self.sdn, id)
@@ -591,6 +620,10 @@ impl AdmissionPipeline {
             if outcome == crate::repair::Departure::Released {
                 if let Some(alloc) = alloc {
                     self.touch(&alloc);
+                }
+                for reservation in &reservations {
+                    self.touch(reservation);
+                    self.mutations_since_publish += 1;
                 }
                 self.report.departed += 1;
                 self.mutations_since_publish += 1;
@@ -850,6 +883,46 @@ mod tests {
             .with_repair(RepairConfig::new(2));
         let out = run_stream(net, events, cfg).unwrap();
         assert_eq!(out.decisions.len(), 10);
+    }
+
+    #[test]
+    fn resilient_pipeline_fails_over_without_a_plan_event() {
+        use crate::resilience::{BackupPolicy, ResilienceConfig};
+        for policy in [BackupPolicy::BestEffort, BackupPolicy::Reserved] {
+            let mut bld = SdnBuilder::new();
+            let s = bld.add_switch();
+            let m1 = bld.add_server(4_000.0, 1.0);
+            let m2 = bld.add_server(4_000.0, 1.0);
+            let d = bld.add_switch();
+            let _ = bld.add_link(s, m1, 1_000.0, 1.0).unwrap();
+            let e1 = bld.add_link(m1, d, 1_000.0, 1.0).unwrap();
+            let _ = bld.add_link(s, m2, 1_000.0, 3.0).unwrap();
+            let _ = bld.add_link(m2, d, 1_000.0, 3.0).unwrap();
+            let net = bld.build().unwrap();
+            let chain = ServiceChain::new(vec![NfvType::Firewall]);
+            let req = MulticastRequest::new(RequestId(0), s, vec![d], 100.0, chain);
+
+            let cfg = PipelineConfig::new(1)
+                .with_workers(2)
+                .with_repair(RepairConfig::new(1))
+                .with_resilience(ResilienceConfig::new(1).with_policy(policy).with_top_f(2));
+            let mut p = AdmissionPipeline::launch(net, cfg);
+            p.push(TimedRequest::new(req, 0.0, 1e9));
+            // The protected session fails over with zero planner work.
+            let report = p.inject(FaultEvent::FailLink(e1)).unwrap();
+            assert_eq!(report.swapped, vec![RequestId(0)], "{policy:?}");
+            assert!(report.repaired.is_empty());
+            assert_eq!(report.plan_events, 0, "{policy:?}");
+            let out = p.finish();
+            assert_eq!(
+                out.sessions
+                    .session(RequestId(0))
+                    .unwrap()
+                    .tree
+                    .servers_used(),
+                vec![m2]
+            );
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! next [`SessionManager::repair`] call (typically after a recovery
 //! event restores some capacity).
 
+use crate::resilience::{BackupTree, ResilienceConfig};
 use netgraph::{EdgeId, NodeId, UnionFind};
 use nfv_multicast::{appro_multi_cap_with_scratch, Admission, ApproScratch, PseudoMulticastTree};
 use sdn::{Allocation, MulticastRequest, RequestId, Sdn, SdnError};
@@ -112,6 +113,14 @@ struct PendingRepair {
     attempts: usize,
 }
 
+/// One broken session detached from the network, awaiting either a
+/// backup-tree swap or a reactive replan.
+struct Casualty {
+    id: RequestId,
+    request: MulticastRequest,
+    backups: Vec<BackupTree>,
+}
+
 /// What one [`SessionManager::repair`] call did, in ascending request-id
 /// order within each category.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -119,6 +128,9 @@ pub struct RepairReport {
     /// Sessions newly broken by failures since the last call (released
     /// and queued for replanning this call).
     pub broken: Vec<RequestId>,
+    /// Sessions restored by swapping to a precomputed backup tree —
+    /// O(commit), no planner invocation.
+    pub swapped: Vec<RequestId>,
     /// Sessions recommitted with their full destination set.
     pub repaired: Vec<RequestId>,
     /// Sessions recommitted on a reduced destination set, with the number
@@ -130,6 +142,10 @@ pub struct RepairReport {
     /// Sessions still pending with attempt budget left; retried on the
     /// next call.
     pub deferred: Vec<RequestId>,
+    /// Planner invocations spent restoring broken/pending sessions (the
+    /// logical repair latency — backup-tree swaps contribute zero;
+    /// re-protection planning is not counted).
+    pub plan_events: u64,
 }
 
 impl RepairReport {
@@ -137,6 +153,7 @@ impl RepairReport {
     #[must_use]
     pub fn is_quiet(&self) -> bool {
         self.broken.is_empty()
+            && self.swapped.is_empty()
             && self.repaired.is_empty()
             && self.degraded.is_empty()
             && self.dropped.is_empty()
@@ -150,11 +167,19 @@ impl RepairReport {
 /// every repair decision — is deterministic in request-id order.
 #[derive(Debug, Clone, Default)]
 pub struct SessionManager {
-    sessions: BTreeMap<RequestId, CommittedSession>,
+    pub(crate) sessions: BTreeMap<RequestId, CommittedSession>,
     link_members: BTreeMap<EdgeId, BTreeSet<RequestId>>,
     server_members: BTreeMap<NodeId, BTreeSet<RequestId>>,
     pending: BTreeMap<RequestId, PendingRepair>,
     double_release_count: u64,
+    /// Proactive protection knobs; `None` disables backups, grafting
+    /// drift tracking, and re-optimization (the pre-resilience behavior).
+    pub(crate) resilience: Option<ResilienceConfig>,
+    /// Precomputed backup trees per protected session.
+    pub(crate) backups: BTreeMap<RequestId, Vec<BackupTree>>,
+    /// Accumulated graft/prune cost drift per session, vs the cost of its
+    /// last full plan.
+    pub(crate) drift: BTreeMap<RequestId, f64>,
 }
 
 impl SessionManager {
@@ -250,12 +275,7 @@ impl SessionManager {
         }
         let allocation = tree.allocation(&request);
         sdn.allocate(&allocation)?;
-        for (e, _) in allocation.links() {
-            self.link_members.entry(e).or_default().insert(id);
-        }
-        for (v, _) in allocation.servers() {
-            self.server_members.entry(v).or_default().insert(id);
-        }
+        self.index(id, &allocation);
         self.sessions.insert(
             id,
             CommittedSession {
@@ -282,11 +302,19 @@ impl SessionManager {
         if let Some(s) = self.sessions.remove(&id) {
             self.unindex(id, &s.allocation);
             sdn.release(&s.allocation)?;
+            self.discard_backups(sdn, id);
+            self.drift.remove(&id);
             telemetry::hit(telemetry::Counter::SessionsDeparted);
             telemetry::gauge_set(telemetry::Gauge::ActiveSessions, self.sessions.len() as u64);
             return Ok(Departure::Released);
         }
         if self.pending.remove(&id).is_some() {
+            // A pending session's own allocation was already released when
+            // it broke, and its backups were consumed by that same repair
+            // pass — but purge defensively so a departed id can never leak
+            // a reservation.
+            self.discard_backups(sdn, id);
+            self.drift.remove(&id);
             telemetry::gauge_set(telemetry::Gauge::PendingRepairs, self.pending.len() as u64);
             return Ok(Departure::Cancelled);
         }
@@ -337,6 +365,10 @@ impl SessionManager {
                 report.broken.len() as u64,
             );
         }
+        // Detach every casualty first: release its allocation *and* its
+        // reserved backup capacity, so the swap/replan phase below sees the
+        // full surviving residual.
+        let mut casualties: Vec<Casualty> = Vec::with_capacity(report.broken.len());
         for &id in &report.broken {
             let s = self
                 .sessions
@@ -345,14 +377,59 @@ impl SessionManager {
             self.unindex(id, &s.allocation);
             sdn.release(&s.allocation)
                 .expect("invariant: a committed allocation releases cleanly"); // lint:allow(P1): a committed allocation was applied, so release balances
-            self.pending.insert(
+            self.drift.remove(&id);
+            let backups = self.backups.remove(&id).unwrap_or_default();
+            for b in &backups {
+                if b.reserved {
+                    sdn.release(&b.allocation)
+                        // lint:allow(P1): the reservation was applied at protect time, so release balances
+                        .expect("invariant: a charged reservation releases cleanly");
+                }
+            }
+            casualties.push(Casualty {
                 id,
-                PendingRepair {
-                    request: s.request,
-                    attempts: 0,
-                },
-            );
+                request: s.request,
+                backups,
+            });
         }
+
+        // Failover phase: swap each casualty to its precomputed backup
+        // tree when one avoids every dead element and still fits — an
+        // O(commit) restore, zero planner invocations. The rest falls back
+        // to the reactive pending-repair queue.
+        for c in casualties {
+            let candidates = c.backups.len();
+            let chosen = c.backups.into_iter().find(|b| {
+                b.allocation.links().all(|(e, _)| sdn.is_link_alive(e))
+                    && b.allocation.servers().all(|(v, _)| sdn.is_server_alive(v))
+                    && sdn.can_allocate(&b.allocation)
+            });
+            if let Some(b) = chosen {
+                self.commit(sdn, c.request, b.tree)
+                    .expect("invariant: a fitting backup tree commits cleanly"); // lint:allow(P1): fit was just checked against the live residual
+                telemetry::hit(telemetry::Counter::BackupHits);
+                telemetry::add(
+                    telemetry::Counter::BackupDiscarded,
+                    candidates.saturating_sub(1) as u64,
+                );
+                telemetry::observe(telemetry::Hist::FailoverPlanEvents, 0);
+                telemetry::record(telemetry::Event::SessionFailedOver { request: c.id.0 });
+                report.swapped.push(c.id);
+            } else {
+                if self.resilience.is_some() {
+                    telemetry::hit(telemetry::Counter::BackupMisses);
+                }
+                telemetry::add(telemetry::Counter::BackupDiscarded, candidates as u64);
+                self.pending.insert(
+                    c.id,
+                    PendingRepair {
+                        request: c.request,
+                        attempts: 0,
+                    },
+                );
+            }
+        }
+        self.update_reserved_gauge();
 
         let queue: Vec<RequestId> = self.pending.keys().copied().collect();
         for id in queue {
@@ -366,6 +443,7 @@ impl SessionManager {
             }
             let request = entry.request.clone();
 
+            report.plan_events += 1;
             if let Admission::Admitted(tree) =
                 appro_multi_cap_with_scratch(sdn, &request, config.k, scratch)
             {
@@ -373,6 +451,7 @@ impl SessionManager {
                 self.commit(sdn, request, tree)
                     .expect("invariant: a replanned tree fits the residual it was planned on"); // lint:allow(P1): replanning ran on the exact residual being committed
                 telemetry::hit(telemetry::Counter::RepairRepaired);
+                telemetry::observe(telemetry::Hist::FailoverPlanEvents, 1);
                 telemetry::record(telemetry::Event::SessionRepaired { request: id.0 });
                 report.repaired.push(id);
                 continue;
@@ -381,6 +460,7 @@ impl SessionManager {
             if config.policy == RepairPolicy::Degrade {
                 if let Some(reduced) = reachable_subrequest(sdn, &request) {
                     let shed = request.destinations.len() - reduced.destinations.len();
+                    report.plan_events += 1;
                     if let Admission::Admitted(tree) =
                         appro_multi_cap_with_scratch(sdn, &reduced, config.k, scratch)
                     {
@@ -388,6 +468,7 @@ impl SessionManager {
                         self.commit(sdn, reduced, tree)
                             .expect("invariant: a degraded tree fits the residual"); // lint:allow(P1): the degraded tree was planned on this exact residual
                         telemetry::hit(telemetry::Counter::RepairDegraded);
+                        telemetry::observe(telemetry::Hist::FailoverPlanEvents, 2);
                         telemetry::record(telemetry::Event::SessionDegraded {
                             request: id.0,
                             shed_terminals: shed as u64,
@@ -414,12 +495,35 @@ impl SessionManager {
                 report.deferred.push(id);
             }
         }
+        // Every restored session lost its backups when it broke (or never
+        // had any); re-protect so the next failure can swap again.
+        if self.resilience.is_some() {
+            let restored: BTreeSet<RequestId> = report
+                .swapped
+                .iter()
+                .chain(report.repaired.iter())
+                .chain(report.degraded.iter().map(|(id, _)| id))
+                .copied()
+                .collect();
+            for id in restored {
+                let _ = self.protect(sdn, id, scratch);
+            }
+        }
         telemetry::gauge_set(telemetry::Gauge::PendingRepairs, self.pending.len() as u64);
         telemetry::gauge_set(telemetry::Gauge::ActiveSessions, self.sessions.len() as u64);
         report
     }
 
-    fn unindex(&mut self, id: RequestId, allocation: &Allocation) {
+    pub(crate) fn index(&mut self, id: RequestId, allocation: &Allocation) {
+        for (e, _) in allocation.links() {
+            self.link_members.entry(e).or_default().insert(id);
+        }
+        for (v, _) in allocation.servers() {
+            self.server_members.entry(v).or_default().insert(id);
+        }
+    }
+
+    pub(crate) fn unindex(&mut self, id: RequestId, allocation: &Allocation) {
         for (e, _) in allocation.links() {
             if let Some(members) = self.link_members.get_mut(&e) {
                 members.remove(&id);
@@ -672,6 +776,37 @@ mod tests {
         );
         assert!(mgr.pending_repairs().is_empty());
         assert_eq!(mgr.double_release_count(), 0);
+    }
+
+    #[test]
+    fn departed_pending_session_is_never_replanned_after_recovery() {
+        let (mut sdn, v, e) = fixture();
+        let fresh = sdn.clone();
+        let mut mgr = SessionManager::new();
+        let mut scratch = ApproScratch::new();
+        assert!(mgr
+            .admit(&mut sdn, &req(&v, 0, vec![v[4]]), 1, &mut scratch)
+            .unwrap());
+        // Break the session beyond repair, leaving it pending.
+        sdn.fail_link(e[1]).unwrap();
+        sdn.fail_link(e[4]).unwrap();
+        let cfg = RepairConfig::new(1).with_max_retries(5);
+        mgr.repair(&mut sdn, &cfg, &mut scratch);
+        assert_eq!(mgr.pending_repairs(), vec![RequestId(0)]);
+        // The user departs while the session awaits repair.
+        assert_eq!(
+            mgr.depart(&mut sdn, RequestId(0)).unwrap(),
+            Departure::Cancelled
+        );
+        // Capacity comes back — the repair pass must not resurrect the
+        // departed session.
+        sdn.recover_link(e[1]).unwrap();
+        sdn.recover_link(e[4]).unwrap();
+        let report = mgr.repair(&mut sdn, &cfg, &mut scratch);
+        assert!(report.is_quiet());
+        assert!(mgr.is_empty());
+        assert!(mgr.pending_repairs().is_empty());
+        assert_eq!(sdn, fresh);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 pub mod ablation;
 pub mod batch;
 pub mod chaos;
+pub mod churn;
 pub mod dynamic;
 pub mod fig5;
 pub mod fig6;

@@ -19,6 +19,9 @@
 //!   tree's weight from a pairwise distance bound (e.g. a landmark/ALT
 //!   oracle), for ordering and pruning Steiner instances before they are
 //!   built.
+//! * [`join`] / [`join_excluding`] — dynamic-Steiner grafting: attach one
+//!   new terminal to an existing tree via its cheapest (optionally
+//!   edge-excluding) path, without re-solving the instance.
 //!
 //! ## Example
 //!
@@ -46,6 +49,7 @@
 mod bound;
 mod exact;
 mod improve;
+mod join;
 mod kmb;
 mod mehlhorn;
 mod prune;
@@ -55,6 +59,7 @@ mod tree;
 pub use bound::steiner_lower_bound;
 pub use exact::{dreyfus_wagner, MAX_TERMINALS};
 pub use improve::improve;
+pub use join::{join, join_excluding};
 pub use kmb::{kmb, kmb_with_bank, TerminalSptBank};
 pub use mehlhorn::mehlhorn;
 pub use prune::prune_non_terminal_leaves;

@@ -125,6 +125,22 @@ pub enum Counter {
     AuditPasses,
     /// Departures for sessions the manager does not know (guarded no-ops).
     DoubleRelease,
+    /// Backup trees successfully precomputed at protection time.
+    BackupPlanned,
+    /// Broken sessions restored by swapping to a precomputed backup tree.
+    BackupHits,
+    /// Broken sessions whose backups did not cover the failure (fell back
+    /// to a full reroute through the pending-repair queue).
+    BackupMisses,
+    /// Backup trees discarded without being used (session departed,
+    /// grafted, pruned, re-optimized, or a sibling backup was chosen).
+    BackupDiscarded,
+    /// Destinations attached to live sessions by dynamic-Steiner grafting.
+    Grafts,
+    /// Destinations detached from live sessions with exact residual release.
+    Prunes,
+    /// Sessions re-optimized from scratch after drift crossed the bound.
+    Reoptimizations,
     // -- telemetry internal -------------------------------------------------
     /// Events discarded because the event log hit its capacity bound.
     EventsDropped,
@@ -132,7 +148,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in registry (serialisation) order.
-    pub const ALL: [Counter; 36] = [
+    pub const ALL: [Counter; 43] = [
         Counter::DijkstraRuns,
         Counter::HeapDecreaseKeys,
         Counter::VoronoiClosureBuilds,
@@ -168,6 +184,13 @@ impl Counter {
         Counter::RepairDeferred,
         Counter::AuditPasses,
         Counter::DoubleRelease,
+        Counter::BackupPlanned,
+        Counter::BackupHits,
+        Counter::BackupMisses,
+        Counter::BackupDiscarded,
+        Counter::Grafts,
+        Counter::Prunes,
+        Counter::Reoptimizations,
         Counter::EventsDropped,
     ];
 
@@ -209,6 +232,13 @@ impl Counter {
             Counter::RepairDeferred => "repair_deferred",
             Counter::AuditPasses => "audit_passes",
             Counter::DoubleRelease => "double_release",
+            Counter::BackupPlanned => "backup_planned",
+            Counter::BackupHits => "backup_hits",
+            Counter::BackupMisses => "backup_misses",
+            Counter::BackupDiscarded => "backup_discarded",
+            Counter::Grafts => "grafts",
+            Counter::Prunes => "prunes",
+            Counter::Reoptimizations => "reoptimizations",
             Counter::EventsDropped => "events_dropped",
         }
     }
@@ -234,14 +264,18 @@ pub enum Gauge {
     /// Speculative plans currently in flight inside the admission
     /// pipeline's bounded window.
     PipelineDepth,
+    /// Bandwidth units currently held by `Reserved`-policy backup trees
+    /// (the standing capacity overhead of proactive protection).
+    ReservedBackupBandwidth,
 }
 
 impl Gauge {
     /// Every gauge, in registry order.
-    pub const ALL: [Gauge; 3] = [
+    pub const ALL: [Gauge; 4] = [
         Gauge::ActiveSessions,
         Gauge::PendingRepairs,
         Gauge::PipelineDepth,
+        Gauge::ReservedBackupBandwidth,
     ];
 
     /// Stable snake_case name used in JSON and text snapshots.
@@ -250,6 +284,7 @@ impl Gauge {
             Gauge::ActiveSessions => "active_sessions",
             Gauge::PendingRepairs => "pending_repairs",
             Gauge::PipelineDepth => "pipeline_depth",
+            Gauge::ReservedBackupBandwidth => "reserved_backup_bandwidth",
         }
     }
 }
@@ -281,16 +316,29 @@ pub enum Hist {
     /// pipeline commit lands (out-of-order completions waiting their
     /// turn). Scheduling-dependent (see the crate docs).
     CommitQueueWait,
+    /// Edges added to a session's tree per graft (0 for already-covered
+    /// destinations).
+    GraftAttachEdges,
+    /// Accumulated drift as an integer percentage of the session's current
+    /// tree cost, observed at each drift check.
+    DriftRatioPct,
+    /// Planner invocations needed to restore one broken session: 0 for a
+    /// backup-tree swap, ≥1 for a reactive replan — the logical failover
+    /// latency (plan-events, not wall clock).
+    FailoverPlanEvents,
 }
 
 impl Hist {
     /// Every histogram, in registry order.
-    pub const ALL: [Hist; 5] = [
+    pub const ALL: [Hist; 8] = [
         Hist::BatchWaveSize,
         Hist::RepairBatchBroken,
         Hist::CombosPerScan,
         Hist::SnapshotStaleness,
         Hist::CommitQueueWait,
+        Hist::GraftAttachEdges,
+        Hist::DriftRatioPct,
+        Hist::FailoverPlanEvents,
     ];
 
     /// Stable snake_case name used in JSON and text snapshots.
@@ -301,6 +349,9 @@ impl Hist {
             Hist::CombosPerScan => "combos_per_scan",
             Hist::SnapshotStaleness => "snapshot_staleness",
             Hist::CommitQueueWait => "commit_queue_wait",
+            Hist::GraftAttachEdges => "graft_attach_edges",
+            Hist::DriftRatioPct => "drift_ratio_pct",
+            Hist::FailoverPlanEvents => "failover_plan_events",
         }
     }
 }
@@ -352,6 +403,31 @@ pub enum Event {
         /// Raw id of the deferred request.
         request: u64,
     },
+    /// A broken session was restored by swapping to a precomputed backup
+    /// tree (no replanning).
+    SessionFailedOver {
+        /// Raw id of the failed-over request.
+        request: u64,
+    },
+    /// A new destination was attached to a live session by grafting.
+    SessionGrafted {
+        /// Raw id of the grafted session.
+        request: u64,
+        /// Raw node id of the attached destination.
+        destination: u64,
+    },
+    /// A destination was detached from a live session.
+    SessionPruned {
+        /// Raw id of the pruned session.
+        request: u64,
+        /// Raw node id of the detached destination.
+        destination: u64,
+    },
+    /// A drifted session was re-optimized against a fresh plan.
+    SessionReoptimized {
+        /// Raw id of the re-optimized request.
+        request: u64,
+    },
 }
 
 impl Event {
@@ -363,6 +439,10 @@ impl Event {
             Event::SessionDegraded { .. } => "session_degraded",
             Event::SessionDropped { .. } => "session_dropped",
             Event::SessionDeferred { .. } => "session_deferred",
+            Event::SessionFailedOver { .. } => "session_failed_over",
+            Event::SessionGrafted { .. } => "session_grafted",
+            Event::SessionPruned { .. } => "session_pruned",
+            Event::SessionReoptimized { .. } => "session_reoptimized",
         }
     }
 
@@ -373,7 +453,11 @@ impl Event {
             | Event::SessionRepaired { request }
             | Event::SessionDegraded { request, .. }
             | Event::SessionDropped { request }
-            | Event::SessionDeferred { request } => request,
+            | Event::SessionDeferred { request }
+            | Event::SessionFailedOver { request }
+            | Event::SessionGrafted { request, .. }
+            | Event::SessionPruned { request, .. }
+            | Event::SessionReoptimized { request } => request,
         }
     }
 
@@ -381,6 +465,8 @@ impl Event {
     pub const fn arg(self) -> u64 {
         match self {
             Event::SessionDegraded { shed_terminals, .. } => shed_terminals,
+            Event::SessionGrafted { destination, .. }
+            | Event::SessionPruned { destination, .. } => destination,
             _ => 0,
         }
     }
@@ -396,6 +482,16 @@ impl Event {
             }),
             "session_dropped" => Some(Event::SessionDropped { request }),
             "session_deferred" => Some(Event::SessionDeferred { request }),
+            "session_failed_over" => Some(Event::SessionFailedOver { request }),
+            "session_grafted" => Some(Event::SessionGrafted {
+                request,
+                destination: arg,
+            }),
+            "session_pruned" => Some(Event::SessionPruned {
+                request,
+                destination: arg,
+            }),
+            "session_reoptimized" => Some(Event::SessionReoptimized { request }),
             _ => None,
         }
     }

@@ -132,7 +132,7 @@ impl OpenLoopWorkload {
 }
 
 /// Draws from Exp(rate) via inverse transform.
-fn exponential<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> f64 {
+pub(crate) fn exponential<R: Rng + ?Sized>(rate: f64, rng: &mut R) -> f64 {
     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
     -u.ln() / rate
 }

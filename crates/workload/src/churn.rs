@@ -1,0 +1,145 @@
+//! Membership churn: destinations joining and leaving *live* sessions.
+//!
+//! Poisson arrivals/departures model whole sessions appearing and
+//! vanishing; IPTV-style multicast additionally has *viewers* tuning in
+//! and out of sessions that stay up. This module generates that second
+//! event stream: a Poisson process of churn events, each either a **join**
+//! (a uniformly drawn switch subscribes to the multicast — the engine
+//! grafts it onto the session tree) or a **leave** (an existing
+//! destination, addressed by uniform index into whatever the session's
+//! destination list is at that moment, unsubscribes — the engine prunes
+//! it). Which live session an event lands on is the simulator's choice;
+//! the generator deliberately stays session-agnostic so the same stream
+//! can be replayed against different admission policies without the
+//! membership workload shifting.
+//!
+//! Deterministic given the RNG seed, like every generator in this crate.
+
+use netgraph::NodeId;
+use rand::Rng;
+
+/// One membership change, session-agnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// The given switch subscribes to a live session (graft).
+    Join(NodeId),
+    /// The destination at this index — modulo the session's current
+    /// destination count — unsubscribes (prune).
+    Leave(usize),
+}
+
+/// A membership change at a point in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnEvent {
+    /// Event time.
+    pub time: f64,
+    /// What happens.
+    pub action: ChurnAction,
+}
+
+/// Parameters of a Poisson membership-churn workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MembershipChurn {
+    /// Churn event rate (events per unit time).
+    pub rate: f64,
+    /// Probability that an event is a join (the rest are leaves).
+    pub join_fraction: f64,
+}
+
+impl MembershipChurn {
+    /// Creates a churn description.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is positive and finite and `join_fraction`
+    /// lies in `[0, 1]`.
+    #[must_use]
+    pub fn new(rate: f64, join_fraction: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "bad churn rate {rate}");
+        assert!(
+            (0.0..=1.0).contains(&join_fraction),
+            "join fraction {join_fraction} outside [0, 1]"
+        );
+        MembershipChurn {
+            rate,
+            join_fraction,
+        }
+    }
+
+    /// Generates `count` churn events in increasing time order over a
+    /// network of `node_count` switches. Join targets are drawn uniformly
+    /// from the switches; leave indices uniformly from `0..node_count`
+    /// (the simulator reduces them modulo the destination count of the
+    /// session the event lands on).
+    pub fn events_for<R: Rng + ?Sized>(
+        &self,
+        node_count: usize,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<ChurnEvent> {
+        assert!(node_count > 0, "empty network");
+        let mut t = 0.0f64;
+        (0..count)
+            .map(|_| {
+                t += crate::arrivals::exponential(self.rate, rng);
+                let action = if rng.gen_range(0.0..1.0) < self.join_fraction {
+                    ChurnAction::Join(NodeId::new(rng.gen_range(0..node_count)))
+                } else {
+                    ChurnAction::Leave(rng.gen_range(0..node_count))
+                };
+                ChurnEvent { time: t, action }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn events_are_ordered_and_mixed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let churn = MembershipChurn::new(2.0, 0.6);
+        let events = churn.events_for(40, 200, &mut rng);
+        assert_eq!(events.len(), 200);
+        for pair in events.windows(2) {
+            assert!(pair[1].time > pair[0].time);
+        }
+        let joins = events
+            .iter()
+            .filter(|e| matches!(e.action, ChurnAction::Join(_)))
+            .count();
+        // 60% joins with generous slack.
+        assert!((80..=160).contains(&joins), "{joins} joins of 200");
+    }
+
+    #[test]
+    fn extreme_fractions_are_pure() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let all_joins = MembershipChurn::new(1.0, 1.0).events_for(10, 50, &mut rng);
+        assert!(all_joins
+            .iter()
+            .all(|e| matches!(e.action, ChurnAction::Join(_))));
+        let all_leaves = MembershipChurn::new(1.0, 0.0).events_for(10, 50, &mut rng);
+        assert!(all_leaves
+            .iter()
+            .all(|e| matches!(e.action, ChurnAction::Leave(_))));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let churn = MembershipChurn::new(3.0, 0.5);
+        let a = churn.events_for(25, 100, &mut StdRng::seed_from_u64(9));
+        let b = churn.events_for(25, 100, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "join fraction")]
+    fn rejects_bad_fraction() {
+        let _ = MembershipChurn::new(1.0, 1.5);
+    }
+}

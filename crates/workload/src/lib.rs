@@ -29,8 +29,10 @@
 #![forbid(unsafe_code)]
 
 mod arrivals;
+mod churn;
 
 pub use arrivals::{OpenLoopWorkload, PoissonWorkload, TimedSession};
+pub use churn::{ChurnAction, ChurnEvent, MembershipChurn};
 
 use netgraph::NodeId;
 use rand::Rng;
