@@ -172,6 +172,7 @@ impl ApproScratch {
 ///
 /// Panics if `k == 0`.
 #[must_use]
+// lint:entry(api)
 pub fn appro_multi(sdn: &Sdn, request: &MulticastRequest, k: usize) -> Option<PseudoMulticastTree> {
     let mut scratch = ApproScratch::new();
     appro_multi_with_scratch(sdn, request, k, &mut scratch)
@@ -199,6 +200,7 @@ pub fn appro_multi_with_scratch(
 /// entry point `Appro_Multi_Cap` uses after filtering out saturated
 /// servers.
 #[must_use]
+// lint:entry(api)
 pub fn appro_multi_on(
     sdn: &Sdn,
     request: &MulticastRequest,
@@ -530,7 +532,7 @@ fn appro_multi_scan(
             // anything it prunes costs strictly more than the final
             // best and could never have set the incumbent.
             let (lb1, lb2) = tables.lower_bounds(&virt, combo);
-            if lb1.max(lb2) > prune_bound * (1.0 + 1e-9) + 1e-9 {
+            if lb1.max(lb2) > prune_bound * (1.0 + sdn::PRUNE_GUARD_REL) + sdn::PRUNE_GUARD_ABS {
                 scratch.pruned += 1;
                 if lb1 >= lb2 {
                     telemetry::hit(telemetry::Counter::CombosPrunedLb1);

@@ -334,6 +334,7 @@ pub fn appro_multi_cap_cached(
 ///
 /// Panics if `k == 0`.
 #[must_use]
+// lint:entry(api)
 pub fn appro_multi_cap_plan_cached(
     sdn: &Sdn,
     request: &MulticastRequest,

@@ -136,6 +136,7 @@ pub fn appro_multi_cap_with_scratch(
 ///
 /// Panics if `k == 0`.
 #[must_use]
+// lint:entry(api)
 pub fn appro_multi_cap_plan_with_scratch(
     sdn: &Sdn,
     request: &MulticastRequest,
@@ -157,6 +158,7 @@ pub fn appro_multi_cap_plan_with_scratch(
 ///
 /// Panics if `k == 0`.
 #[must_use]
+// lint:entry(api)
 pub fn appro_multi_cap_plan_excluding(
     sdn: &Sdn,
     request: &MulticastRequest,
@@ -178,7 +180,8 @@ pub fn appro_multi_cap_plan_excluding(
     let mut usable_servers: Vec<NodeId> = Vec::new();
     for &v in sdn.servers() {
         // lint:allow(P1): v is drawn from servers()
-        if sdn.is_server_alive(v) && sdn.residual_computing(v).expect("server") + 1e-9 >= demand {
+        let residual = sdn.residual_computing(v).expect("server");
+        if sdn.is_server_alive(v) && residual + sdn::CAPACITY_EPS >= demand {
             bld.attach_server(
                 v,
                 sdn.computing_capacity(v).expect("server"), // lint:allow(P1): v is drawn from servers()
@@ -195,7 +198,7 @@ pub fn appro_multi_cap_plan_excluding(
     for e in g.edges() {
         if sdn.is_link_alive(e.id)
             && !excluded.contains(&e.id)
-            && sdn.residual_bandwidth(e.id) + 1e-9 >= b
+            && sdn.residual_bandwidth(e.id) + sdn::CAPACITY_EPS >= b
         {
             bld.add_link(e.u, e.v, sdn.bandwidth_capacity(e.id), e.weight)
                 .expect("copied link is valid"); // lint:allow(P1): copies a link the parent network already validated

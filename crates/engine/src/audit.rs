@@ -161,7 +161,7 @@ pub fn audit(sdn: &Sdn, manager: &SessionManager) -> Result<(), AuditError> {
         let cap = sdn.bandwidth_capacity(e.id);
         let expected = cap - link_load.get(&e.id).copied().unwrap_or(0.0);
         let actual = sdn.residual_bandwidth(e.id);
-        if (expected - actual).abs() > 1e-6 * (1.0 + cap) {
+        if (expected - actual).abs() > sdn::VALIDATE_REL_TOL * (1.0 + cap) {
             return Err(AuditError::ResidualBandwidthMismatch {
                 link: e.id,
                 expected,
@@ -173,7 +173,7 @@ pub fn audit(sdn: &Sdn, manager: &SessionManager) -> Result<(), AuditError> {
         let cap = sdn.computing_capacity(v).expect("listed server"); // lint:allow(P1): v is drawn from servers()
         let expected = cap - server_load.get(&v).copied().unwrap_or(0.0);
         let actual = sdn.residual_computing(v).expect("listed server"); // lint:allow(P1): v is drawn from servers()
-        if (expected - actual).abs() > 1e-6 * (1.0 + cap) {
+        if (expected - actual).abs() > sdn::VALIDATE_REL_TOL * (1.0 + cap) {
             return Err(AuditError::ResidualComputingMismatch {
                 server: v,
                 expected,

@@ -77,6 +77,7 @@ pub struct BatchReport {
 
 /// The reference implementation: admits `requests` strictly one at a time,
 /// committing each admitted allocation before planning the next request.
+// lint:entry(api)
 pub fn admit_sequential(sdn: &mut Sdn, requests: &[MulticastRequest], k: usize) -> Vec<Admission> {
     let mut scratch = ApproScratch::new();
     requests
@@ -110,6 +111,7 @@ pub fn admit_sequential(sdn: &mut Sdn, requests: &[MulticastRequest], k: usize) 
 /// are parallel too); after [`EngineConfig::max_waves`] waves — or when a
 /// wave is not worth its thread overhead — the remainder is finished
 /// inline, one sequential replan at a time.
+// lint:entry(api)
 pub fn admit_batch(
     sdn: &mut Sdn,
     requests: &[MulticastRequest],

@@ -348,6 +348,7 @@ impl AdmissionPipeline {
     ///
     /// Panics if `timed` arrives earlier than a previously pushed
     /// arrival — the stream must be sorted, as every generator produces.
+    // lint:entry(committer)
     pub fn push(&mut self, timed: TimedRequest) {
         assert!(
             timed.arrival >= self.last_arrival,
@@ -397,6 +398,7 @@ impl AdmissionPipeline {
     ///
     /// Propagates [`Sdn`] errors for unknown links/servers; the stream
     /// state is unchanged in that case (beyond the drain).
+    // lint:entry(committer)
     pub fn inject(&mut self, fault: FaultEvent) -> Result<RepairReport, SdnError> {
         self.drain();
         let changed = match fault {
@@ -447,6 +449,7 @@ impl AdmissionPipeline {
     /// lost or duplicated: exactly one decision per pushed arrival, in
     /// arrival order.
     #[must_use]
+    // lint:entry(committer)
     pub fn finish(mut self) -> PipelineOutcome {
         self.drain();
         self.jobs = None; // close the channel; workers drain and exit
@@ -489,6 +492,7 @@ impl AdmissionPipeline {
         telemetry::hit(telemetry::Counter::PipelineSnapshots);
     }
 
+    // lint:entry(committer)
     fn commit_head(&mut self) {
         let Some(head) = self.window.pop_front() else {
             return;
@@ -600,6 +604,7 @@ impl AdmissionPipeline {
 
     /// Releases every session whose departure time passed, in ascending
     /// id order — the same semantics as `ActiveSessions::release_due`.
+    // lint:entry(committer)
     fn release_due(&mut self, now: f64) {
         let due: Vec<RequestId> = self
             .deadlines
@@ -685,6 +690,7 @@ impl AdmissionPipeline {
 /// per worker carries shortest-path trees across requests *and*
 /// snapshots — the fingerprint re-syncs whenever the snapshot version
 /// moves, and the topology never changes under a running pipeline.
+// lint:entry(worker)
 fn worker_loop(
     jobs: &Mutex<mpsc::Receiver<PlanJob>>,
     results: &mpsc::Sender<PlanResult>,

@@ -16,8 +16,30 @@ pub enum Tok {
     Ident(String),
     /// The path separator `::`.
     PathSep,
+    /// A numeric literal, raw text preserved (`1e-9`, `0x2f`, `3.5f64`).
+    /// The exponent sign is folded in so `1e-9` is one token.
+    Num(String),
     /// Any other single punctuation character (`.`, `!`, `[`, `#`, …).
     Punct(char),
+}
+
+impl Tok {
+    /// The literal's numeric value, when this is a [`Tok::Num`] that
+    /// parses as a decimal/float literal (type suffixes stripped,
+    /// underscores removed). Hex/octal/binary literals return `None`.
+    #[must_use]
+    pub fn num_value(&self) -> Option<f64> {
+        let Tok::Num(text) = self else { return None };
+        let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+        let cleaned = cleaned
+            .strip_suffix("f64")
+            .or_else(|| cleaned.strip_suffix("f32"))
+            .unwrap_or(&cleaned);
+        if cleaned.starts_with("0x") || cleaned.starts_with("0o") || cleaned.starts_with("0b") {
+            return None;
+        }
+        cleaned.parse::<f64>().ok()
+    }
 }
 
 /// A token plus the 1-based line it starts on.
@@ -249,19 +271,27 @@ impl Lexer {
         }
     }
 
-    /// Numbers are skipped entirely (rules never inspect them); consumes
-    /// digits, `_`, type suffixes, hex/bin digits, and a fractional part,
-    /// but leaves `..` alone so ranges still lex as punctuation.
+    /// Numbers lex into a single [`Tok::Num`] carrying the raw text;
+    /// consumes digits, `_`, type suffixes, hex/bin digits, a fractional
+    /// part, and a signed exponent (`1e-9` is one token), but leaves `..`
+    /// alone so ranges still lex as punctuation.
     fn number(&mut self) {
-        self.line_has_code = true;
+        let line = self.line;
+        let mut text = String::new();
         while let Some(c) = self.peek(0) {
             let fractional_dot = c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit());
-            if c == '_' || c.is_ascii_alphanumeric() || fractional_dot {
+            let exponent_sign = (c == '+' || c == '-')
+                && matches!(text.bytes().last(), Some(b'e') | Some(b'E'))
+                && !text.starts_with("0x")
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit());
+            if c == '_' || c.is_ascii_alphanumeric() || fractional_dot || exponent_sign {
+                text.push(c);
                 self.bump();
             } else {
                 break;
             }
         }
+        self.push(Tok::Num(text), line);
     }
 
     /// An identifier — unless it is a literal prefix (`r"…"`, `b'x'`,

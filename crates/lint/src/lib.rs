@@ -25,9 +25,12 @@
 #![warn(missing_docs)]
 
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod semantic;
 
 pub use rules::{lint_source, FileInfo, Violation};
+pub use semantic::Reachability;
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -63,6 +66,12 @@ pub const DEFAULT_SEVERITIES: &[(&str, Option<Severity>)] = &[
     ("D2", Some(Severity::Deny)),
     ("P1", Some(Severity::Deny)),
     ("P1-idx", Some(Severity::Warn)),
+    ("P2", Some(Severity::Deny)),
+    ("P2-cold", Some(Severity::Warn)),
+    ("T1", Some(Severity::Deny)),
+    ("C1", Some(Severity::Deny)),
+    ("C2", Some(Severity::Deny)),
+    ("TL1", Some(Severity::Deny)),
     ("U1", Some(Severity::Deny)),
     ("O1", Some(Severity::Deny)),
     ("A1", Some(Severity::Deny)),
@@ -111,6 +120,14 @@ pub struct Report {
     pub violations: Vec<Violation>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Workspace-wide `lint:allow` escape counts per rule — the
+    /// `--max-allow` ratchet input.
+    pub allow_counts: BTreeMap<String, usize>,
+    /// P2 call-graph reachability summary (`None` when no `lint:entry`
+    /// roots exist, e.g. in fixture workspaces without annotations).
+    pub reachability: Option<Reachability>,
+    /// Cold justified panic sites (`path`, `line`) for `--cold-report`.
+    pub cold_sites: Vec<(String, u32)>,
 }
 
 impl Report {
@@ -133,28 +150,45 @@ impl Report {
         m
     }
 
-    /// Renders the machine-readable JSON report.
+    /// Renders the machine-readable JSON report (schema v2: adds
+    /// `allow_counts` and `reachability` over v1).
     #[must_use]
     pub fn to_json(&self) -> String {
+        let map_obj = |m: &BTreeMap<String, usize>| -> String {
+            let mut s = String::from("{");
+            let mut first = true;
+            for (k, n) in m {
+                if !first {
+                    s.push(',');
+                }
+                first = false;
+                s.push_str(&format!("\n    \"{}\": {n}", json_escape(k)));
+            }
+            s.push_str(if m.is_empty() { "}" } else { "\n  }" });
+            s
+        };
         let mut out = String::from("{\n");
-        out.push_str("  \"version\": 1,\n");
+        out.push_str("  \"version\": 2,\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!("  \"denied\": {},\n", self.denied()));
-        out.push_str("  \"counts\": {");
-        let counts = self.counts();
-        let mut first = true;
-        for (rule, n) in &counts {
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            out.push_str(&format!("\n    \"{}\": {n}", json_escape(rule)));
+        out.push_str(&format!("  \"counts\": {},\n", map_obj(&self.counts())));
+        out.push_str(&format!(
+            "  \"allow_counts\": {},\n",
+            map_obj(&self.allow_counts)
+        ));
+        match &self.reachability {
+            None => out.push_str("  \"reachability\": null,\n"),
+            Some(r) => out.push_str(&format!(
+                "  \"reachability\": {{\"entries\": {}, \"total_fns\": {}, \
+                 \"reachable_fns\": {}, \"reachable_allowed_panics\": {}, \
+                 \"cold_allowed_panics\": {}}},\n",
+                r.entries,
+                r.total_fns,
+                r.reachable_fns,
+                r.reachable_allowed_panics,
+                r.cold_allowed_panics
+            )),
         }
-        out.push_str(if counts.is_empty() {
-            "},\n"
-        } else {
-            "\n  },\n"
-        });
         out.push_str("  \"violations\": [");
         let mut first = true;
         for v in &self.violations {
@@ -178,6 +212,77 @@ impl Report {
             "\n  ]\n}\n"
         });
         out
+    }
+}
+
+/// The schema-v2 report fields a consumer (CI trend script, round-trip
+/// test) reads back out of `results/lint.json`.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ReportSummary {
+    /// Schema version (`2` for reports this crate writes).
+    pub version: u64,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Deny-severity violation count.
+    pub denied: usize,
+    /// Per-rule violation counts.
+    pub counts: BTreeMap<String, usize>,
+    /// Per-rule `lint:allow` escape counts.
+    pub allow_counts: BTreeMap<String, usize>,
+    /// P2 reachability summary, when the workspace had entry roots.
+    pub reachability: Option<Reachability>,
+}
+
+impl ReportSummary {
+    /// Parses the summary fields back out of a schema-v2 report. This is
+    /// a minimal hand-rolled reader (the container has no serde); it
+    /// understands exactly the shapes `Report::to_json` emits.
+    #[must_use]
+    pub fn from_json(src: &str) -> Option<ReportSummary> {
+        let int = |key: &str| -> Option<u64> {
+            let pat = format!("\"{key}\":");
+            let at = src.find(&pat)? + pat.len();
+            let rest = src[at..].trim_start();
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        };
+        let obj = |key: &str| -> Option<BTreeMap<String, usize>> {
+            let pat = format!("\"{key}\": {{");
+            let at = src.find(&pat)? + pat.len();
+            let body = &src[at..src[at..].find('}')? + at];
+            let mut m = BTreeMap::new();
+            for pair in body.split(',') {
+                let pair = pair.trim();
+                if pair.is_empty() {
+                    continue;
+                }
+                let (k, v) = pair.split_once(':')?;
+                let k = k.trim().trim_matches('"');
+                m.insert(k.to_string(), v.trim().parse().ok()?);
+            }
+            Some(m)
+        };
+        let reachability = if src.contains("\"reachability\": null") {
+            None
+        } else {
+            Some(Reachability {
+                entries: int("entries")? as usize,
+                total_fns: int("total_fns")? as usize,
+                reachable_fns: int("reachable_fns")? as usize,
+                reachable_allowed_panics: int("reachable_allowed_panics")? as usize,
+                cold_allowed_panics: int("cold_allowed_panics")? as usize,
+            })
+        };
+        Some(ReportSummary {
+            version: int("version")?,
+            files_scanned: int("files_scanned")? as usize,
+            denied: int("denied")? as usize,
+            counts: obj("counts")?,
+            allow_counts: obj("allow_counts")?,
+            reachability,
+        })
     }
 }
 
@@ -216,20 +321,29 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
     }
     files.sort();
 
-    let mut violations = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in &files {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        let src = fs::read_to_string(path)?;
-        violations.extend(lint_source(&rel, &src, cfg));
+        sources.push((rel, fs::read_to_string(path)?));
     }
+
+    let mut violations = Vec::new();
+    for (rel, src) in &sources {
+        violations.extend(lint_source(rel, src, cfg));
+    }
+    let sem = semantic::analyze(&sources, cfg);
+    violations.extend(sem.violations);
     violations.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
     Ok(Report {
         violations,
         files_scanned: files.len(),
+        allow_counts: sem.allow_counts,
+        reachability: sem.reachability,
+        cold_sites: sem.cold_sites,
     })
 }
 
@@ -257,11 +371,15 @@ mod tests {
     #[test]
     fn default_config_knows_all_rules() {
         let cfg = Config::default();
-        for rule in ["D1", "D2", "P1", "P1-idx", "U1", "O1", "A1"] {
+        for rule in [
+            "D1", "D2", "P1", "P1-idx", "P2", "P2-cold", "T1", "C1", "C2", "TL1", "U1", "O1", "A1",
+        ] {
             assert!(cfg.knows(rule), "missing {rule}");
         }
         assert_eq!(cfg.severity("P1-idx"), Some(Severity::Warn));
+        assert_eq!(cfg.severity("P2-cold"), Some(Severity::Warn));
         assert_eq!(cfg.severity("P1"), Some(Severity::Deny));
+        assert_eq!(cfg.severity("T1"), Some(Severity::Deny));
     }
 
     #[test]
@@ -275,10 +393,14 @@ mod tests {
                 message: "a \"quoted\" message".into(),
             }],
             files_scanned: 1,
+            allow_counts: BTreeMap::new(),
+            reachability: None,
+            cold_sites: vec![],
         };
         let json = report.to_json();
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"P1\": 1"));
+        assert!(json.contains("\"version\": 2"));
         assert_eq!(report.denied(), 1);
     }
 
@@ -287,9 +409,45 @@ mod tests {
         let report = Report {
             violations: vec![],
             files_scanned: 0,
+            allow_counts: BTreeMap::new(),
+            reachability: None,
+            cold_sites: vec![],
         };
         let json = report.to_json();
         assert!(json.contains("\"violations\": []"));
+        assert!(json.contains("\"reachability\": null"));
         assert_eq!(report.denied(), 0);
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let report = Report {
+            violations: vec![Violation {
+                rule: "T1".into(),
+                severity: Severity::Deny,
+                path: "crates/x/src/a.rs".into(),
+                line: 9,
+                message: "raw comparison".into(),
+            }],
+            files_scanned: 7,
+            allow_counts: [("P1".to_string(), 120), ("D1".to_string(), 3)]
+                .into_iter()
+                .collect(),
+            reachability: Some(Reachability {
+                entries: 8,
+                total_fns: 400,
+                reachable_fns: 250,
+                reachable_allowed_panics: 90,
+                cold_allowed_panics: 30,
+            }),
+            cold_sites: vec![],
+        };
+        let parsed = ReportSummary::from_json(&report.to_json()).expect("parse back");
+        assert_eq!(parsed.version, 2);
+        assert_eq!(parsed.files_scanned, 7);
+        assert_eq!(parsed.denied, 1);
+        assert_eq!(parsed.counts.get("T1"), Some(&1));
+        assert_eq!(parsed.allow_counts.get("P1"), Some(&120));
+        assert_eq!(parsed.reachability, report.reachability);
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run -p nfv-lint --release -- --workspace-root . [--json results/lint.json]
-//!     [--deny RULE] [--warn RULE] [--off RULE] [--max-warn RULE:N] [--quiet]
+//!     [--deny RULE] [--warn RULE] [--off RULE] [--max-warn RULE:N]
+//!     [--max-allow RULE:N] [--cold-report] [--quiet]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` deny-severity violations found, `2` usage
@@ -23,6 +24,13 @@ struct Args {
     /// fails the run even though the individual findings stay warnings.
     /// This is the regression ratchet for burndown rules like `P1-idx`.
     max_warn: Vec<(String, usize)>,
+    /// Per-rule `lint:allow` escape-count ceilings (`--max-allow RULE:N`):
+    /// the allow-budget ratchet. New escapes beyond the budget fail the
+    /// run even when every individual escape is well-formed.
+    max_allow: Vec<(String, usize)>,
+    /// Print the P2 reachability summary and the cold justified panic
+    /// sites (the allow-budget downgrade candidates).
+    cold_report: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +40,8 @@ fn parse_args() -> Result<Args, String> {
         quiet: false,
         cfg: Config::default(),
         max_warn: Vec::new(),
+        max_allow: Vec::new(),
+        cold_report: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -66,6 +76,20 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| format!("--max-warn {spec}: N must be a non-negative integer"))?;
                 args.max_warn.push((rule.to_string(), limit));
             }
+            "--max-allow" => {
+                let spec = it.next().ok_or("--max-allow needs RULE:N")?;
+                let (rule, limit) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("--max-allow {spec}: expected RULE:N"))?;
+                if !args.cfg.knows(rule) {
+                    return Err(format!("unknown rule {rule}"));
+                }
+                let limit: usize = limit
+                    .parse()
+                    .map_err(|_| format!("--max-allow {spec}: N must be a non-negative integer"))?;
+                args.max_allow.push((rule.to_string(), limit));
+            }
+            "--cold-report" => args.cold_report = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => {
                 println!(
@@ -73,12 +97,16 @@ fn parse_args() -> Result<Args, String> {
                      \n\
                      USAGE: nfv-lint [--workspace-root PATH] [--json PATH]\n\
                      \x20                [--deny RULE] [--warn RULE] [--off RULE]\n\
-                     \x20                [--max-warn RULE:N] [--quiet]\n\
+                     \x20                [--max-warn RULE:N] [--max-allow RULE:N]\n\
+                     \x20                [--cold-report] [--quiet]\n\
                      \n\
                      Rules: D1 (unordered containers), D2 (ambient nondeterminism),\n\
                      \x20      P1 (panic sites), P1-idx (slice indexing, warn by default),\n\
-                     \x20      U1 (unsafe hygiene), O1 (#[allow] reasons), A1 (escape syntax).\n\
-                     See DESIGN.md §11 for the full policy."
+                     \x20      P2/P2-cold (call-graph panic reachability), T1 (tolerance\n\
+                     \x20      guards), C1 (committer-only ledger), C2 (lock order),\n\
+                     \x20      TL1 (dead telemetry), U1 (unsafe hygiene), O1 (#[allow]\n\
+                     \x20      reasons), A1 (escape syntax).\n\
+                     See DESIGN.md §11 and §16 for the full policy."
                 );
                 std::process::exit(0);
             }
@@ -139,6 +167,26 @@ fn main() -> ExitCode {
         relative_display(&json_path, &args.root)
     );
 
+    if args.cold_report {
+        match &report.reachability {
+            None => println!("nfv-lint: no lint:entry roots; reachability not computed"),
+            Some(r) => {
+                println!(
+                    "nfv-lint: reachability: {} entry roots, {}/{} fns reachable, \
+                     {} justified panic sites on reachable paths, {} cold",
+                    r.entries,
+                    r.reachable_fns,
+                    r.total_fns,
+                    r.reachable_allowed_panics,
+                    r.cold_allowed_panics
+                );
+                for (path, line) in &report.cold_sites {
+                    println!("  cold allow: {path}:{line}");
+                }
+            }
+        }
+    }
+
     let mut over_budget = false;
     for (rule, limit) in &args.max_warn {
         let count = report
@@ -148,6 +196,17 @@ fn main() -> ExitCode {
             .count();
         if count > *limit {
             eprintln!("nfv-lint: {rule} warn count {count} exceeds --max-warn budget {limit}");
+            over_budget = true;
+        }
+    }
+
+    for (rule, limit) in &args.max_allow {
+        let count = report.allow_counts.get(rule).copied().unwrap_or(0);
+        if count > *limit {
+            eprintln!(
+                "nfv-lint: {rule} allow count {count} exceeds --max-allow budget {limit}; \
+                 remove an escape or raise the ratchet deliberately"
+            );
             over_budget = true;
         }
     }

@@ -1,0 +1,450 @@
+//! Item-level parsing on top of the token stream: function and impl
+//! extraction, `use`-based crate visibility, and `lint:entry` annotations.
+//!
+//! This is *not* a Rust grammar. It recognises exactly the item shapes the
+//! semantic pass needs — `fn` signatures and their brace-matched bodies,
+//! `impl`/`trait` blocks for method qualification, and the first segment
+//! of `use` paths for crate-level call resolution — and deliberately
+//! ignores everything else (macros, generics beyond balancing, closures,
+//! type aliases). The resulting approximations are documented in
+//! DESIGN.md §16; every consumer of this module must tolerate both missed
+//! and spurious items.
+
+use crate::lexer::{lex, Lexed, Tok, Token};
+use crate::rules::{self, FileInfo};
+use crate::{Severity, Violation};
+
+/// Role of a `lint:entry(...)` annotated function in the semantic pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Pipeline worker-thread entry: panic- and ledger-mutation-sensitive.
+    Worker,
+    /// Committer-thread entry: the only role allowed to mutate the ledger.
+    Committer,
+    /// Planner public API: panic-reachability root.
+    Api,
+}
+
+impl Role {
+    fn parse(s: &str) -> Option<Role> {
+        match s {
+            "worker" => Some(Role::Worker),
+            "committer" => Some(Role::Committer),
+            "api" => Some(Role::Api),
+            _ => None,
+        }
+    }
+}
+
+/// One extracted function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name (the identifier after `fn`).
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, when any.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body including both braces (`[start, end)`)
+    /// when the function has one; bodiless trait/extern declarations have
+    /// `None`.
+    pub body: Option<(usize, usize)>,
+    /// Inside a `#[test]`/`#[cfg(test)]` item range.
+    pub is_test: bool,
+}
+
+/// One parsed source file with its extracted items.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Path classification.
+    pub info: FileInfo,
+    /// The underlying token stream and comments.
+    pub lexed: Lexed,
+    /// Extracted functions in source order.
+    pub fns: Vec<FnItem>,
+    /// Crate directories visible to calls in this file: the file's own
+    /// crate plus every crate named as the first segment of a `use` path.
+    pub visible: Vec<String>,
+    /// `lint:entry` annotations: (index into `fns`, role).
+    pub entries: Vec<(usize, Role)>,
+    /// Malformed `lint:entry` annotations (reported as `A1`).
+    pub malformed: Vec<Violation>,
+    /// Token ranges of test-ish items (shared with the token rules).
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Token ranges of `debug_assert*!` interiors.
+    pub dbg_ranges: Vec<(usize, usize)>,
+}
+
+impl ParsedFile {
+    /// Index of the innermost function whose body contains token `i`.
+    #[must_use]
+    pub fn enclosing_fn(&self, i: usize) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None; // (span, fn idx)
+        for (f, item) in self.fns.iter().enumerate() {
+            if let Some((a, b)) = item.body {
+                if i >= a && i < b {
+                    let span = b - a;
+                    if best.is_none_or(|(s, _)| span < s) {
+                        best = Some((span, f));
+                    }
+                }
+            }
+        }
+        best.map(|(_, f)| f)
+    }
+
+    /// Indices of every function whose body contains token `i` (innermost
+    /// and all enclosing outers).
+    #[must_use]
+    pub fn enclosing_fns(&self, i: usize) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, item)| item.body.is_some_and(|(a, b)| i >= a && i < b))
+            .map(|(f, _)| f)
+            .collect()
+    }
+}
+
+/// Maps a `use`-path first segment to the crate directory it names.
+/// Package `[lib]` names differ from directory names for the renamed
+/// crates; `crate`/`self`/`super` paths stay within the file's own crate
+/// and need no mapping.
+const CRATE_NAME_MAP: &[(&str, &str)] = &[
+    ("netgraph", "netgraph"),
+    ("steiner", "steiner"),
+    ("sdn", "sdn"),
+    ("nfv_multicast", "core"),
+    ("nfv_online", "online"),
+    ("nfv_engine", "engine"),
+    ("telemetry", "telemetry"),
+    ("topology", "topology"),
+    ("workload", "workload"),
+    ("sim", "sim"),
+    ("nfv_lint", "lint"),
+];
+
+/// Parses one file. `rel` is the workspace-relative path.
+#[must_use]
+pub fn parse_file(rel: &str, src: &str) -> ParsedFile {
+    let info = FileInfo::classify(rel);
+    let lexed = lex(src);
+    let test_ranges = rules::test_item_ranges(&lexed.tokens);
+    let dbg_ranges = rules::debug_assert_ranges(&lexed.tokens);
+    let toks = &lexed.tokens;
+
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut visible: Vec<String> = vec![info.crate_dir.clone()];
+    // Stack of (type name, exclusive token index the block closes at).
+    let mut ctx: Vec<(String, usize)> = Vec::new();
+
+    let in_test =
+        |ranges: &[(usize, usize)], i: usize| ranges.iter().any(|&(a, b)| i >= a && i < b);
+
+    let mut i = 0;
+    while i < toks.len() {
+        while let Some(&(_, close)) = ctx.last() {
+            if i >= close {
+                ctx.pop();
+            } else {
+                break;
+            }
+        }
+        match &toks[i].tok {
+            Tok::Ident(id) if id == "use" => {
+                if let Some(Tok::Ident(seg)) = toks.get(i + 1).map(|t| &t.tok) {
+                    if let Some(&(_, dir)) = CRATE_NAME_MAP.iter().find(|&&(n, _)| n == seg) {
+                        if !visible.iter().any(|v| v == dir) {
+                            visible.push(dir.to_string());
+                        }
+                    }
+                }
+                i += 1;
+            }
+            Tok::Ident(id) if id == "impl" || id == "trait" => {
+                if let Some((name, body_open)) = parse_impl_header(toks, i, id == "trait") {
+                    let close = rules::item_end(toks, body_open);
+                    ctx.push((name, close));
+                    i = body_open + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Ident(id) if id == "fn" => {
+                let name = match toks.get(i + 1).map(|t| &t.tok) {
+                    Some(Tok::Ident(n)) => n.clone(),
+                    _ => {
+                        i += 1;
+                        continue;
+                    }
+                };
+                let body = parse_fn_body(toks, i + 2);
+                fns.push(FnItem {
+                    name,
+                    impl_type: ctx.last().map(|(n, _)| n.clone()),
+                    line: toks[i].line,
+                    body,
+                    is_test: in_test(&test_ranges, i),
+                });
+                // Step past `fn name` only, so nested fns and impls inside
+                // the body are still discovered by the linear scan.
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+
+    let (entries, malformed) = parse_entries(&lexed, &fns, &info);
+
+    ParsedFile {
+        info,
+        lexed,
+        fns,
+        visible,
+        entries,
+        malformed,
+        test_ranges,
+        dbg_ranges,
+    }
+}
+
+/// Parses an `impl`/`trait` header starting at the keyword index; returns
+/// the implemented type's (or trait's) name and the index of the opening
+/// body brace. `impl Trait for Type` yields `Type`; path types yield
+/// their last segment; generic parameters and arguments are skipped.
+fn parse_impl_header(toks: &[Token], kw: usize, is_trait: bool) -> Option<(String, usize)> {
+    let j = skip_generics(toks, kw + 1);
+    let (mut name, after) = parse_type_path(toks, j)?;
+    let mut j = skip_generics(toks, after);
+    if !is_trait {
+        if let Some(Tok::Ident(id)) = toks.get(j).map(|t| &t.tok) {
+            if id == "for" {
+                let (second, after) = parse_type_path(toks, j + 1)?;
+                name = second;
+                j = skip_generics(toks, after);
+            }
+        }
+    }
+    // Find the opening brace (skipping where clauses); bail on `;`
+    // (e.g. `trait X: Y;` forms or parse confusion).
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('{') => return Some((name, j)),
+            Tok::Punct(';') => return None,
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Skips a balanced `<...>` generic group starting at `j`, tolerating the
+/// `->` arrows that may appear inside (`impl<F: Fn() -> u8>`); returns the
+/// index after the closing `>`, or `j` unchanged when no group starts here.
+fn skip_generics(toks: &[Token], j: usize) -> usize {
+    if !matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct('<'))) {
+        return j;
+    }
+    let mut depth = 0usize;
+    let mut k = j;
+    while k < toks.len() {
+        match &toks[k].tok {
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') => {
+                // `->` return-type arrows inside generic bounds do not
+                // close a generic group.
+                let arrow = k > 0 && matches!(toks[k - 1].tok, Tok::Punct('-'));
+                if !arrow {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return k + 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Parses a possibly path-qualified type name (`fmt::Display`, `Foo`),
+/// returning its last segment and the index after the path (generic
+/// arguments not yet consumed).
+fn parse_type_path(toks: &[Token], mut j: usize) -> Option<(String, usize)> {
+    let mut name = match toks.get(j).map(|t| &t.tok) {
+        Some(Tok::Ident(n)) => n.clone(),
+        _ => return None,
+    };
+    j += 1;
+    loop {
+        if matches!(toks.get(j).map(|t| &t.tok), Some(Tok::PathSep)) {
+            if let Some(Tok::Ident(n)) = toks.get(j + 1).map(|t| &t.tok) {
+                name = n.clone();
+                j += 2;
+                continue;
+            }
+        }
+        return Some((name, j));
+    }
+}
+
+/// Finds a function's body starting the search after its name: skips the
+/// generic parameter list and the parenthesised argument list, then takes
+/// the first `{` at paren depth 0 as the body opener (a `;` there instead
+/// means a bodiless declaration). Returns the body's token range including
+/// both braces.
+fn parse_fn_body(toks: &[Token], from: usize) -> Option<(usize, usize)> {
+    let mut j = skip_generics(toks, from);
+    let mut paren = 0usize;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') => paren += 1,
+            Tok::Punct(')') | Tok::Punct(']') => paren = paren.saturating_sub(1),
+            Tok::Punct('{') if paren == 0 => {
+                let end = rules::item_end(toks, j);
+                return Some((j, end));
+            }
+            Tok::Punct(';') if paren == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses `lint:entry(role)` annotations out of the comments and binds
+/// each to the first function declared on the comment's line or within
+/// the next four lines (leaving room for attributes). Unknown roles and
+/// unbound annotations are reported as `A1`.
+fn parse_entries(
+    lexed: &Lexed,
+    fns: &[FnItem],
+    info: &FileInfo,
+) -> (Vec<(usize, Role)>, Vec<Violation>) {
+    let mut entries = Vec::new();
+    let mut malformed = Vec::new();
+    for c in &lexed.comments {
+        // Doc comments only mention the syntax; annotations are plain `//`.
+        if rules::is_doc_comment(&c.text) {
+            continue;
+        }
+        let Some(start) = c.text.find("lint:entry(") else {
+            continue;
+        };
+        let rest = &c.text[start + "lint:entry(".len()..];
+        let role = rest
+            .find(')')
+            .and_then(|close| Role::parse(rest[..close].trim()));
+        let Some(role) = role else {
+            malformed.push(Violation {
+                rule: "A1".into(),
+                severity: Severity::Deny,
+                path: info.rel.clone(),
+                line: c.line,
+                message: "malformed lint:entry(...): role must be worker, committer, or api".into(),
+            });
+            continue;
+        };
+        let bound = fns
+            .iter()
+            .position(|f| f.line >= c.line && f.line <= c.end_line + 4 && !f.is_test);
+        match bound {
+            Some(f) => entries.push((f, role)),
+            None => malformed.push(Violation {
+                rule: "A1".into(),
+                severity: Severity::Deny,
+                path: info.rel.clone(),
+                line: c.line,
+                message: "lint:entry(...) does not annotate a function (none declared within 4 \
+                          lines)"
+                    .into(),
+            }),
+        }
+    }
+    (entries, malformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file("crates/core/src/x.rs", src)
+    }
+
+    #[test]
+    fn extracts_free_fns_and_methods() {
+        let p = parse(
+            "fn alpha() { beta(); }\n\
+             struct S;\n\
+             impl S {\n    fn beta(&self) -> u8 { 7 }\n}\n\
+             impl std::fmt::Display for S {\n    fn fmt(&self) -> bool { true }\n}\n",
+        );
+        let names: Vec<(&str, Option<&str>)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.impl_type.as_deref()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![("alpha", None), ("beta", Some("S")), ("fmt", Some("S"))]
+        );
+        assert!(p.fns.iter().all(|f| f.body.is_some()));
+    }
+
+    #[test]
+    fn trait_decls_without_bodies_and_nested_fns() {
+        let p = parse(
+            "trait T {\n    fn required(&self);\n    fn provided(&self) -> u8 { 1 }\n}\n\
+             fn outer() {\n    fn inner() {}\n    inner();\n}\n",
+        );
+        let req = p.fns.iter().find(|f| f.name == "required").unwrap();
+        assert!(req.body.is_none());
+        assert_eq!(req.impl_type.as_deref(), Some("T"));
+        let inner = p.fns.iter().find(|f| f.name == "inner").unwrap();
+        let outer = p.fns.iter().find(|f| f.name == "outer").unwrap();
+        let (oa, ob) = outer.body.unwrap();
+        let (ia, ib) = inner.body.unwrap();
+        assert!(ia > oa && ib <= ob, "inner body nests inside outer");
+    }
+
+    #[test]
+    fn generic_signatures_find_their_bodies() {
+        let p = parse(
+            "fn g<F: Fn() -> u8, const N: usize>(f: F, xs: [u8; N]) -> Box<dyn Fn() -> u8> {\n\
+                 Box::new(move || f() + xs[0])\n\
+             }\n",
+        );
+        assert_eq!(p.fns.len(), 1);
+        assert!(p.fns[0].body.is_some());
+    }
+
+    #[test]
+    fn use_paths_extend_visibility() {
+        let p = parse("use steiner::kmb;\nuse nfv_multicast::PathCache;\nuse std::fmt;\n");
+        assert!(p.visible.iter().any(|v| v == "core"));
+        assert!(p.visible.iter().any(|v| v == "steiner"));
+        assert!(p.visible.iter().any(|v| v == "core"));
+        assert!(!p.visible.iter().any(|v| v == "std"));
+    }
+
+    #[test]
+    fn entry_annotations_bind_to_next_fn() {
+        let p = parse(
+            "// lint:entry(worker)\nfn work() {}\n\
+             // lint:entry(api)\n#[must_use]\npub fn plan() -> u8 { 0 }\n\
+             // lint:entry(bogus)\nfn other() {}\n",
+        );
+        assert_eq!(p.entries.len(), 2);
+        assert_eq!(p.entries[0], (0, Role::Worker));
+        assert_eq!(p.entries[1], (1, Role::Api));
+        assert_eq!(p.malformed.len(), 1);
+        assert!(p.malformed[0].message.contains("role"));
+    }
+
+    #[test]
+    fn impl_header_with_path_and_generics() {
+        let p = parse("impl<T: Ord> Wrapper<T> {\n    fn get(&self) -> &T { &self.0 }\n}\n");
+        assert_eq!(p.fns[0].impl_type.as_deref(), Some("Wrapper"));
+    }
+}

@@ -11,6 +11,12 @@
 //! |          | must `#![forbid(unsafe_code)]`                                |
 //! | `O1`     | `#[allow(...)]` needs a trailing reason comment               |
 //! | `A1`     | `lint:allow` escapes themselves must carry a reason           |
+//! | `T1`     | capacity/residual comparisons must reference a named          |
+//! |          | `sdn::cost` tolerance constant (no raw epsilons)              |
+//!
+//! The cross-file families (`P2` panic reachability, `C1`/`C2`
+//! concurrency, `TL1` dead telemetry) live in [`crate::semantic`]; they
+//! share this module's escape machinery.
 //!
 //! Escapes: `// lint:allow(RULE): reason` suppresses `RULE` on the same
 //! line and the line directly below; `// lint:allow-file(RULE): reason`
@@ -67,6 +73,44 @@ pub const P1_CRATES: &[&str] = &[
     "engine",
     "telemetry",
 ];
+/// Crates whose capacity/residual/bandwidth comparisons must go through
+/// the named `sdn::cost` tolerance constants (`T1`). `netgraph`/`steiner`
+/// stay out: their float comparisons are pure graph-weight orderings whose
+/// exactness the pruned==unpruned equivalences depend on.
+pub const T1_CRATES: &[&str] = &["sdn", "core", "online", "engine"];
+/// The one file exempt from `T1`: where the constants themselves live.
+pub const T1_EXEMPT_FILE: &str = "crates/sdn/src/cost.rs";
+/// Identifier stems marking a comparison as touching ledger quantities.
+const T1_STEMS: &[&str] = &["residual", "bandwidth", "capacity", "usable", "demand"];
+/// Identifiers that satisfy `T1` when they appear in the same statement:
+/// the named tolerance constants of `sdn::cost` plus the shared ledger
+/// predicate that encapsulates them.
+const T1_GUARDS: &[&str] = &[
+    "CAPACITY_EPS",
+    "RELEASE_EPS",
+    "COST_TIEBREAK_REL",
+    "COST_FLOOR",
+    "VALIDATE_REL_TOL",
+    "PRUNE_GUARD_REL",
+    "PRUNE_GUARD_ABS",
+    "can_allocate",
+];
+/// Float literal values that duplicate a named tolerance constant: writing
+/// them out is a `T1` violation anywhere in a comparison, whether or not a
+/// ledger identifier is nearby (a raw `1e-9` slack *is* the regression
+/// PR 5 unified away).
+const T1_MAGIC: &[f64] = &[1e-9, 1e-6, 1e-12];
+/// Identifiers hinting a statement compares integers (cache sizes, counts)
+/// rather than `f64` ledger quantities; such statements are skipped.
+const T1_INT_HINTS: &[&str] = &[
+    "len",
+    "count",
+    "idx",
+    "index",
+    "usize",
+    "bits",
+    "capacity_hint",
+];
 
 /// How a file is classified before rules run.
 #[derive(Debug, Clone)]
@@ -111,10 +155,10 @@ impl FileInfo {
 
 /// A parsed `lint:allow` escape.
 #[derive(Debug)]
-struct Allow {
-    rules: Vec<String>,
+pub(crate) struct Allow {
+    pub(crate) rules: Vec<String>,
     /// Lines the escape covers; `None` means the whole file.
-    lines: Option<(u32, u32)>,
+    pub(crate) lines: Option<(u32, u32)>,
 }
 
 /// Lints one file's source text, returning violations in line order.
@@ -282,11 +326,9 @@ pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> Vec<Violation> {
                 {
                     // Doc comments (`///`, `//!`, `/**`) don't count: every
                     // documented item would satisfy O1 for free otherwise.
-                    let is_doc =
-                        |t: &str| t.starts_with('/') || t.starts_with('!') || t.starts_with('*');
                     let has_reason = lexed.comments.iter().any(|c| {
                         !c.text.trim().is_empty()
-                            && !is_doc(&c.text)
+                            && !is_doc_comment(&c.text)
                             && ((c.line == line && !c.own_line)
                                 || (c.own_line && c.end_line + 1 == line))
                     });
@@ -305,6 +347,21 @@ pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> Vec<Violation> {
             }
             _ => {}
         }
+    }
+
+    // ---- T1: tolerance-guarded capacity comparisons (statement level).
+    if T1_CRATES.contains(&info.crate_dir.as_str())
+        && !info.is_test_like
+        && info.rel != T1_EXEMPT_FILE
+    {
+        t1_tolerance(
+            &info,
+            tokens,
+            &test_ranges,
+            &dbg_ranges,
+            &attr_ranges,
+            &mut out,
+        );
     }
 
     // ---- U1 (crate roots): library crates must forbid unsafe code.
@@ -331,6 +388,187 @@ pub fn lint_source(rel: &str, src: &str, cfg: &Config) -> Vec<Violation> {
     out
 }
 
+/// The `T1` statement pass: within each `;`/`{`/`}`-delimited segment, a
+/// raw comparison operator in ledger context (an identifier with a
+/// residual/bandwidth/capacity/usable/demand stem, or a magic tolerance
+/// literal) must be accompanied by one of the named `sdn::cost` constants
+/// or the `can_allocate` predicate.
+///
+/// Known approximations (documented in DESIGN.md §16): generic argument
+/// lists opened by an uppercase-initial identifier are skipped wholesale,
+/// comparisons against a literal `0`/`0.0` are treated as sign checks and
+/// exempted, and statements mentioning `len`/`count`/`idx`-style
+/// identifiers are assumed integral and skipped.
+fn t1_tolerance(
+    info: &FileInfo,
+    tokens: &[Token],
+    test_ranges: &[(usize, usize)],
+    dbg_ranges: &[(usize, usize)],
+    attr_ranges: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    let in_any = |ranges: &[(usize, usize)], i: usize| ranges.iter().any(|&(a, b)| i >= a && i < b);
+    let mut seg_start = 0usize;
+    let mut i = 0;
+    while i <= tokens.len() {
+        let boundary = i == tokens.len()
+            || matches!(
+                tokens[i].tok,
+                Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}')
+            );
+        if !boundary {
+            i += 1;
+            continue;
+        }
+        let seg = seg_start..i;
+        seg_start = i + 1;
+        i += 1;
+        if seg.is_empty() {
+            continue;
+        }
+        if let Some(v) = t1_segment(info, tokens, seg.start, seg.end) {
+            // The whole segment is exempt when its first token sits in
+            // test/debug_assert/attribute territory.
+            if !in_any(test_ranges, seg.start)
+                && !in_any(dbg_ranges, seg.start)
+                && !in_any(attr_ranges, seg.start)
+            {
+                out.push(v);
+            }
+        }
+    }
+}
+
+/// Evaluates one statement segment for `T1`; returns the violation to
+/// report, if any.
+fn t1_segment(info: &FileInfo, tokens: &[Token], start: usize, end: usize) -> Option<Violation> {
+    let mut has_money = false;
+    let mut has_guard = false;
+    let mut has_int_hint = false;
+    let mut has_magic = false;
+    for t in &tokens[start..end] {
+        match &t.tok {
+            Tok::Ident(id) => {
+                if T1_GUARDS.contains(&id.as_str()) {
+                    has_guard = true;
+                }
+                let lower = id.to_ascii_lowercase();
+                if T1_STEMS.iter().any(|s| lower.contains(s)) {
+                    has_money = true;
+                }
+                if T1_INT_HINTS
+                    .iter()
+                    .any(|h| lower == *h || lower.ends_with(&format!("_{h}")))
+                {
+                    has_int_hint = true;
+                }
+            }
+            t @ Tok::Num(_) => {
+                if let Some(v) = t.num_value() {
+                    if T1_MAGIC.contains(&v) {
+                        has_magic = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if has_guard || has_int_hint || !(has_money || has_magic) {
+        return None;
+    }
+    let cmp_line = t1_first_comparison(tokens, start, end)?;
+    Some(Violation {
+        rule: "T1".into(),
+        severity: Severity::Deny,
+        path: info.rel.clone(),
+        line: cmp_line,
+        message: if has_magic {
+            "raw tolerance literal in a comparison; use the named sdn::cost constants \
+             (CAPACITY_EPS, RELEASE_EPS, …) or justify with lint:allow(T1)"
+                .into()
+        } else {
+            "raw float comparison on a capacity/residual quantity; compare through the named \
+             sdn::cost tolerance constants or justify with lint:allow(T1)"
+                .into()
+        },
+    })
+}
+
+/// Finds the first genuine comparison operator in `[start, end)`, skipping
+/// shifts, arrows, turbofish, and generic argument groups opened by an
+/// uppercase-initial identifier. Comparisons whose immediate operand is a
+/// literal zero are treated as sign checks and skipped.
+fn t1_first_comparison(tokens: &[Token], start: usize, end: usize) -> Option<u32> {
+    let is_zero = |idx: usize| -> bool {
+        tokens
+            .get(idx)
+            .and_then(|t| t.tok.num_value())
+            .is_some_and(|v| v == 0.0)
+    };
+    let mut k = start;
+    while k < end {
+        match &tokens[k].tok {
+            // `Vec<...>` generic arguments and `sum::<f64>` turbofish:
+            // skip the balanced group so the closing `>` is consumed too.
+            Tok::Punct('<')
+                if k > start
+                    && (matches!(tokens[k - 1].tok, Tok::PathSep)
+                        || matches!(&tokens[k - 1].tok, Tok::Ident(id)
+                            if id.chars().next().is_some_and(char::is_uppercase))) =>
+            {
+                let mut depth = 0usize;
+                while k < end {
+                    match &tokens[k].tok {
+                        Tok::Punct('<') => depth += 1,
+                        Tok::Punct('>') if !matches!(tokens[k - 1].tok, Tok::Punct('-')) => {
+                            depth = depth.saturating_sub(1);
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+            }
+            Tok::Punct(c @ ('<' | '>')) => {
+                let prev = k.checked_sub(1).map(|p| &tokens[p].tok);
+                let next = tokens.get(k + 1).map(|t| &t.tok);
+                let shift = prev == Some(&Tok::Punct(*c)) || next == Some(&Tok::Punct(*c));
+                let arrow =
+                    *c == '>' && matches!(prev, Some(Tok::Punct('-')) | Some(Tok::Punct('=')));
+                let turbofish = matches!(prev, Some(Tok::PathSep));
+                if !shift && !arrow && !turbofish {
+                    let two = next == Some(&Tok::Punct('='));
+                    let rhs = if two { k + 2 } else { k + 1 };
+                    let lhs = k.wrapping_sub(1);
+                    if !is_zero(rhs) && !is_zero(lhs) {
+                        return Some(tokens[k].line);
+                    }
+                }
+            }
+            Tok::Punct(c @ ('=' | '!')) => {
+                // `==` / `!=`; plain `=` assignment and `!` negation skip.
+                let prev = k.checked_sub(1).map(|p| &tokens[p].tok);
+                let next = tokens.get(k + 1).map(|t| &t.tok);
+                let eq = next == Some(&Tok::Punct('='))
+                    && prev != Some(&Tok::Punct('='))
+                    && (*c == '!' || !matches!(prev, Some(Tok::Punct('<' | '>' | '=' | '!'))));
+                if eq {
+                    let rhs = k + 2;
+                    let lhs = k.wrapping_sub(1);
+                    if !is_zero(rhs) && !is_zero(lhs) {
+                        return Some(tokens[k].line);
+                    }
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
 fn d2(info: &FileInfo, line: u32, what: &str) -> Violation {
     Violation {
         rule: "D2".into(),
@@ -344,7 +582,13 @@ fn d2(info: &FileInfo, line: u32, what: &str) -> Violation {
     }
 }
 
-fn suppressed(allows: &[Allow], rule: &str, line: u32) -> bool {
+/// `true` for `///`, `//!`, and `/**` comments (their text starts with
+/// the extra marker character after the lexer strips `//`/`/*`).
+pub(crate) fn is_doc_comment(text: &str) -> bool {
+    text.starts_with('/') || text.starts_with('!') || text.starts_with('*')
+}
+
+pub(crate) fn suppressed(allows: &[Allow], rule: &str, line: u32) -> bool {
     allows.iter().any(|a| {
         a.rules.iter().any(|r| r == rule)
             && match a.lines {
@@ -360,7 +604,7 @@ fn suppressed(allows: &[Allow], rule: &str, line: u32) -> bool {
 /// A per-site escape covers its own comment run (consecutive own-line
 /// comments form one run, so a justification may wrap) plus the first
 /// code line after it; a trailing escape covers its own line.
-fn parse_allows(comments: &[Comment]) -> (Vec<Allow>, Vec<Violation>) {
+pub(crate) fn parse_allows(comments: &[Comment]) -> (Vec<Allow>, Vec<Violation>) {
     let mut allows = Vec::new();
     let mut bad = Vec::new();
     // End line of the comment run each comment belongs to.
@@ -374,6 +618,11 @@ fn parse_allows(comments: &[Comment]) -> (Vec<Allow>, Vec<Violation>) {
         }
     }
     for (ci, c) in comments.iter().enumerate() {
+        // Doc comments never carry escapes: rustdoc prose legitimately
+        // *mentions* the marker syntax (this crate's own docs do).
+        if is_doc_comment(&c.text) {
+            continue;
+        }
         for (marker, file_wide) in [("lint:allow-file(", true), ("lint:allow(", false)] {
             let Some(start) = c.text.find(marker) else {
                 continue;
@@ -434,7 +683,7 @@ fn has_forbid_unsafe(tokens: &[Token]) -> bool {
 /// `#[cfg(test)] mod/fn/...`. An attribute counts as test-ish when it
 /// mentions the `test` identifier and does not mention `not` (so
 /// `#[cfg(not(test))]` code is still linted).
-fn test_item_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+pub(crate) fn test_item_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -493,7 +742,7 @@ fn parse_attribute(tokens: &[Token], i: usize) -> Option<(usize, bool)> {
 
 /// End (exclusive) of the item starting at `i`: the matching `}` of its
 /// first brace block, or the first top-level `;`.
-fn item_end(tokens: &[Token], i: usize) -> usize {
+pub(crate) fn item_end(tokens: &[Token], i: usize) -> usize {
     let mut j = i;
     let mut depth = 0usize;
     while j < tokens.len() {
@@ -515,7 +764,7 @@ fn item_end(tokens: &[Token], i: usize) -> usize {
 
 /// Token ranges of `debug_assert*!(...)` invocations (their interiors are
 /// exempt from `P1`: they compile out of release builds).
-fn debug_assert_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+pub(crate) fn debug_assert_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let mut i = 0;
     while i < tokens.len() {

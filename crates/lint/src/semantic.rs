@@ -1,0 +1,974 @@
+//! The cross-file semantic pass: workspace module map, approximate call
+//! graph, and the rule families that need them.
+//!
+//! | Rule      | Default | What it catches |
+//! |-----------|---------|-----------------|
+//! | `P2`      | deny    | panic site reachable from a `lint:entry` root without a `lint:allow(P1)`/`lint:allow(P2)` justification |
+//! | `P2-cold` | warn    | justified panic site *not* reachable from any root — candidate for downgrading out of the allow budget |
+//! | `C1`      | deny    | ledger-mutating `Sdn` call reachable from a `lint:entry(worker)` root (committer-only APIs) |
+//! | `C2`      | deny    | lock acquired while another lock is held, directly or through a callee that may lock |
+//! | `TL1`     | deny    | telemetry registry variant never recorded anywhere outside its own declaration |
+//!
+//! # Call-graph approximation
+//!
+//! Resolution is name-based, not type-based (the linter has no type
+//! checker). A call site resolves to *every* function of the matching
+//! name/kind in the caller's visible crates — the file's own crate plus
+//! each crate named by a `use` declaration. Method calls are the coarsest
+//! (any method of that name anywhere visible); `Type::method` paths are
+//! narrowed to the named impl block when one exists. This over-approximates
+//! reachability — safe for P2/C1 (no false "unreachable") and a source of
+//! possible false positives, which is why every rule keeps the
+//! `lint:allow(RULE): reason` escape. Known unsoundness: calls through
+//! function pointers, closures passed across functions, trait-object
+//! dispatch on names that don't appear verbatim, and macro-generated
+//! calls are all invisible. See DESIGN.md §16.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::Tok;
+use crate::parser::{parse_file, ParsedFile, Role};
+use crate::rules::{self, Allow, P1_CRATES};
+use crate::{Config, Severity, Violation};
+
+/// Ledger-mutating `Sdn` APIs: committer-only by the pipeline's design
+/// (DESIGN.md §13). `reset` is deliberately absent — the planner's
+/// `Graph::reset` scratch-clearing shares the name.
+const C1_LEDGER_MUTATORS: &[&str] = &[
+    "allocate",
+    "release",
+    "fail_link",
+    "recover_link",
+    "fail_server",
+    "recover_server",
+    "recover_all",
+];
+
+/// The telemetry registry enums TL1 audits, in the crate's lib root.
+const TL1_REGISTRY_ENUMS: &[&str] = &["Counter", "Gauge", "Hist"];
+
+/// P2 reachability summary, carried into the JSON report for the
+/// scheduled CI trend line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reachability {
+    /// Number of bound `lint:entry` roots.
+    pub entries: usize,
+    /// Functions in the call graph (non-test, analyzed crates).
+    pub total_fns: usize,
+    /// Functions reachable from any root.
+    pub reachable_fns: usize,
+    /// Justified panic sites on reachable paths (the live allow budget).
+    pub reachable_allowed_panics: usize,
+    /// Justified panic sites no root reaches — downgrade candidates.
+    pub cold_allowed_panics: usize,
+}
+
+/// Outcome of the semantic pass over a whole workspace.
+#[derive(Debug)]
+pub struct SemReport {
+    /// Violations from the semantic rule families, unsorted.
+    pub violations: Vec<Violation>,
+    /// P2 reachability summary (`None` when no entry roots exist).
+    pub reachability: Option<Reachability>,
+    /// Workspace-wide `lint:allow` escape counts per rule (the
+    /// `--max-allow` ratchet input), counted across *all* scanned files.
+    pub allow_counts: BTreeMap<String, usize>,
+    /// Cold justified panic sites as `(path, line)`, for `--cold-report`.
+    pub cold_sites: Vec<(String, u32)>,
+}
+
+/// A call site's resolution kind.
+enum CallKind {
+    /// `name(...)` — a free-function call.
+    Free(String),
+    /// `.name(...)` — a method call.
+    Method(String),
+    /// `Qual::name(...)` — a qualified call.
+    Qualified(String, String),
+}
+
+/// One file prepared for graph construction.
+struct SemFile {
+    parsed: ParsedFile,
+    allows: Vec<Allow>,
+    /// Participates in the call graph and the semantic rules (crates/
+    /// sources that are not test-like; compat and tests only contribute
+    /// allow counts).
+    analyzed: bool,
+}
+
+/// Runs the semantic pass over `(rel_path, source)` pairs.
+#[must_use]
+pub fn analyze(files: &[(String, String)], cfg: &Config) -> SemReport {
+    let sem_files: Vec<SemFile> = files
+        .iter()
+        .map(|(rel, src)| {
+            let parsed = parse_file(rel, src);
+            let (allows, _) = rules::parse_allows(&parsed.lexed.comments);
+            let analyzed = rel.starts_with("crates/") && !parsed.info.is_test_like;
+            SemFile {
+                parsed,
+                allows,
+                analyzed,
+            }
+        })
+        .collect();
+
+    let mut allow_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for f in &sem_files {
+        for a in &f.allows {
+            for r in &a.rules {
+                *allow_counts.entry(r.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let graph = Graph::build(&sem_files);
+    let mut violations: Vec<Violation> = Vec::new();
+
+    // Malformed lint:entry annotations (parser-detected A1s).
+    for f in &sem_files {
+        if f.analyzed {
+            violations.extend(f.parsed.malformed.iter().cloned());
+        }
+    }
+
+    let (reachability, cold_sites) = p2_reachability(&sem_files, &graph, &mut violations);
+    c1_ledger(&sem_files, &graph, &mut violations);
+    c2_lock_order(&sem_files, &graph, &mut violations);
+    tl1_dead_telemetry(&sem_files, &mut violations);
+
+    // Apply per-site escapes, then config severities (same pipeline as
+    // the token rules in `rules::lint_source`).
+    let by_rel: BTreeMap<&str, &SemFile> = sem_files
+        .iter()
+        .map(|f| (f.parsed.info.rel.as_str(), f))
+        .collect();
+    violations.retain(|v| {
+        by_rel
+            .get(v.path.as_str())
+            .is_none_or(|f| !rules::suppressed(&f.allows, &v.rule, v.line))
+    });
+    violations.retain_mut(|v| match cfg.severity(&v.rule) {
+        None => false,
+        Some(s) => {
+            v.severity = s;
+            true
+        }
+    });
+
+    SemReport {
+        violations,
+        reachability,
+        allow_counts,
+        cold_sites,
+    }
+}
+
+/// A function's global identity in the call graph.
+type FnId = usize;
+
+struct GraphFn {
+    file: usize,
+    local: usize,
+}
+
+/// The workspace call graph over all analyzed files.
+struct Graph {
+    fns: Vec<GraphFn>,
+    /// Adjacency: caller -> resolved callees.
+    calls: Vec<Vec<FnId>>,
+    /// `(file index, local fn index)` -> global id.
+    by_local: BTreeMap<(usize, usize), FnId>,
+}
+
+impl Graph {
+    fn build(files: &[SemFile]) -> Graph {
+        let mut fns: Vec<GraphFn> = Vec::new();
+        let mut by_local: BTreeMap<(usize, usize), FnId> = BTreeMap::new();
+        // Name indexes over non-test functions with bodies or trait decls.
+        let mut free_by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        let mut method_by_name: BTreeMap<&str, Vec<FnId>> = BTreeMap::new();
+        let mut typed: BTreeMap<(&str, &str), Vec<FnId>> = BTreeMap::new();
+
+        for (fi, f) in files.iter().enumerate() {
+            if !f.analyzed {
+                continue;
+            }
+            for (li, item) in f.parsed.fns.iter().enumerate() {
+                if item.is_test {
+                    continue;
+                }
+                let id = fns.len();
+                fns.push(GraphFn {
+                    file: fi,
+                    local: li,
+                });
+                by_local.insert((fi, li), id);
+                match &item.impl_type {
+                    None => free_by_name.entry(&item.name).or_default().push(id),
+                    Some(ty) => {
+                        method_by_name.entry(&item.name).or_default().push(id);
+                        typed
+                            .entry((ty.as_str(), item.name.as_str()))
+                            .or_default()
+                            .push(id);
+                    }
+                }
+            }
+        }
+
+        let crate_of = |id: FnId| files[fns[id].file].parsed.info.crate_dir.as_str();
+        let mut calls: Vec<Vec<FnId>> = vec![Vec::new(); fns.len()];
+
+        for (fi, f) in files.iter().enumerate() {
+            if !f.analyzed {
+                continue;
+            }
+            let visible = &f.parsed.visible;
+            let vis_ok = |id: FnId| visible.iter().any(|v| v == crate_of(id));
+            let toks = &f.parsed.lexed.tokens;
+            for (i, kind) in call_sites(toks) {
+                let Some(caller_local) = f.parsed.enclosing_fn(i) else {
+                    continue;
+                };
+                let Some(&caller) = by_local.get(&(fi, caller_local)) else {
+                    continue; // test fn — not a graph node
+                };
+                let mut targets: Vec<FnId> = Vec::new();
+                match &kind {
+                    CallKind::Free(name) => {
+                        if let Some(ids) = free_by_name.get(name.as_str()) {
+                            targets.extend(ids.iter().copied().filter(|&id| vis_ok(id)));
+                        }
+                    }
+                    CallKind::Method(name) => {
+                        if let Some(ids) = method_by_name.get(name.as_str()) {
+                            targets.extend(ids.iter().copied().filter(|&id| vis_ok(id)));
+                        }
+                    }
+                    CallKind::Qualified(qual, name) => {
+                        let qual: &str = match qual.as_str() {
+                            // `Self::helper()` — substitute the caller's
+                            // own impl type when known.
+                            "Self" => f.parsed.fns[caller_local]
+                                .impl_type
+                                .as_deref()
+                                .unwrap_or("Self"),
+                            "self" | "crate" | "super" => "",
+                            q => q,
+                        };
+                        if qual.is_empty() {
+                            // Crate-relative path: free fns in this crate.
+                            if let Some(ids) = free_by_name.get(name.as_str()) {
+                                targets.extend(
+                                    ids.iter()
+                                        .copied()
+                                        .filter(|&id| crate_of(id) == f.parsed.info.crate_dir),
+                                );
+                            }
+                        } else if let Some(ids) = typed.get(&(qual, name.as_str())) {
+                            targets.extend(ids.iter().copied().filter(|&id| vis_ok(id)));
+                        } else {
+                            // `module::fn` or a cross-crate path with no
+                            // matching impl: fall back to visible free fns.
+                            if let Some(ids) = free_by_name.get(name.as_str()) {
+                                targets.extend(ids.iter().copied().filter(|&id| vis_ok(id)));
+                            }
+                        }
+                    }
+                }
+                calls[caller].extend(targets);
+            }
+        }
+        for c in &mut calls {
+            c.sort_unstable();
+            c.dedup();
+        }
+        Graph {
+            fns,
+            calls,
+            by_local,
+        }
+    }
+
+    /// BFS closure over the call graph from `roots`.
+    fn reach(&self, roots: &[FnId]) -> BTreeSet<FnId> {
+        let mut seen: BTreeSet<FnId> = roots.iter().copied().collect();
+        let mut queue: Vec<FnId> = roots.to_vec();
+        while let Some(id) = queue.pop() {
+            for &next in &self.calls[id] {
+                if seen.insert(next) {
+                    queue.push(next);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Extracts call sites from a token stream: `(token index of the name,
+/// kind)`. Macro invocations (`name!`), declarations (`fn name`), and
+/// control keywords never match because of the adjacency requirements.
+fn call_sites(toks: &[crate::lexer::Token]) -> Vec<(usize, CallKind)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let Tok::Ident(name) = &toks[i].tok else {
+            continue;
+        };
+        if !matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('('))) {
+            continue;
+        }
+        let kind = match i.checked_sub(1).map(|p| &toks[p].tok) {
+            Some(Tok::Punct('.')) => CallKind::Method(name.clone()),
+            Some(Tok::PathSep) => {
+                let Some(Tok::Ident(qual)) = i.checked_sub(2).map(|p| &toks[p].tok) else {
+                    continue; // `<T as Trait>::f()` and friends — skip
+                };
+                CallKind::Qualified(qual.clone(), name.clone())
+            }
+            Some(Tok::Ident(kw)) if kw == "fn" => continue,
+            _ => CallKind::Free(name.clone()),
+        };
+        out.push((i, kind));
+    }
+    out
+}
+
+/// Collects the global ids of every `lint:entry` root, optionally
+/// restricted to one role.
+fn entry_roots(files: &[SemFile], graph: &Graph, role: Option<Role>) -> Vec<FnId> {
+    let mut roots = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        if !f.analyzed {
+            continue;
+        }
+        for &(local, r) in &f.parsed.entries {
+            if role.is_none_or(|want| want == r) {
+                if let Some(&id) = graph.by_local.get(&(fi, local)) {
+                    roots.push(id);
+                }
+            }
+        }
+    }
+    roots
+}
+
+/// Panic-site token indexes in one file, mirroring the `P1` site set:
+/// `.unwrap()`/`.expect(` method calls and the aborting macros, outside
+/// test and `debug_assert` ranges.
+fn panic_sites(f: &SemFile) -> Vec<usize> {
+    let toks = &f.parsed.lexed.tokens;
+    let in_any = |ranges: &[(usize, usize)], i: usize| ranges.iter().any(|&(a, b)| i >= a && i < b);
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let hit = match &t.tok {
+            Tok::Ident(id) if id == "unwrap" || id == "expect" => {
+                i > 0
+                    && toks[i - 1].tok == Tok::Punct('.')
+                    && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')))
+            }
+            Tok::Ident(id)
+                if matches!(
+                    id.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) =>
+            {
+                matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('!')))
+            }
+            _ => false,
+        };
+        if hit && !in_any(&f.parsed.test_ranges, i) && !in_any(&f.parsed.dbg_ranges, i) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// P2: panic sites reachable from any entry root must carry a
+/// justification; justified sites nothing reaches are downgrade
+/// candidates (`P2-cold`, warn).
+fn p2_reachability(
+    files: &[SemFile],
+    graph: &Graph,
+    out: &mut Vec<Violation>,
+) -> (Option<Reachability>, Vec<(String, u32)>) {
+    let roots = entry_roots(files, graph, None);
+    if roots.is_empty() {
+        return (None, Vec::new());
+    }
+    let reachable = graph.reach(&roots);
+
+    let mut reachable_allowed = 0usize;
+    let mut cold_allowed = 0usize;
+    let mut cold_sites: Vec<(String, u32)> = Vec::new();
+
+    for (fi, f) in files.iter().enumerate() {
+        if !f.analyzed || !P1_CRATES.contains(&f.parsed.info.crate_dir.as_str()) {
+            continue;
+        }
+        for i in panic_sites(f) {
+            let line = f.parsed.lexed.tokens[i].line;
+            let enclosing = f.parsed.enclosing_fns(i);
+            if enclosing.is_empty() {
+                continue; // top-level const/static context — P1 covers it
+            }
+            let site_reachable = enclosing.iter().any(|&local| {
+                graph
+                    .by_local
+                    .get(&(fi, local))
+                    .is_some_and(|id| reachable.contains(id))
+            });
+            let allowed = rules::suppressed(&f.allows, "P1", line)
+                || rules::suppressed(&f.allows, "P2", line);
+            match (site_reachable, allowed) {
+                (true, true) => reachable_allowed += 1,
+                (true, false) => out.push(Violation {
+                    rule: "P2".into(),
+                    severity: Severity::Deny,
+                    path: f.parsed.info.rel.clone(),
+                    line,
+                    message: "panic site reachable from a lint:entry root; justify the invariant \
+                              with lint:allow(P1) or lint:allow(P2), or return SdnError"
+                        .into(),
+                }),
+                (false, true) => {
+                    cold_allowed += 1;
+                    cold_sites.push((f.parsed.info.rel.clone(), line));
+                    out.push(Violation {
+                        rule: "P2-cold".into(),
+                        severity: Severity::Warn,
+                        path: f.parsed.info.rel.clone(),
+                        line,
+                        message: "justified panic site not reachable from any lint:entry root; \
+                                  candidate for dropping from the allow budget"
+                            .into(),
+                    });
+                }
+                (false, false) => {}
+            }
+        }
+    }
+
+    let total_fns = graph.fns.len();
+    (
+        Some(Reachability {
+            entries: roots.len(),
+            total_fns,
+            reachable_fns: reachable.len(),
+            reachable_allowed_panics: reachable_allowed,
+            cold_allowed_panics: cold_allowed,
+        }),
+        cold_sites,
+    )
+}
+
+/// C1: ledger-mutating `Sdn` calls must not be reachable from worker
+/// entry roots — the pipeline's committer owns the ledger.
+fn c1_ledger(files: &[SemFile], graph: &Graph, out: &mut Vec<Violation>) {
+    let roots = entry_roots(files, graph, Some(Role::Worker));
+    if roots.is_empty() {
+        return;
+    }
+    let reachable = graph.reach(&roots);
+    for (fi, f) in files.iter().enumerate() {
+        if !f.analyzed {
+            continue;
+        }
+        let toks = &f.parsed.lexed.tokens;
+        for (i, kind) in call_sites(toks) {
+            let name = match &kind {
+                CallKind::Method(n) => n,
+                CallKind::Qualified(q, n) if q == "Sdn" => n,
+                _ => continue,
+            };
+            if !C1_LEDGER_MUTATORS.contains(&name.as_str()) {
+                continue;
+            }
+            let in_worker = f.parsed.enclosing_fns(i).iter().any(|&local| {
+                graph
+                    .by_local
+                    .get(&(fi, local))
+                    .is_some_and(|id| reachable.contains(id))
+            });
+            if in_worker {
+                out.push(Violation {
+                    rule: "C1".into(),
+                    severity: Severity::Deny,
+                    path: f.parsed.info.rel.clone(),
+                    line: toks[i].line,
+                    message: format!(
+                        ".{name}() mutates the ledger but is reachable from a \
+                         lint:entry(worker) root; ledger mutation is committer-only \
+                         (lint:allow(C1) to justify)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Direct lock acquisitions in one file: token indexes of `.lock()`,
+/// `.read()`, `.write()` with *empty* argument lists (the empty parens
+/// discriminate `Mutex`/`RwLock` guards from `io::Read`/`Write` calls,
+/// which always take a buffer).
+fn lock_sites(f: &SemFile) -> Vec<usize> {
+    let toks = &f.parsed.lexed.tokens;
+    let in_any = |ranges: &[(usize, usize)], i: usize| ranges.iter().any(|&(a, b)| i >= a && i < b);
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let Tok::Ident(name) = &toks[i].tok else {
+            continue;
+        };
+        if !matches!(name.as_str(), "lock" | "read" | "write") {
+            continue;
+        }
+        let method = i > 0 && toks[i - 1].tok == Tok::Punct('.');
+        let empty_args = matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')))
+            && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(')')));
+        if method && empty_args && !in_any(&f.parsed.test_ranges, i) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// C2: no second lock while one is held. A guard is held from its
+/// acquisition until the innermost enclosing block closes; within that
+/// hold region, another direct acquisition or a call into a function
+/// that may (transitively) lock is a violation.
+fn c2_lock_order(files: &[SemFile], graph: &Graph, out: &mut Vec<Violation>) {
+    // Fixpoint: which graph fns may acquire a lock, transitively.
+    let mut may_lock: Vec<bool> = vec![false; graph.fns.len()];
+    for (fi, f) in files.iter().enumerate() {
+        if !f.analyzed {
+            continue;
+        }
+        for i in lock_sites(f) {
+            if let Some(local) = f.parsed.enclosing_fn(i) {
+                if let Some(&id) = graph.by_local.get(&(fi, local)) {
+                    may_lock[id] = true;
+                }
+            }
+        }
+    }
+    // Reverse edges, then propagate.
+    let mut callers: Vec<Vec<FnId>> = vec![Vec::new(); graph.fns.len()];
+    for (caller, callees) in graph.calls.iter().enumerate() {
+        for &callee in callees {
+            callers[callee].push(caller);
+        }
+    }
+    let mut queue: Vec<FnId> = (0..graph.fns.len()).filter(|&i| may_lock[i]).collect();
+    while let Some(id) = queue.pop() {
+        for &caller in &callers[id] {
+            if !may_lock[caller] {
+                may_lock[caller] = true;
+                queue.push(caller);
+            }
+        }
+    }
+
+    for (fi, f) in files.iter().enumerate() {
+        if !f.analyzed {
+            continue;
+        }
+        let toks = &f.parsed.lexed.tokens;
+        let sites = lock_sites(f);
+        let calls = call_sites(toks);
+        for &acq in &sites {
+            // Hold region: until the innermost enclosing block closes.
+            let mut depth = 0usize;
+            let mut end = toks.len();
+            for (k, t) in toks.iter().enumerate().skip(acq + 1) {
+                match t.tok {
+                    Tok::Punct('{') => depth += 1,
+                    Tok::Punct('}') => {
+                        if depth == 0 {
+                            end = k;
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    _ => {}
+                }
+            }
+            // (a) a second direct acquisition inside the hold region;
+            for &other in &sites {
+                if other > acq + 2 && other < end {
+                    out.push(Violation {
+                        rule: "C2".into(),
+                        severity: Severity::Deny,
+                        path: f.parsed.info.rel.clone(),
+                        line: toks[other].line,
+                        message: format!(
+                            "second lock acquired while the guard from line {} is still held; \
+                             drop the first guard or justify the ordering with lint:allow(C2)",
+                            toks[acq].line
+                        ),
+                    });
+                }
+            }
+            // (b) a call into a function that may itself lock.
+            for (ci, kind) in &calls {
+                if *ci <= acq + 2 || *ci >= end {
+                    continue;
+                }
+                let locks_inside = resolved_targets(graph, files, fi, *ci, kind)
+                    .into_iter()
+                    .any(|id| may_lock[id]);
+                if locks_inside {
+                    let name = match kind {
+                        CallKind::Free(n) | CallKind::Method(n) | CallKind::Qualified(_, n) => n,
+                    };
+                    out.push(Violation {
+                        rule: "C2".into(),
+                        severity: Severity::Deny,
+                        path: f.parsed.info.rel.clone(),
+                        line: toks[*ci].line,
+                        message: format!(
+                            "{name}() may acquire a lock while the guard from line {} is still \
+                             held; drop the guard first or justify with lint:allow(C2)",
+                            toks[acq].line
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    // A nested acquisition is flagged once per enclosing guard; collapse
+    // duplicates from overlapping hold regions.
+    out.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    out.dedup_by(|a, b| a.rule == b.rule && a.path == b.path && a.line == b.line);
+}
+
+/// Re-resolves one call site (used by C2's hold-region scan, which needs
+/// per-site targets rather than the aggregated adjacency).
+fn resolved_targets(
+    graph: &Graph,
+    files: &[SemFile],
+    fi: usize,
+    site: usize,
+    kind: &CallKind,
+) -> Vec<FnId> {
+    let f = &files[fi];
+    let Some(caller_local) = f.parsed.enclosing_fn(site) else {
+        return Vec::new();
+    };
+    let Some(&caller) = graph.by_local.get(&(fi, caller_local)) else {
+        return Vec::new();
+    };
+    let name = match kind {
+        CallKind::Free(n) | CallKind::Method(n) | CallKind::Qualified(_, n) => n.as_str(),
+    };
+    // The aggregated adjacency already holds this site's targets (merged
+    // with the caller's other sites); filter back down by callee name.
+    graph.calls[caller]
+        .iter()
+        .copied()
+        .filter(|&id| {
+            let gf = &graph.fns[id];
+            files[gf.file].parsed.fns[gf.local].name == name
+        })
+        .collect()
+}
+
+/// TL1: every variant of the telemetry registry enums must be recorded
+/// somewhere outside its own declaration/impl blocks and outside tests.
+fn tl1_dead_telemetry(files: &[SemFile], out: &mut Vec<Violation>) {
+    // Locate the registry: the telemetry crate's lib root.
+    let Some((reg_fi, reg)) = files.iter().enumerate().find(|(_, f)| {
+        f.analyzed && f.parsed.info.crate_dir == "telemetry" && f.parsed.info.is_lib_root
+    }) else {
+        return;
+    };
+    let toks = &reg.parsed.lexed.tokens;
+
+    // Token ranges to exclude from liveness inside the registry file:
+    // the enum declarations themselves and `impl Counter`-style blocks
+    // (whose `ALL` tables and `name()` matches mention every variant).
+    let mut excluded: Vec<(usize, usize)> = Vec::new();
+    // Variants: (enum name, variant name, declaration line).
+    let mut variants: Vec<(String, String, u32)> = Vec::new();
+
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Ident(kw) if kw == "enum" => {
+                let Some(Tok::Ident(name)) = toks.get(i + 1).map(|t| &t.tok) else {
+                    i += 1;
+                    continue;
+                };
+                if !TL1_REGISTRY_ENUMS.contains(&name.as_str()) {
+                    i += 1;
+                    continue;
+                }
+                let Some(open) = (i..toks.len()).find(|&k| toks[k].tok == Tok::Punct('{')) else {
+                    break;
+                };
+                let close = rules::item_end(toks, open);
+                excluded.push((i, close));
+                // Variants: identifiers at brace depth 1 that start a
+                // field (previous significant token is `{` or `,`),
+                // skipping attribute groups.
+                let mut k = open + 1;
+                let mut expect_variant = true;
+                while k < close.saturating_sub(1) {
+                    match &toks[k].tok {
+                        Tok::Punct('#') => {
+                            // Skip `#[...]` attribute.
+                            if let Some(Tok::Punct('[')) = toks.get(k + 1).map(|t| &t.tok) {
+                                let mut d = 0usize;
+                                k += 1;
+                                while k < close {
+                                    match toks[k].tok {
+                                        Tok::Punct('[') => d += 1,
+                                        Tok::Punct(']') => {
+                                            d -= 1;
+                                            if d == 0 {
+                                                break;
+                                            }
+                                        }
+                                        _ => {}
+                                    }
+                                    k += 1;
+                                }
+                            }
+                        }
+                        Tok::Ident(v) if expect_variant => {
+                            variants.push((name.clone(), v.clone(), toks[k].line));
+                            expect_variant = false;
+                        }
+                        Tok::Punct(',') => expect_variant = true,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                i = close;
+            }
+            Tok::Ident(kw) if kw == "impl" => {
+                // Exclude `impl Counter { ... }` for the registry enums.
+                let mentions_registry = (i + 1..(i + 6).min(toks.len())).any(|k| {
+                    matches!(&toks[k].tok, Tok::Ident(n) if TL1_REGISTRY_ENUMS.contains(&n.as_str()))
+                });
+                if mentions_registry {
+                    if let Some(open) = (i..toks.len()).find(|&k| toks[k].tok == Tok::Punct('{')) {
+                        let close = rules::item_end(toks, open);
+                        excluded.push((i, close));
+                        i = close;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+
+    // Liveness: `Enum::Variant` occurrences in analyzed non-test code,
+    // outside the excluded declaration ranges.
+    let mut live: BTreeSet<(String, String)> = BTreeSet::new();
+    for (fi, f) in files.iter().enumerate() {
+        if !f.analyzed {
+            continue;
+        }
+        let ftoks = &f.parsed.lexed.tokens;
+        let in_any =
+            |ranges: &[(usize, usize)], i: usize| ranges.iter().any(|&(a, b)| i >= a && i < b);
+        for k in 0..ftoks.len() {
+            let Tok::Ident(en) = &ftoks[k].tok else {
+                continue;
+            };
+            if !TL1_REGISTRY_ENUMS.contains(&en.as_str()) {
+                continue;
+            }
+            if !matches!(ftoks.get(k + 1).map(|t| &t.tok), Some(Tok::PathSep)) {
+                continue;
+            }
+            let Some(Tok::Ident(var)) = ftoks.get(k + 2).map(|t| &t.tok) else {
+                continue;
+            };
+            if in_any(&f.parsed.test_ranges, k) {
+                continue;
+            }
+            if fi == reg_fi && excluded.iter().any(|&(a, b)| k >= a && k < b) {
+                continue;
+            }
+            live.insert((en.clone(), var.clone()));
+        }
+    }
+
+    for (en, var, line) in variants {
+        if !live.contains(&(en.clone(), var.clone())) {
+            out.push(Violation {
+                rule: "TL1".into(),
+                severity: Severity::Deny,
+                path: reg.parsed.info.rel.clone(),
+                line,
+                message: format!(
+                    "{en}::{var} is declared in the telemetry registry but never recorded; \
+                     remove it or justify with lint:allow(TL1)"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Vec<(String, String)> {
+        files
+            .iter()
+            .map(|(r, s)| (r.to_string(), s.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn p2_flags_reachable_unjustified_panic() {
+        let files = ws(&[(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             // lint:entry(api)\npub fn plan() { helper(); }\n\
+             fn helper() { inner.unwrap(); }\n\
+             fn dead() { other.unwrap(); }\n",
+        )]);
+        let rep = analyze(&files, &Config::default());
+        let p2: Vec<u32> = rep
+            .violations
+            .iter()
+            .filter(|v| v.rule == "P2")
+            .map(|v| v.line)
+            .collect();
+        assert_eq!(p2, vec![4], "only the reachable site is P2");
+        let r = rep.reachability.unwrap();
+        assert_eq!(r.entries, 1);
+        assert_eq!(r.reachable_fns, 2);
+        assert_eq!(r.total_fns, 3);
+    }
+
+    #[test]
+    fn p2_cold_flags_unreachable_allowed_panic() {
+        let files = ws(&[(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             // lint:entry(api)\npub fn plan() {}\n\
+             fn dead() {\n\
+                 // lint:allow(P1): invariant holds by construction\n\
+                 inner.unwrap();\n\
+             }\n",
+        )]);
+        let rep = analyze(&files, &Config::default());
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| v.rule == "P2-cold" && v.line == 6));
+        assert_eq!(rep.reachability.unwrap().cold_allowed_panics, 1);
+        assert_eq!(
+            rep.cold_sites,
+            vec![("crates/core/src/lib.rs".to_string(), 6)]
+        );
+    }
+
+    #[test]
+    fn c1_flags_worker_reachable_ledger_mutation() {
+        let files = ws(&[(
+            "crates/engine/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             // lint:entry(worker)\nfn work(sdn: &mut Sdn) { stage(sdn); }\n\
+             fn stage(sdn: &mut Sdn) { sdn.allocate(1, 2.0); }\n\
+             // lint:entry(committer)\nfn commit(sdn: &mut Sdn) { sdn.release(1); }\n",
+        )]);
+        let rep = analyze(&files, &Config::default());
+        let c1: Vec<u32> = rep
+            .violations
+            .iter()
+            .filter(|v| v.rule == "C1")
+            .map(|v| v.line)
+            .collect();
+        assert_eq!(
+            c1,
+            vec![4],
+            "committer-side release is fine; worker-side allocate is not"
+        );
+    }
+
+    #[test]
+    fn c2_flags_nested_lock_and_transitive_lock() {
+        let files = ws(&[(
+            "crates/engine/src/lib.rs",
+            "#![forbid(unsafe_code)]\n\
+             fn deep() { let _g = M2.lock(); }\n\
+             fn nested() {\n\
+                 let a = M1.lock();\n\
+                 let b = M2.lock();\n\
+             }\n\
+             fn transitive() {\n\
+                 let a = M1.lock();\n\
+                 deep();\n\
+             }\n\
+             fn scoped_ok() {\n\
+                 let v = { M1.lock().pop() };\n\
+                 deep();\n\
+             }\n",
+        )]);
+        let rep = analyze(&files, &Config::default());
+        let c2: Vec<u32> = rep
+            .violations
+            .iter()
+            .filter(|v| v.rule == "C2")
+            .map(|v| v.line)
+            .collect();
+        assert_eq!(
+            c2,
+            vec![5, 9],
+            "scoped guard released before deep() is fine"
+        );
+    }
+
+    #[test]
+    fn tl1_flags_unrecorded_variant() {
+        let files = ws(&[
+            (
+                "crates/telemetry/src/lib.rs",
+                "#![forbid(unsafe_code)]\n\
+                 pub enum Counter { Used, Dead }\n\
+                 impl Counter {\n\
+                     pub const ALL: [Counter; 2] = [Counter::Used, Counter::Dead];\n\
+                 }\n",
+            ),
+            (
+                "crates/engine/src/lib.rs",
+                "#![forbid(unsafe_code)]\nuse telemetry::Counter;\n\
+                 fn f() { hit(Counter::Used); }\n",
+            ),
+        ]);
+        let rep = analyze(&files, &Config::default());
+        let tl1: Vec<(u32, &str)> = rep
+            .violations
+            .iter()
+            .filter(|v| v.rule == "TL1")
+            .map(|v| (v.line, v.message.as_str()))
+            .collect();
+        assert_eq!(tl1.len(), 1);
+        assert_eq!(tl1[0].0, 2);
+        assert!(tl1[0].1.contains("Counter::Dead"));
+    }
+
+    #[test]
+    fn allow_counts_cover_all_files() {
+        let files = ws(&[
+            (
+                "crates/core/src/lib.rs",
+                "#![forbid(unsafe_code)]\n// lint:allow(P1): fine\nx.unwrap();\n",
+            ),
+            (
+                "compat/vendored.rs",
+                "// lint:allow(P1): vendored\ny.unwrap();\n",
+            ),
+        ]);
+        let rep = analyze(&files, &Config::default());
+        assert_eq!(rep.allow_counts.get("P1"), Some(&2));
+    }
+}

@@ -1,0 +1,67 @@
+//! Dirty semantic fixture: each call-graph rule family trips exactly once
+//! and has a justified twin that stays silent.
+#![forbid(unsafe_code)]
+
+use telemetry::Counter;
+
+// lint:entry(worker)
+fn worker_loop(sdn: &mut Sdn) {
+    stage(sdn);
+    staged_allowed(sdn);
+    helper();
+    justified_helper();
+    record(Counter::Used);
+}
+
+fn stage(sdn: &mut Sdn) {
+    sdn.allocate(1, 2.0);
+}
+
+fn staged_allowed(sdn: &mut Sdn) {
+    // lint:allow(C1): fixture twin — pretend this is committer-delegated
+    sdn.allocate(3, 4.0);
+}
+
+fn helper() {
+    let x: Option<u32> = None;
+    x.unwrap();
+}
+
+fn justified_helper() {
+    let x: Option<u32> = Some(1);
+    // lint:allow(P1): the fixture constructs Some on the line above
+    x.unwrap();
+}
+
+fn cold_helper() {
+    let x: Option<u32> = Some(2);
+    // lint:allow(P1): justified but unreachable — P2-cold flags it
+    x.unwrap();
+}
+
+fn nested_locks(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let first = a.lock();
+    let second = b.lock();
+    *first + *second
+}
+
+fn nested_locks_allowed(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let first = a.lock();
+    // lint:allow(C2): fixture twin — a before b everywhere by convention
+    let second = b.lock();
+    *first + *second
+}
+
+fn locks_inside(m: &Mutex<u32>) -> u32 {
+    *m.lock()
+}
+
+fn transitive_hold(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let first = a.lock();
+    *first + locks_inside(b)
+}
+
+fn scoped_guard_ok(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let v = { *a.lock() };
+    v + locks_inside(b)
+}

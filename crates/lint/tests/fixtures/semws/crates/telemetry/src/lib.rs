@@ -1,0 +1,21 @@
+//! Fixture telemetry registry: `Used` is recorded by the engine fixture,
+//! `Dead` is not (TL1), `Reserved` is justified.
+#![forbid(unsafe_code)]
+
+pub enum Counter {
+    Used,
+    Dead,
+    Reserved, // lint:allow(TL1): reserved for the next fixture milestone
+}
+
+impl Counter {
+    pub const ALL: [Counter; 3] = [Counter::Used, Counter::Dead, Counter::Reserved];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Counter::Used => "used",
+            Counter::Dead => "dead",
+            Counter::Reserved => "reserved",
+        }
+    }
+}

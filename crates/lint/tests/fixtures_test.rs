@@ -140,3 +140,140 @@ fn cli_exits_nonzero_on_a_dirty_workspace() {
         );
     }
 }
+
+// ---- semantic pass fixtures (PR 9) --------------------------------------
+
+#[test]
+fn t1_flags_raw_money_comparisons_and_magic_literals() {
+    let got = lint_fixture("t1.rs", include_str!("fixtures/t1_tolerance.rs"));
+    assert_eq!(
+        got,
+        vec![
+            deny("T1", 6),  // residual >= demand, no guard
+            deny("T1", 10), // magic 1e-9 tolerance literal
+        ]
+    );
+}
+
+/// Lints the semantic mini-workspace with the token-level panic rules off,
+/// isolating the call-graph families.
+fn lint_semws() -> nfv_lint::Report {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/semws");
+    let mut cfg = Config::default();
+    cfg.set("P1", None);
+    cfg.set("P1-idx", None);
+    nfv_lint::lint_workspace(&root, &cfg).expect("lint semws")
+}
+
+#[test]
+fn semantic_workspace_pins_every_family() {
+    let report = lint_semws();
+    let got: Vec<(String, String, u32, Severity)> = report
+        .violations
+        .iter()
+        .map(|v| (v.rule.clone(), v.path.clone(), v.line, v.severity))
+        .collect();
+    let engine = "crates/engine/src/lib.rs".to_string();
+    let telemetry = "crates/telemetry/src/lib.rs".to_string();
+    assert_eq!(
+        got,
+        vec![
+            ("C1".to_string(), engine.clone(), 17, Severity::Deny),
+            ("P2".to_string(), engine.clone(), 27, Severity::Deny),
+            ("P2-cold".to_string(), engine.clone(), 39, Severity::Warn),
+            ("C2".to_string(), engine.clone(), 44, Severity::Deny),
+            ("C2".to_string(), engine, 61, Severity::Deny),
+            ("TL1".to_string(), telemetry, 7, Severity::Deny),
+        ]
+    );
+}
+
+#[test]
+fn semantic_workspace_reachability_and_allow_budget() {
+    let report = lint_semws();
+    let r = report.reachability.expect("worker entry root present");
+    assert_eq!(r.entries, 1);
+    assert_eq!(r.total_fns, 12);
+    assert_eq!(r.reachable_fns, 5);
+    assert_eq!(r.reachable_allowed_panics, 1);
+    assert_eq!(r.cold_allowed_panics, 1);
+    assert_eq!(report.allow_counts.get("P1"), Some(&2));
+    assert_eq!(report.allow_counts.get("C1"), Some(&1));
+    assert_eq!(report.allow_counts.get("C2"), Some(&1));
+    assert_eq!(report.allow_counts.get("TL1"), Some(&1));
+    assert_eq!(
+        report.cold_sites,
+        vec![("crates/engine/src/lib.rs".to_string(), 39)]
+    );
+}
+
+#[test]
+fn semantic_rules_are_individually_toggleable() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/semws");
+    let mut cfg = Config::default();
+    for rule in ["P1", "P1-idx", "P2", "P2-cold", "C1", "C2", "TL1"] {
+        cfg.set(rule, None);
+    }
+    let report = nfv_lint::lint_workspace(&root, &cfg).expect("lint semws");
+    assert_eq!(report.violations, vec![]);
+}
+
+#[test]
+fn schema_v2_round_trips_from_workspace_report() {
+    let report = lint_semws();
+    let parsed = nfv_lint::ReportSummary::from_json(&report.to_json()).expect("parse v2");
+    assert_eq!(parsed.version, 2);
+    assert_eq!(parsed.files_scanned, report.files_scanned);
+    assert_eq!(parsed.denied, report.denied());
+    assert_eq!(parsed.counts, report.counts());
+    assert_eq!(parsed.allow_counts, report.allow_counts);
+    assert_eq!(parsed.reachability, report.reachability);
+}
+
+#[test]
+fn cli_exits_nonzero_on_a_dirty_semantic_workspace() {
+    let semws = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/semws");
+    let json = Path::new(env!("CARGO_TARGET_TMPDIR")).join("semws-lint.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_nfv-lint"))
+        .arg("--workspace-root")
+        .arg(&semws)
+        .arg("--json")
+        .arg(&json)
+        .arg("--cold-report")
+        .output()
+        .expect("spawn nfv-lint");
+    assert_eq!(out.status.code(), Some(1), "stdout: {:?}", out.stdout);
+    let report = std::fs::read_to_string(&json).expect("JSON report written");
+    for rule in ["P2", "C1", "C2", "TL1"] {
+        assert!(
+            report.contains(&format!("\"rule\": \"{rule}\"")),
+            "{report}"
+        );
+    }
+    assert!(report.contains("\"version\": 2"), "{report}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("reachability: 1 entry roots"), "{stdout}");
+}
+
+#[test]
+fn cli_max_allow_ratchet_fails_when_exceeded() {
+    let semws = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/semws");
+    let json = Path::new(env!("CARGO_TARGET_TMPDIR")).join("semws-ratchet.json");
+    // The fixture carries two justified P1 escapes; a budget of 1 must
+    // fail even with every deny rule disabled.
+    let out = Command::new(env!("CARGO_BIN_EXE_nfv-lint"))
+        .arg("--workspace-root")
+        .arg(&semws)
+        .arg("--json")
+        .arg(&json)
+        .args([
+            "--off", "P1", "--off", "P1-idx", "--off", "P2", "--off", "P2-cold",
+        ])
+        .args(["--off", "C1", "--off", "C2", "--off", "TL1"])
+        .args(["--max-allow", "P1:1"])
+        .output()
+        .expect("spawn nfv-lint");
+    assert_eq!(out.status.code(), Some(1), "stderr: {:?}", out.stderr);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("P1 allow count 2 exceeds"), "{stderr}");
+}

@@ -62,11 +62,13 @@ pub fn prim(g: &Graph) -> MstResult {
     let mut components = 0usize;
 
     for start in g.nodes() {
-        if in_tree[start.index()] {
+        if in_tree.get(start.index()).copied().unwrap_or(true) {
             continue;
         }
         components += 1;
-        in_tree[start.index()] = true;
+        if let Some(seen) = in_tree.get_mut(start.index()) {
+            *seen = true;
+        }
         let mut heap: BinaryHeap<Reverse<(TotalCost, EdgeId, NodeId)>> = BinaryHeap::new();
         for nb in g.neighbors(start) {
             heap.push(Reverse((
@@ -76,14 +78,16 @@ pub fn prim(g: &Graph) -> MstResult {
             )));
         }
         while let Some(Reverse((w, e, v))) = heap.pop() {
-            if in_tree[v.index()] {
+            if in_tree.get(v.index()).copied().unwrap_or(true) {
                 continue;
             }
-            in_tree[v.index()] = true;
+            if let Some(seen) = in_tree.get_mut(v.index()) {
+                *seen = true;
+            }
             edges.push(e);
             total += w.get();
             for nb in g.neighbors(v) {
-                if !in_tree[nb.node.index()] {
+                if !in_tree.get(nb.node.index()).copied().unwrap_or(true) {
                     heap.push(Reverse((
                         TotalCost::new(g.edge(nb.edge).weight),
                         nb.edge,

@@ -79,7 +79,6 @@ pub fn graph_stats(g: &Graph) -> GraphStats {
 /// Parallel edges are collapsed; returns `0` when no triples exist.
 #[must_use]
 pub fn clustering_coefficient(g: &Graph) -> f64 {
-    let n = g.node_count();
     // Simple-neighbor sets.
     let neighbor_sets: Vec<std::collections::BTreeSet<NodeId>> = g
         .nodes()
@@ -87,13 +86,16 @@ pub fn clustering_coefficient(g: &Graph) -> f64 {
         .collect();
     let mut triangles = 0usize;
     let mut triples = 0usize;
-    for v in 0..n {
-        let nbs: Vec<NodeId> = neighbor_sets[v].iter().copied().collect();
+    for set in &neighbor_sets {
+        let nbs: Vec<NodeId> = set.iter().copied().collect();
         let d = nbs.len();
         triples += d.saturating_sub(1) * d / 2;
-        for i in 0..d {
-            for j in (i + 1)..d {
-                if neighbor_sets[nbs[i].index()].contains(&nbs[j]) {
+        for (i, &ni) in nbs.iter().enumerate() {
+            for &nj in nbs.iter().skip(i + 1) {
+                if neighbor_sets
+                    .get(ni.index())
+                    .is_some_and(|s| s.contains(&nj))
+                {
                     triangles += 1;
                 }
             }

@@ -46,6 +46,7 @@ impl OnlineAlgorithm for OnlineCpMulti {
         "Online_CP_Multi"
     }
 
+    // lint:entry(api)
     fn admit(&mut self, sdn: &Sdn, request: &MulticastRequest) -> Option<PseudoMulticastTree> {
         let b = request.bandwidth;
         let demand = request.computing_demand();
@@ -63,8 +64,8 @@ impl OnlineAlgorithm for OnlineCpMulti {
         let mut usable: Vec<NodeId> = Vec::new();
         for &v in sdn.servers() {
             // lint:allow(P1): v is drawn from servers()
-            if !sdn.is_server_alive(v) || sdn.residual_computing(v).expect("server") + 1e-9 < demand
-            {
+            let residual = sdn.residual_computing(v).expect("server");
+            if !sdn.is_server_alive(v) || residual + sdn::CAPACITY_EPS < demand {
                 continue;
             }
             let wv = model.server_weight(sdn, v).expect("server"); // lint:allow(P1): v is drawn from servers()
@@ -86,7 +87,7 @@ impl OnlineAlgorithm for OnlineCpMulti {
         let c_max = sdn.graph().edges().map(|e| e.weight).fold(1e-12, f64::max);
         let mut edge_map: Vec<EdgeId> = Vec::new();
         for e in sdn.graph().edges() {
-            if !sdn.is_link_alive(e.id) || sdn.residual_bandwidth(e.id) + 1e-9 < b {
+            if !sdn.is_link_alive(e.id) || sdn.residual_bandwidth(e.id) + sdn::CAPACITY_EPS < b {
                 continue;
             }
             let w = model.edge_weight(sdn, e.id);

@@ -366,6 +366,7 @@ impl OnlineAlgorithm for OnlineCp {
         }
     }
 
+    // lint:entry(api)
     fn admit(&mut self, sdn: &Sdn, request: &MulticastRequest) -> Option<PseudoMulticastTree> {
         let b = request.bandwidth;
         let demand = request.computing_demand();
@@ -454,7 +455,7 @@ impl OnlineAlgorithm for OnlineCp {
                     // Strictly worse than the incumbent (with a margin so
                     // float noise can never prune an exact tie, which the
                     // position rule below might still award differently).
-                    if s.lb > best_w * (1.0 + 1e-9) + 1e-9 {
+                    if s.lb > best_w * (1.0 + sdn::PRUNE_GUARD_REL) + sdn::PRUNE_GUARD_ABS {
                         telemetry::add(
                             telemetry::Counter::OnlineCandidatesPruned,
                             (survivors.len() - idx) as u64,

@@ -30,6 +30,7 @@ impl OnlineAlgorithm for ShortestPathBaseline {
         "SP"
     }
 
+    // lint:entry(api)
     fn admit(&mut self, sdn: &Sdn, request: &MulticastRequest) -> Option<PseudoMulticastTree> {
         let b = request.bandwidth;
         let demand = request.computing_demand();
@@ -38,7 +39,7 @@ impl OnlineAlgorithm for ShortestPathBaseline {
         let filtered = induced_subgraph(
             sdn.graph(),
             |_| true,
-            |e| sdn.is_link_alive(e) && sdn.residual_bandwidth(e) + 1e-9 >= b,
+            |e| sdn.is_link_alive(e) && sdn.residual_bandwidth(e) + sdn::CAPACITY_EPS >= b,
         );
         let g = filtered.graph();
         let mut uniform = netgraph::Graph::with_nodes(g.node_count());
@@ -52,8 +53,8 @@ impl OnlineAlgorithm for ShortestPathBaseline {
         let spt_source = dijkstra_with_targets(&uniform, request.source, sdn.servers());
         for &v in sdn.servers() {
             // lint:allow(P1): v is drawn from servers()
-            if !sdn.is_server_alive(v) || sdn.residual_computing(v).expect("server") + 1e-9 < demand
-            {
+            let residual = sdn.residual_computing(v).expect("server");
+            if !sdn.is_server_alive(v) || residual + sdn::CAPACITY_EPS < demand {
                 continue;
             }
             let Some(ingress) = spt_source.path_to(v) else {

@@ -55,6 +55,15 @@ pub const COST_FLOOR: f64 = 1e-12;
 /// against incrementally tracked ones (pseudo-tree validation).
 pub const VALIDATE_REL_TOL: f64 = 1e-6;
 
+/// Relative slack in strict-improvement pruning bounds: a candidate is
+/// pruned only when its lower bound exceeds
+/// `best * (1 + PRUNE_GUARD_REL) + PRUNE_GUARD_ABS`, so float noise on an
+/// exact tie can never prune the branch the exhaustive search would keep.
+pub const PRUNE_GUARD_REL: f64 = 1e-9;
+
+/// Absolute counterpart of [`PRUNE_GUARD_REL`] (covers near-zero bounds).
+pub const PRUNE_GUARD_ABS: f64 = 1e-9;
+
 /// The load-oblivious linear cost model (pay-as-you-go unit prices).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct LinearCostModel;

@@ -40,7 +40,7 @@ mod resources;
 
 pub use cost::{
     ExponentialCostModel, LinearCostModel, CAPACITY_EPS, COST_FLOOR, COST_TIEBREAK_REL,
-    RELEASE_EPS, VALIDATE_REL_TOL,
+    PRUNE_GUARD_ABS, PRUNE_GUARD_REL, RELEASE_EPS, VALIDATE_REL_TOL,
 };
 pub use error::SdnError;
 pub use network::{Sdn, SdnBuilder};

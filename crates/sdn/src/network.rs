@@ -177,6 +177,8 @@ impl PartialEq for Sdn {
     /// not state (a network reached by allocate+release equals one that
     /// was never touched).
     fn eq(&self, other: &Self) -> bool {
+        // lint:allow(T1): bit-exact equality is the point — the chaos gate
+        // compares replayed ledgers for *identity*, not approximate match.
         self.graph == other.graph
             && self.servers == other.servers
             && self.computing_capacity == other.computing_capacity

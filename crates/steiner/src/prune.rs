@@ -27,13 +27,15 @@ pub fn prune_non_terminal_leaves(
     loop {
         let mut removed_any = false;
         for (i, &e) in edges.iter().enumerate() {
-            if !alive[i] {
+            if !alive.get(i).copied().unwrap_or(false) {
                 continue;
             }
             let er = g.edge(e);
             for n in [er.u, er.v] {
-                if degree[&n] == 1 && !is_terminal.contains(&n) {
-                    alive[i] = false;
+                if degree.get(&n) == Some(&1) && !is_terminal.contains(&n) {
+                    if let Some(a) = alive.get_mut(i) {
+                        *a = false;
+                    }
                     *degree.get_mut(&er.u).expect("endpoint counted") -= 1; // lint:allow(P1): every edge endpoint was counted when degree was built
                     *degree.get_mut(&er.v).expect("endpoint counted") -= 1; // lint:allow(P1): every edge endpoint was counted when degree was built
                     removed_any = true;
