@@ -11,7 +11,7 @@
 //! [`empirical_competitive_ratio`] reports `online / offline`.
 
 use crate::{RequestOutcome, SimulationResult};
-use nfv_multicast::{appro_multi, appro_multi_cap};
+use nfv_multicast::{appro_multi, appro_multi_cap, exact_pseudo_multicast};
 use sdn::{MulticastRequest, Sdn};
 
 /// Greedy offline packing: score every request by its fresh-network
@@ -95,12 +95,117 @@ pub fn offline_greedy_benchmark(
     }
 }
 
-/// Empirical competitive ratio `online_admitted / offline_admitted`
-/// (1.0 when the offline benchmark admitted nothing).
+/// Exact offline packing for *small* instances: score every request by
+/// its fresh-network [`exact_pseudo_multicast`] optimum, then admit in
+/// ascending order, committing each exact tree only if the residual
+/// ledger still fits it.
+///
+/// Per-request trees are certified optima of the pseudo-multicast family,
+/// but the packing order is still greedy, so the admission count is a
+/// strong yardstick rather than a certified OPT. Mirrors
+/// [`offline_greedy_benchmark`] with the approximation swapped for the
+/// exact oracle.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or any request has
+/// `destinations.len() >= steiner::MAX_TERMINALS` — the exact oracle is
+/// exponential in the terminal count and refuses large instances.
+pub fn offline_exact_benchmark(
+    sdn: &mut Sdn,
+    requests: &[MulticastRequest],
+    k: usize,
+) -> SimulationResult {
+    // Score on the untouched network.
+    let mut scored: Vec<(f64, &MulticastRequest)> = requests
+        .iter()
+        .map(|r| {
+            let score = exact_pseudo_multicast(sdn, r, k).map_or(f64::INFINITY, |t| t.total_cost());
+            (score, r)
+        })
+        .collect();
+    // Costs are finite sums of validated weights (or the +inf sentinel),
+    // never NaN, so the total-order fallback is unreachable.
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut outcomes = Vec::with_capacity(requests.len());
+    let mut admitted = 0;
+    let mut rejected = 0;
+    let mut total_cost = 0.0;
+    for (score, req) in scored {
+        if !score.is_finite() {
+            rejected += 1;
+            outcomes.push(RequestOutcome::Rejected { id: req.id });
+            continue;
+        }
+        // The exact oracle is capacity-oblivious: re-plan on the loaded
+        // network and gate on the ledger (allocate validates atomically
+        // before committing, so a failed admission leaves no residue).
+        let tree = exact_pseudo_multicast(sdn, req, k)
+            .filter(|t| sdn.allocate(&t.allocation(req)).is_ok());
+        match tree {
+            Some(tree) => {
+                admitted += 1;
+                total_cost += tree.total_cost();
+                outcomes.push(RequestOutcome::Admitted {
+                    id: req.id,
+                    cost: tree.total_cost(),
+                });
+            }
+            None => {
+                rejected += 1;
+                outcomes.push(RequestOutcome::Rejected { id: req.id });
+            }
+        }
+    }
+
+    let links = sdn.link_count();
+    let mut mean_link = 0.0;
+    let mut max_link: f64 = 0.0;
+    for e in sdn.graph().edges() {
+        let u = sdn.bandwidth_utilization(e.id);
+        mean_link += u;
+        max_link = max_link.max(u);
+    }
+    if links > 0 {
+        mean_link /= links as f64;
+    }
+    let mut mean_server = 0.0;
+    for &v in sdn.servers() {
+        // v is drawn from servers(), so the lookup cannot miss.
+        mean_server += sdn.computing_utilization(v).unwrap_or(0.0);
+    }
+    if !sdn.servers().is_empty() {
+        mean_server /= sdn.servers().len() as f64;
+    }
+
+    SimulationResult {
+        algorithm: "Offline_Exact",
+        admitted,
+        rejected,
+        outcomes,
+        total_cost,
+        mean_link_utilization: mean_link,
+        max_link_utilization: max_link,
+        mean_server_utilization: mean_server,
+    }
+}
+
+/// Empirical competitive ratio `online_admitted / offline_admitted`.
+///
+/// Zero-denominator cases are reported honestly: `1.0` only for the true
+/// `0 / 0` tie (both algorithms admitted nothing), and [`f64::INFINITY`]
+/// when the online algorithm admitted sessions the offline benchmark
+/// found no room for — an online *win*, not a tie. Callers serializing
+/// the ratio must handle the non-finite case explicitly.
 #[must_use]
 pub fn empirical_competitive_ratio(online: &SimulationResult, offline: &SimulationResult) -> f64 {
     if offline.admitted == 0 {
-        1.0
+        if online.admitted == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
     } else {
         online.admitted as f64 / offline.admitted as f64
     }
@@ -167,18 +272,89 @@ mod tests {
         assert!(ratio > 0.0 && ratio.is_finite());
     }
 
-    #[test]
-    fn ratio_of_empty_offline_is_one() {
-        let empty = SimulationResult {
+    fn result_admitting(n: usize) -> SimulationResult {
+        SimulationResult {
             algorithm: "x",
-            admitted: 0,
+            admitted: n,
             rejected: 0,
             outcomes: vec![],
             total_cost: 0.0,
             mean_link_utilization: 0.0,
             max_link_utilization: 0.0,
             mean_server_utilization: 0.0,
-        };
+        }
+    }
+
+    #[test]
+    fn ratio_of_empty_offline_is_one() {
+        // The true 0/0 tie — and only that tie — reads as 1.0.
+        let empty = result_admitting(0);
         assert_eq!(empirical_competitive_ratio(&empty, &empty), 1.0);
+    }
+
+    #[test]
+    fn online_win_over_empty_offline_is_infinite() {
+        // Online admitted sessions the offline packing found no room for:
+        // that is a win, not a tie, and must not read as ratio 1.0.
+        let online = result_admitting(3);
+        let offline = result_admitting(0);
+        let ratio = empirical_competitive_ratio(&online, &offline);
+        assert!(ratio.is_infinite() && ratio > 0.0);
+        // The finite case is untouched.
+        assert_eq!(
+            empirical_competitive_ratio(&result_admitting(2), &result_admitting(4)),
+            0.5
+        );
+    }
+
+    #[test]
+    fn exact_benchmark_packs_cheap_requests_first() {
+        // Same single-slot fixture as the greedy test: the exact packer
+        // must also admit the cheap request regardless of arrival order.
+        let mut b = SdnBuilder::new();
+        let s = b.add_switch();
+        let v = b.add_server(2_000.0, 1.0);
+        let d1 = b.add_switch();
+        let d2 = b.add_switch();
+        b.add_link(s, v, 120.0, 1.0).unwrap();
+        b.add_link(v, d1, 120.0, 1.0).unwrap();
+        b.add_link(v, d2, 120.0, 5.0).unwrap(); // expensive arm
+        let mut sdn = b.build().unwrap();
+        let chain = ServiceChain::new(vec![NfvType::Firewall]);
+        let expensive = MulticastRequest::new(RequestId(0), s, vec![d2], 100.0, chain.clone());
+        let cheap = MulticastRequest::new(RequestId(1), s, vec![d1], 100.0, chain);
+        let r = offline_exact_benchmark(&mut sdn, &[expensive, cheap], 1);
+        assert_eq!(r.algorithm, "Offline_Exact");
+        assert_eq!(r.admitted, 1);
+        assert!(matches!(
+            r.outcomes[0],
+            RequestOutcome::Admitted {
+                id: RequestId(1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn exact_benchmark_never_below_per_request_optimum_cost() {
+        // On an uncontended network the exact packer admits everything at
+        // the per-request optimum, so greedy can never beat its cost.
+        let mut b = SdnBuilder::new();
+        let s = b.add_switch();
+        let v = b.add_server(8_000.0, 1.0);
+        let d = b.add_switch();
+        b.add_link(s, v, 10_000.0, 1.0).unwrap();
+        b.add_link(v, d, 10_000.0, 1.0).unwrap();
+        let sdn0 = b.build().unwrap();
+        let chain = ServiceChain::new(vec![NfvType::Firewall]);
+        let reqs: Vec<MulticastRequest> = (0..4)
+            .map(|i| MulticastRequest::new(RequestId(i), s, vec![d], 100.0, chain.clone()))
+            .collect();
+        let mut net = sdn0.clone();
+        let exact = offline_exact_benchmark(&mut net, &reqs, 1);
+        let mut net = sdn0;
+        let greedy = offline_greedy_benchmark(&mut net, &reqs, 1);
+        assert_eq!(exact.admitted, 4);
+        assert!(exact.total_cost <= greedy.total_cost + 1e-9);
     }
 }

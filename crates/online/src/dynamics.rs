@@ -228,7 +228,10 @@ impl DynamicResult {
 
 /// Replays a timed workload: requests are offered in arrival order, and
 /// every admitted session's allocation is released once its departure
-/// time passes. `requests` need not be pre-sorted.
+/// time is at or before the current arrival instant. A session departing
+/// *exactly* when a request arrives is released first, so its capacity is
+/// available to that arrival — the same `dep <= now` semantic as
+/// [`ActiveSessions::release_due`]. `requests` need not be pre-sorted.
 ///
 /// # Panics
 ///
@@ -249,7 +252,9 @@ pub fn run_dynamic<A: OnlineAlgorithm + ?Sized>(
     let mut peak = 0usize;
 
     for tr in order {
-        // Release everything that departed before this arrival.
+        // Release everything that departed at or before this arrival
+        // (`dep <= now`: a coinciding departure frees capacity for this
+        // very request).
         let now = tr.arrival;
         active.release_due(sdn, now);
 
@@ -475,6 +480,52 @@ mod tests {
         }
         assert!(active.contains(RequestId(2)));
         assert_eq!(active.release_due(&mut sdn, 100.0), 1);
+        assert_eq!(sdn, fresh);
+    }
+
+    #[test]
+    fn coinciding_departure_is_released_before_the_arrival() {
+        // Pins the departure-tie semantic: `dep <= now`. Both link slots
+        // are busy until exactly t = 10; a third request arriving at
+        // exactly 10.0 fits only if the coinciding departures are
+        // released first. Under a strict `dep < now` reading it would be
+        // rejected.
+        let (mut sdn, nodes) = tiny_net();
+        let requests = vec![
+            timed(&nodes, 0, 0.0, 10.0), // departs exactly at 10.0
+            timed(&nodes, 1, 0.0, 10.0), // departs exactly at 10.0
+            timed(&nodes, 2, 10.0, 1.0), // fits only post-release
+        ];
+        let r = run_dynamic(&mut sdn, &mut ShortestPathBaseline::new(), &requests);
+        assert_eq!(r.admitted, 3);
+        assert_eq!(r.rejected, 0);
+        assert_eq!(r.peak_concurrent, 2);
+    }
+
+    #[test]
+    fn max_duration_sessions_never_release_at_finite_times() {
+        // duration = f64::MAX with a nonzero arrival: the departure time
+        // saturates at f64::MAX (still finite), so no realistic clock
+        // ever releases it — only an explicit drain at f64::MAX does.
+        let (mut sdn, nodes) = tiny_net();
+        let fresh = sdn.clone();
+        let tr = timed(&nodes, 0, 5.0, f64::MAX);
+        assert_eq!(tr.arrival + tr.duration, f64::MAX);
+        let tree = ShortestPathBaseline::new()
+            .admit(&sdn, &tr.request)
+            .unwrap();
+        let alloc = tree.allocation(&tr.request);
+        sdn.allocate(&alloc).unwrap();
+        let mut active = ActiveSessions::new();
+        active.insert(tr.request.id, tr.arrival + tr.duration, alloc);
+
+        assert_eq!(active.release_due(&mut sdn, 1e300), 0);
+        assert!(active.contains(tr.request.id));
+        assert_ne!(sdn, fresh);
+
+        // Draining at the saturated departure instant balances the ledger.
+        assert_eq!(active.release_due(&mut sdn, f64::MAX), 1);
+        assert!(active.is_empty());
         assert_eq!(sdn, fresh);
     }
 

@@ -12,9 +12,18 @@
 //! * [`ShortestPathBaseline`] — the `SP` heuristic of §VI-A: uniform
 //!   weights, shortest path to each candidate server plus a shortest-path
 //!   tree to the destinations.
+//! * [`LsChainAdmission`] — a Lukovszki–Schmid-style rival: admit only
+//!   embeddings whose processed route to every destination fits a hop
+//!   budget `L` (default `2·⌈log₂ |V|⌉`).
+//! * [`EmpPricing`] — an Even–Medina–Patt-Shamir-style rival: admit the
+//!   cheapest exponential-priced embedding iff its price is covered by
+//!   the request's benefit ([`request_revenue`]).
 //! * [`run_online`] — the sequential admission simulator used by Figs.
 //!   8–9: feeds a request sequence to an algorithm, commits allocations,
 //!   and tracks throughput and utilization.
+//! * [`offline_greedy_benchmark`] / [`offline_exact_benchmark`] — offline
+//!   packing yardsticks for [`empirical_competitive_ratio`]; the exact
+//!   variant is limited to small instances.
 //!
 //! ## Example
 //!
@@ -46,13 +55,19 @@
 
 mod benchmark;
 mod dynamics;
+mod emp;
+mod ls_chain;
 mod multi;
 mod online_cp;
 mod simulation;
 mod sp;
 
-pub use benchmark::{empirical_competitive_ratio, offline_greedy_benchmark};
+pub use benchmark::{
+    empirical_competitive_ratio, offline_exact_benchmark, offline_greedy_benchmark,
+};
 pub use dynamics::{run_dynamic, ActiveSessions, DynamicResult, TimedRequest};
+pub use emp::{request_revenue, EmpPricing};
+pub use ls_chain::LsChainAdmission;
 pub use multi::OnlineCpMulti;
 pub use online_cp::{CostMode, OnlineCp, ThresholdRule};
 pub use simulation::{

@@ -170,40 +170,7 @@ impl OnlineCp {
             telemetry::hit(telemetry::Counter::AdmissionCacheHits);
         } else {
             telemetry::hit(telemetry::Counter::AdmissionCacheRebuilds);
-            let model = ExponentialCostModel::for_network(sdn);
-            let linear = LinearCostModel::new();
-            // G_k: links with enough residual bandwidth, weighted by the
-            // chosen cost mode. (A link on the send-back path needs 2·b_k;
-            // that stricter joint check happens on the final allocation.)
-            // Failed links are excluded exactly like saturated ones.
-            let filtered = induced_subgraph(
-                sdn.graph(),
-                |_| true,
-                |e| sdn.is_link_alive(e) && sdn.residual_bandwidth(e) + sdn::CAPACITY_EPS >= b,
-            );
-            let g = filtered.graph();
-            // Weighted copy of the filtered graph. A fresh network has
-            // every exponential weight at exactly zero, which would leave
-            // the Steiner routine picking among ties arbitrarily (and
-            // wastefully); an infinitesimal unit-cost term breaks those
-            // ties toward cost-efficient trees without ever influencing a
-            // loaded decision or the admission thresholds.
-            let c_max = g
-                .edges()
-                .map(|e| sdn.unit_bandwidth_cost(filtered.parent_edge(e.id)))
-                .fold(sdn::COST_FLOOR, f64::max);
-            let mut weighted = Graph::with_nodes(g.node_count());
-            for e in g.edges() {
-                let orig = filtered.parent_edge(e.id);
-                let tiebreak = sdn::COST_TIEBREAK_REL * sdn.unit_bandwidth_cost(orig) / c_max;
-                let w = match self.mode {
-                    CostMode::Exponential => model.edge_weight(sdn, orig) + tiebreak,
-                    CostMode::Linear => linear.edge_cost(sdn, orig, 1.0),
-                };
-                weighted
-                    .add_edge(e.u, e.v, w)
-                    .expect("filtered edges are valid"); // lint:allow(P1): copies an edge the parent graph already validated
-            }
+            let (filtered, weighted) = build_admission_graph(sdn, b, self.mode);
             // The oracle prices the same weighted graph the Steiner scan
             // runs on, so its bounds are admissible for exactly the trees
             // this cache generation will build.
@@ -224,10 +191,51 @@ impl OnlineCp {
     }
 }
 
+/// Builds the admission graph `G_k` for bandwidth `b`: the alive,
+/// residual-feasible subgraph and its weighted copy under the chosen cost
+/// mode. Shared by `OnlineCp`'s cache and the `EmpPricing` strategy so the
+/// two graphs can never drift apart.
+///
+/// G_k keeps links with enough residual bandwidth for one traversal (a
+/// link on the send-back path needs 2·b_k; that stricter joint check
+/// happens on the final allocation) and excludes failed links exactly like
+/// saturated ones. A fresh network has every exponential weight at exactly
+/// zero, which would leave the Steiner routine picking among ties
+/// arbitrarily (and wastefully); an infinitesimal unit-cost term breaks
+/// those ties toward cost-efficient trees without ever influencing a
+/// loaded decision or the admission thresholds.
+pub(crate) fn build_admission_graph(sdn: &Sdn, b: f64, mode: CostMode) -> (FilteredGraph, Graph) {
+    let model = ExponentialCostModel::for_network(sdn);
+    let linear = LinearCostModel::new();
+    let filtered = induced_subgraph(
+        sdn.graph(),
+        |_| true,
+        |e| sdn.is_link_alive(e) && sdn.residual_bandwidth(e) + sdn::CAPACITY_EPS >= b,
+    );
+    let g = filtered.graph();
+    let c_max = g
+        .edges()
+        .map(|e| sdn.unit_bandwidth_cost(filtered.parent_edge(e.id)))
+        .fold(sdn::COST_FLOOR, f64::max);
+    let mut weighted = Graph::with_nodes(g.node_count());
+    for e in g.edges() {
+        let orig = filtered.parent_edge(e.id);
+        let tiebreak = sdn::COST_TIEBREAK_REL * sdn.unit_bandwidth_cost(orig) / c_max;
+        let w = match mode {
+            CostMode::Exponential => model.edge_weight(sdn, orig) + tiebreak,
+            CostMode::Linear => linear.edge_cost(sdn, orig, 1.0),
+        };
+        weighted
+            .add_edge(e.u, e.v, w)
+            .expect("filtered edges are valid"); // lint:allow(P1): copies an edge the parent graph already validated
+    }
+    (filtered, weighted)
+}
+
 /// One evaluated admission candidate.
-struct Candidate {
-    weight: f64,
-    tree: PseudoMulticastTree,
+pub(crate) struct Candidate {
+    pub(crate) weight: f64,
+    pub(crate) tree: PseudoMulticastTree,
 }
 
 /// A server that passed the cheap phase-1 checks (alive, residual
@@ -243,7 +251,7 @@ struct Survivor {
 }
 
 /// What evaluating one surviving server produced.
-enum EvalOutcome {
+pub(crate) enum EvalOutcome {
     /// Steps 8-12 succeeded; the candidate still faces the final
     /// allocation check.
     Admissible(Candidate),
@@ -257,20 +265,20 @@ enum EvalOutcome {
 /// Algorithm 2 plus candidate materialization) needs, bundled so the
 /// exact and oracle scans share a single code path and can never drift
 /// apart.
-struct AdmissionCtx<'a> {
-    sdn: &'a Sdn,
-    request: &'a MulticastRequest,
-    b: f64,
-    demand: f64,
-    sigma: f64,
-    mode: CostMode,
-    rule: ThresholdRule,
-    filtered: &'a FilteredGraph,
-    weighted: &'a Graph,
+pub(crate) struct AdmissionCtx<'a> {
+    pub(crate) sdn: &'a Sdn,
+    pub(crate) request: &'a MulticastRequest,
+    pub(crate) b: f64,
+    pub(crate) demand: f64,
+    pub(crate) sigma: f64,
+    pub(crate) mode: CostMode,
+    pub(crate) rule: ThresholdRule,
+    pub(crate) filtered: &'a FilteredGraph,
+    pub(crate) weighted: &'a Graph,
 }
 
 impl AdmissionCtx<'_> {
-    fn evaluate(
+    pub(crate) fn evaluate(
         &self,
         v: NodeId,
         wv: f64,

@@ -1,0 +1,61 @@
+//! The online-algorithm arena:
+//! `cargo run -p sim --release --bin arena [quick|default] [seed...]`.
+//!
+//! Sweeps every registered online admission policy (`Online_CP`,
+//! `Online_CP_Multi`, `SP`, `LS_Online`, `EMP_Online`) across the four
+//! adversarial workload regimes, scoring each cell against the offline
+//! greedy benchmark — and, on the fixed 12-node small instance, against
+//! the certified exact oracle. Every cell runs twice (telemetry off,
+//! then on) and must produce identical outcomes, so the binary fails
+//! loudly on any nondeterminism; CI additionally regenerates
+//! `results/arena.json` and byte-compares the two files.
+
+use sim::experiments::arena::{run_arena, ArenaParams};
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let scale = match args.peek().map(String::as_str) {
+        Some("quick") | Some("default") => args.next().unwrap_or_default(),
+        _ => "quick".to_string(),
+    };
+    let seeds: Vec<u64> = {
+        let parsed: Vec<u64> = args
+            .map(|a| {
+                a.parse().unwrap_or_else(|_| {
+                    eprintln!("usage: arena [quick|default] [seed...]");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+        if parsed.is_empty() {
+            vec![11, 23]
+        } else {
+            parsed
+        }
+    };
+
+    let params = match scale.as_str() {
+        "default" => ArenaParams::default_scale(seeds),
+        _ => ArenaParams::ci_scale(seeds),
+    };
+    eprintln!(
+        "arena: {} nodes, {} requests/cell, seeds {:?}",
+        params.n, params.requests, params.seeds
+    );
+
+    let outcome = run_arena(&params);
+    for table in outcome.tables() {
+        println!("{}", table.render());
+    }
+
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/arena.json", outcome.to_json()).expect("write results/arena.json");
+    let snapshot = telemetry::snapshot();
+    std::fs::write("results/telemetry.json", snapshot.to_json())
+        .expect("write results/telemetry.json");
+    println!(
+        "wrote results/arena.json ({} cells + {} small-instance rows) and results/telemetry.json",
+        outcome.cells.len(),
+        outcome.small.len()
+    );
+}

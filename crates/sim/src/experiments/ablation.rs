@@ -51,7 +51,6 @@ pub fn cost_model(scale: ExperimentScale) -> Table {
             total += run_online(&mut sdn, &mut OnlineCp::with_mode(mode), &requests).admitted;
         }
         let avg = total as f64 / scale.repetitions.max(1) as f64;
-        eprintln!("ablation cost-model {label}: {avg:.1}");
         t.add_row(vec![label.to_string(), format!("{avg:.1}")]);
     }
     t
@@ -78,7 +77,6 @@ pub fn threshold_rule(scale: ExperimentScale) -> Table {
             total += run_online(&mut sdn, &mut algo, &requests).admitted;
         }
         let avg = total as f64 / scale.repetitions.max(1) as f64;
-        eprintln!("ablation threshold {label}: {avg:.1}");
         t.add_row(vec![label.to_string(), format!("{avg:.1}")]);
     }
     t
@@ -107,11 +105,6 @@ pub fn k_sweep(scale: ExperimentScale) -> Table {
                 }
             }
         }
-        eprintln!(
-            "ablation K {k}: cost {:.0} time {:.2}",
-            mean(&costs),
-            mean(&times)
-        );
         t.add_row(vec![
             k.to_string(),
             format!("{:.1}", mean(&costs)),
@@ -145,11 +138,6 @@ pub fn steiner_routine(scale: ExperimentScale) -> Table {
                 }
             }
         }
-        eprintln!(
-            "ablation steiner {label}: cost {:.0} time {:.2}",
-            mean(&costs),
-            mean(&times)
-        );
         t.add_row(vec![
             label.to_string(),
             format!("{:.1}", mean(&costs)),
@@ -186,12 +174,6 @@ pub fn competitive_ratio(scale: ExperimentScale) -> Table {
             ratio_sum += empirical_competitive_ratio(&online, &offline);
         }
         let reps = scale.repetitions.max(1) as f64;
-        eprintln!(
-            "ablation competitive n {n}: online {:.1} offline {:.1} ratio {:.2}",
-            on_total as f64 / reps,
-            off_total as f64 / reps,
-            ratio_sum / reps
-        );
         t.add_row(vec![
             n.to_string(),
             format!("{:.1}", on_total as f64 / reps),
@@ -232,11 +214,6 @@ pub fn local_search(scale: ExperimentScale) -> Table {
             ls_times.push(ms + ms2);
         }
     }
-    eprintln!(
-        "ablation local-search: kmb {:.2} ls {:.2}",
-        mean(&kmb_costs),
-        mean(&ls_costs)
-    );
     t.add_row(vec![
         "KMB".into(),
         format!("{:.3}", mean(&kmb_costs)),

@@ -1,0 +1,519 @@
+//! The online-algorithm arena: every registered admission policy against
+//! every adversarial workload regime.
+//!
+//! Competitive analysis promises worst-case guarantees; this module
+//! measures what actually happens. It sweeps the full algorithm roster —
+//! `Online_CP`, `Online_CP_Multi`, `SP`, and the two rival policies
+//! `LS_Online` (Lukovszki–Schmid bounded-length) and `EMP_Online`
+//! (Even–Medina–Patt-Shamir pricing) — across the four adversarial
+//! regimes in [`workload`] (flash crowd, diurnal, heavy tail, capacity
+//! starved), on seeded Waxman networks. Every cell reports admission
+//! rate, total implementation cost, collected revenue
+//! ([`nfv_online::request_revenue`] summed over admissions), and the
+//! empirical competitive ratio against [`offline_greedy_benchmark`]. A
+//! separate small-instance section scores the same roster against the
+//! certified [`offline_exact_benchmark`] oracle on a fixed 12-node
+//! topology, where the exponential exact planner is affordable.
+//!
+//! Determinism is enforced, not assumed: every cell runs **twice** — once
+//! with telemetry disabled and once enabled — and the outcomes must match
+//! exactly, so the arena doubles as the telemetry-is-side-effect-free
+//! check (the `chaos` discipline). The binary (`sim --bin arena`) writes
+//! `results/arena.json`, which CI regenerates and byte-compares.
+
+use crate::{waxman_sdn, Table};
+use nfv_online::{
+    empirical_competitive_ratio, offline_exact_benchmark, offline_greedy_benchmark,
+    request_revenue, run_online, EmpPricing, LsChainAdmission, OnlineAlgorithm, OnlineCp,
+    OnlineCpMulti, RequestOutcome, ShortestPathBaseline, SimulationResult,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sdn::{MulticastRequest, Sdn, SdnBuilder};
+use std::collections::BTreeMap;
+use workload::{
+    CapacityStarvedWorkload, DiurnalWorkload, FlashCrowdWorkload, HeavyTailWorkload,
+    RequestGenerator,
+};
+
+/// Arena sweep dimensions.
+#[derive(Debug, Clone)]
+pub struct ArenaParams {
+    /// Waxman network size for the main sweep.
+    pub n: usize,
+    /// Requests per (workload, seed) cell.
+    pub requests: usize,
+    /// Requests for the small-instance exact section.
+    pub small_requests: usize,
+    /// Chain-instance budget `K` passed to the offline benchmarks.
+    pub k: usize,
+    /// Seeds; each seed pins the network and the workload draws.
+    pub seeds: Vec<u64>,
+}
+
+impl ArenaParams {
+    /// The CI smoke scale: a 40-node network, 60 requests per cell.
+    #[must_use]
+    pub fn ci_scale(seeds: Vec<u64>) -> Self {
+        ArenaParams {
+            n: 40,
+            requests: 60,
+            small_requests: 10,
+            k: super::K,
+            seeds,
+        }
+    }
+
+    /// The default interactive scale: 100 nodes, 300 requests per cell.
+    #[must_use]
+    pub fn default_scale(seeds: Vec<u64>) -> Self {
+        ArenaParams {
+            n: 100,
+            requests: 300,
+            small_requests: 14,
+            k: super::K,
+            seeds,
+        }
+    }
+}
+
+/// The adversarial regimes in fixed sweep order.
+pub const REGIMES: [&str; 4] = ["flash_crowd", "diurnal", "heavy_tail", "capacity_starved"];
+
+/// The algorithm roster in fixed sweep order.
+pub const ALGORITHMS: [&str; 5] = [
+    "Online_CP",
+    "Online_CP_Multi",
+    "SP",
+    "LS_Online",
+    "EMP_Online",
+];
+
+fn make_algorithm(name: &str, k: usize) -> Box<dyn OnlineAlgorithm> {
+    match name {
+        "Online_CP" => Box::new(OnlineCp::new()),
+        "Online_CP_Multi" => Box::new(OnlineCpMulti::new(k)),
+        "SP" => Box::new(ShortestPathBaseline::new()),
+        "LS_Online" => Box::new(LsChainAdmission::new()),
+        "EMP_Online" => Box::new(EmpPricing::new()),
+        other => panic!("unknown arena algorithm {other}"),
+    }
+}
+
+/// Draws the request sequence for `regime` on an `n`-node network.
+///
+/// Each regime gets its own RNG stream (`seed` xor a per-regime salt) so
+/// adding a regime never perturbs the others' draws. Timing is discarded:
+/// the arena drives the static simulator, where the adversarial pressure
+/// lives in the request *sequence* (ordering, correlation, demand shape).
+fn regime_requests(regime: &str, n: usize, count: usize, seed: u64) -> Vec<MulticastRequest> {
+    let span = count as f64;
+    let mut gen = RequestGenerator::new(n);
+    let sessions = match regime {
+        "flash_crowd" => {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xF1A5_6C40);
+            // Background λ=1 punctured by an 8× burst over ~an eighth of
+            // the horizon, converging on a 5-node hot pool.
+            FlashCrowdWorkload::new(1.0, 8.0, span / 4.0, span / 8.0)
+                .with_hot_pool(5)
+                .generate(&mut gen, count, &mut rng)
+        }
+        "diurnal" => {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD107_0A41);
+            // Two full day/night cycles over the sequence, 15% trough.
+            DiurnalWorkload::new(4.0, span / 8.0, 0.15, 20.0).generate(&mut gen, count, &mut rng)
+        }
+        "heavy_tail" => {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x4EA7_1A42);
+            // α = 1.1: infinite-variance group sizes.
+            HeavyTailWorkload::new(1.1, 2.0, 20.0).generate(&mut gen, count, &mut rng)
+        }
+        "capacity_starved" => {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5CA2_CE43);
+            CapacityStarvedWorkload::new(5.0, 50.0).generate(&mut gen, count, &mut rng)
+        }
+        other => panic!("unknown arena regime {other}"),
+    };
+    sessions.into_iter().map(|(req, _, _)| req).collect()
+}
+
+/// One scored (workload, seed, algorithm) cell of the main sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArenaCell {
+    /// Adversarial regime label.
+    pub workload: &'static str,
+    /// Seed pinning the network and the request draws.
+    pub seed: u64,
+    /// Algorithm name as reported by the policy itself.
+    pub algorithm: &'static str,
+    /// Requests offered.
+    pub offered: usize,
+    /// Requests admitted.
+    pub admitted: usize,
+    /// Requests rejected.
+    pub rejected: usize,
+    /// Total implementation cost over admissions.
+    pub total_cost: f64,
+    /// Revenue collected: Σ [`request_revenue`] over admissions.
+    pub revenue: f64,
+    /// Mean link-bandwidth utilization at the end of the run.
+    pub mean_link_utilization: f64,
+    /// Admissions of [`offline_greedy_benchmark`] on the same sequence.
+    pub offline_admitted: usize,
+    /// `admitted / offline_admitted` (∞ when the offline packing admits
+    /// nothing but the online policy does; serialized as `null`).
+    pub competitive_ratio: f64,
+}
+
+/// One scored cell of the small-instance exact section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmallExactCell {
+    /// Seed pinning the request draws (the topology is fixed).
+    pub seed: u64,
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Requests offered.
+    pub offered: usize,
+    /// Requests admitted online.
+    pub admitted: usize,
+    /// Admissions of [`offline_exact_benchmark`] on the same sequence.
+    pub exact_admitted: usize,
+    /// `admitted / exact_admitted` with the same conventions as the
+    /// main sweep's ratio.
+    pub competitive_ratio: f64,
+}
+
+/// Everything one arena run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArenaOutcome {
+    /// Main sweep, in (regime, seed, algorithm) order.
+    pub cells: Vec<ArenaCell>,
+    /// Small-instance exact section, in (seed, algorithm) order.
+    pub small: Vec<SmallExactCell>,
+}
+
+fn fmt_ratio(r: f64) -> String {
+    if r.is_finite() {
+        format!("{r:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl ArenaOutcome {
+    /// Serializes the outcome as deterministic JSON (fixed row order,
+    /// 4-decimal floats, non-finite ratios as `null`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"workload\": \"{}\", \"seed\": {}, \"algorithm\": \"{}\", \
+                     \"offered\": {}, \"admitted\": {}, \"rejected\": {}, \
+                     \"admission_rate\": {:.4}, \"total_cost\": {:.4}, \
+                     \"revenue\": {:.4}, \"mean_link_utilization\": {:.4}, \
+                     \"offline_admitted\": {}, \"competitive_ratio\": {}}}",
+                    c.workload,
+                    c.seed,
+                    c.algorithm,
+                    c.offered,
+                    c.admitted,
+                    c.rejected,
+                    c.admitted as f64 / (c.offered.max(1)) as f64,
+                    c.total_cost,
+                    c.revenue,
+                    c.mean_link_utilization,
+                    c.offline_admitted,
+                    fmt_ratio(c.competitive_ratio),
+                )
+            })
+            .collect();
+        let small: Vec<String> = self
+            .small
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"seed\": {}, \"algorithm\": \"{}\", \"offered\": {}, \
+                     \"admitted\": {}, \"exact_admitted\": {}, \
+                     \"competitive_ratio\": {}}}",
+                    c.seed,
+                    c.algorithm,
+                    c.offered,
+                    c.admitted,
+                    c.exact_admitted,
+                    fmt_ratio(c.competitive_ratio),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"arena\": [\n  {}\n],\n\"small_exact\": [\n  {}\n]}}\n",
+            cells.join(",\n  "),
+            small.join(",\n  ")
+        )
+    }
+
+    /// Renders the outcome as the two report tables.
+    #[must_use]
+    pub fn tables(&self) -> Vec<Table> {
+        let mut main = Table::new(
+            "Arena: admission under adversarial workloads",
+            &[
+                "workload",
+                "seed",
+                "algorithm",
+                "offered",
+                "admitted",
+                "rate",
+                "cost",
+                "revenue",
+                "offline",
+                "ratio",
+            ],
+        );
+        for c in &self.cells {
+            main.add_row(vec![
+                c.workload.to_string(),
+                c.seed.to_string(),
+                c.algorithm.to_string(),
+                c.offered.to_string(),
+                c.admitted.to_string(),
+                format!("{:.3}", c.admitted as f64 / (c.offered.max(1)) as f64),
+                format!("{:.2}", c.total_cost),
+                format!("{:.2}", c.revenue),
+                c.offline_admitted.to_string(),
+                fmt_ratio(c.competitive_ratio),
+            ]);
+        }
+        let mut small = Table::new(
+            "Arena: small instances vs the exact offline oracle",
+            &["seed", "algorithm", "offered", "admitted", "exact", "ratio"],
+        );
+        for c in &self.small {
+            small.add_row(vec![
+                c.seed.to_string(),
+                c.algorithm.to_string(),
+                c.offered.to_string(),
+                c.admitted.to_string(),
+                c.exact_admitted.to_string(),
+                fmt_ratio(c.competitive_ratio),
+            ]);
+        }
+        vec![main, small]
+    }
+}
+
+/// Runs one algorithm twice on clones of `base` — telemetry disabled,
+/// then enabled — and asserts the outcomes are identical, so telemetry
+/// can never steer an admission decision.
+///
+/// Leaves telemetry **enabled** (the `chaos` convention: accumulated
+/// counters feed the final snapshot).
+fn run_checked(
+    base: &Sdn,
+    name: &'static str,
+    k: usize,
+    requests: &[MulticastRequest],
+) -> SimulationResult {
+    telemetry::disable();
+    let mut net = base.clone();
+    let mut alg = make_algorithm(name, k);
+    let first = run_online(&mut net, alg.as_mut(), requests);
+    telemetry::enable();
+    let mut net = base.clone();
+    let mut alg = make_algorithm(name, k);
+    let second = run_online(&mut net, alg.as_mut(), requests);
+    assert_eq!(
+        first.outcomes, second.outcomes,
+        "{name} diverged with telemetry enabled"
+    );
+    assert!(
+        first.total_cost == second.total_cost,
+        "{name} cost diverged with telemetry enabled"
+    );
+    second
+}
+
+/// Σ [`request_revenue`] over the admitted requests of `result`, priced
+/// on the fresh network (revenue is a property of the request and the
+/// topology, not of the residual state at admission time).
+fn collected_revenue(base: &Sdn, requests: &[MulticastRequest], result: &SimulationResult) -> f64 {
+    let by_id: BTreeMap<u64, &MulticastRequest> = requests.iter().map(|r| (r.id.0, r)).collect();
+    result
+        .outcomes
+        .iter()
+        .filter_map(|o| match o {
+            RequestOutcome::Admitted { id, .. } => {
+                by_id.get(&id.0).map(|r| request_revenue(base, r))
+            }
+            RequestOutcome::Rejected { .. } => None,
+        })
+        .sum()
+}
+
+/// The fixed 12-node small-instance topology: a ring with six chords and
+/// three servers, small enough for [`offline_exact_benchmark`] yet with
+/// enough path diversity that the policies actually disagree.
+#[must_use]
+pub fn small_arena_sdn() -> Sdn {
+    let mut b = SdnBuilder::new();
+    let nodes: Vec<_> = (0..12)
+        .map(|i| {
+            if i == 3 || i == 7 || i == 10 {
+                b.add_server(3_000.0, 1.0 + 0.1 * i as f64)
+            } else {
+                b.add_switch()
+            }
+        })
+        .collect();
+    for i in 0..12 {
+        b.add_link(nodes[i], nodes[(i + 1) % 12], 600.0, 1.0 + 0.05 * i as f64)
+            .expect("ring link");
+    }
+    for &(u, v) in &[(0, 6), (2, 9), (4, 11), (1, 5), (3, 8), (6, 10)] {
+        b.add_link(nodes[u], nodes[v], 400.0, 1.5).expect("chord");
+    }
+    b.build().expect("small arena topology is well-formed")
+}
+
+/// Runs the full arena sweep. See the module docs for what each cell
+/// contains; progress goes to stderr via the returned tables only, so
+/// callers (binary, tests, CI) decide what to print.
+#[must_use]
+pub fn run_arena(params: &ArenaParams) -> ArenaOutcome {
+    let mut cells = Vec::new();
+    for regime in REGIMES {
+        for &seed in &params.seeds {
+            let base = waxman_sdn(params.n, seed);
+            let requests = regime_requests(regime, params.n, params.requests, seed);
+            let mut offline_net = base.clone();
+            let offline = offline_greedy_benchmark(&mut offline_net, &requests, params.k);
+            for name in ALGORITHMS {
+                let result = run_checked(&base, name, params.k, &requests);
+                telemetry::hit(telemetry::Counter::ArenaCellsScored);
+                cells.push(ArenaCell {
+                    workload: regime,
+                    seed,
+                    algorithm: result.algorithm,
+                    offered: requests.len(),
+                    admitted: result.admitted,
+                    rejected: result.rejected,
+                    total_cost: result.total_cost,
+                    revenue: collected_revenue(&base, &requests, &result),
+                    mean_link_utilization: result.mean_link_utilization,
+                    offline_admitted: offline.admitted,
+                    competitive_ratio: empirical_competitive_ratio(&result, &offline),
+                });
+            }
+        }
+    }
+
+    let mut small = Vec::new();
+    let base = small_arena_sdn();
+    for &seed in &params.seeds {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5A11_E4AC);
+        let mut gen = RequestGenerator::new(12).with_dmax_ratio(0.25);
+        let requests = gen.generate_batch(params.small_requests, &mut rng);
+        let mut exact_net = base.clone();
+        let exact = offline_exact_benchmark(&mut exact_net, &requests, params.k);
+        for name in ALGORITHMS {
+            let result = run_checked(&base, name, params.k, &requests);
+            telemetry::hit(telemetry::Counter::ArenaCellsScored);
+            small.push(SmallExactCell {
+                seed,
+                algorithm: result.algorithm,
+                offered: requests.len(),
+                admitted: result.admitted,
+                exact_admitted: exact.admitted,
+                competitive_ratio: empirical_competitive_ratio(&result, &exact),
+            });
+        }
+    }
+
+    ArenaOutcome { cells, small }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_params() -> ArenaParams {
+        ArenaParams {
+            n: 24,
+            requests: 16,
+            small_requests: 6,
+            k: super::super::K,
+            seeds: vec![11],
+        }
+    }
+
+    #[test]
+    fn arena_covers_the_full_roster_cross_product() {
+        let out = run_arena(&tiny_params());
+        assert_eq!(out.cells.len(), REGIMES.len() * ALGORITHMS.len());
+        assert_eq!(out.small.len(), ALGORITHMS.len());
+        for c in &out.cells {
+            assert_eq!(c.offered, 16);
+            assert_eq!(c.admitted + c.rejected, c.offered);
+            assert!(c.revenue >= 0.0);
+            assert!(c.total_cost >= 0.0);
+        }
+        // The roster reports its own names; the sweep must preserve them.
+        let names: Vec<&str> = out.cells.iter().take(5).map(|c| c.algorithm).collect();
+        assert_eq!(names, ALGORITHMS.to_vec());
+    }
+
+    #[test]
+    fn arena_is_deterministic() {
+        let a = run_arena(&tiny_params());
+        let b = run_arena(&tiny_params());
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn json_is_well_shaped_and_null_safe() {
+        let out = ArenaOutcome {
+            cells: vec![ArenaCell {
+                workload: "flash_crowd",
+                seed: 1,
+                algorithm: "Online_CP",
+                offered: 4,
+                admitted: 2,
+                rejected: 2,
+                total_cost: 10.5,
+                revenue: 3.25,
+                mean_link_utilization: 0.125,
+                offline_admitted: 0,
+                competitive_ratio: f64::INFINITY,
+            }],
+            small: vec![SmallExactCell {
+                seed: 1,
+                algorithm: "SP",
+                offered: 3,
+                admitted: 3,
+                exact_admitted: 3,
+                competitive_ratio: 1.0,
+            }],
+        };
+        let json = out.to_json();
+        // The online-win sentinel serializes as null, never as inf.
+        assert!(json.contains("\"competitive_ratio\": null"));
+        assert!(json.contains("\"competitive_ratio\": 1.0000"));
+        assert!(json.contains("\"admission_rate\": 0.5000"));
+        assert!(!json.contains("inf"));
+        let tables = out.tables();
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), 1);
+        assert_eq!(tables[1].len(), 1);
+    }
+
+    #[test]
+    fn small_topology_is_exact_oracle_sized() {
+        let sdn = small_arena_sdn();
+        assert_eq!(sdn.node_count(), 12);
+        assert_eq!(sdn.servers().len(), 3);
+        assert!(sdn.node_count() <= steiner::MAX_TERMINALS);
+    }
+}

@@ -5,6 +5,7 @@
 //! so the binaries and the integration tests share one code path.
 
 pub mod ablation;
+pub mod arena;
 pub mod batch;
 pub mod chaos;
 pub mod churn;

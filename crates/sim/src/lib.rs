@@ -16,6 +16,7 @@
 //! | `ablation` | §VII design choices | cost model, threshold rule, K sweep, Steiner routine |
 //! | `batch` | engine throughput | batch vs sequential admission wall-clock, per batch size |
 //! | `chaos` | failure model | seeded fail/recover replay with self-healing repair + auditor |
+//! | `arena` | competitive analysis | every online policy × every adversarial workload, vs offline yardsticks |
 //! | `all` | everything | runs the full suite |
 //!
 //! Experiment scale (requests per data point, repetitions) is tunable via

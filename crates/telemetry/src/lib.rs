@@ -90,6 +90,12 @@ pub enum Counter {
     /// Candidate servers whose exact Steiner evaluation was skipped because
     /// the oracle lower bound already exceeded the incumbent admission cost.
     OnlineCandidatesPruned,
+    /// Rejections by the Lukovszki–Schmid-style strategy because every
+    /// feasible embedding exceeded the hop budget.
+    OnlineHopBoundRejections,
+    /// Rejections by the Even–Medina–Patt-Shamir-style strategy because
+    /// the cheapest embedding was priced above the request's benefit.
+    OnlinePriceRejections,
     /// Admission-graph cache hits inside `OnlineCp`.
     AdmissionCacheHits,
     /// Admission-graph rebuilds inside `OnlineCp`.
@@ -141,6 +147,10 @@ pub enum Counter {
     Prunes,
     /// Sessions re-optimized from scratch after drift crossed the bound.
     Reoptimizations,
+    // -- sim / arena --------------------------------------------------------
+    /// Arena cells scored: one (algorithm, workload, seed) simulation
+    /// whose outcome row entered `results/arena.json`.
+    ArenaCellsScored,
     // -- telemetry internal -------------------------------------------------
     /// Events discarded because the event log hit its capacity bound.
     EventsDropped,
@@ -148,7 +158,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in registry (serialisation) order.
-    pub const ALL: [Counter; 43] = [
+    pub const ALL: [Counter; 46] = [
         Counter::DijkstraRuns,
         Counter::HeapDecreaseKeys,
         Counter::VoronoiClosureBuilds,
@@ -169,6 +179,8 @@ impl Counter {
         Counter::OnlineRejectedCapacity,
         Counter::OnlineSaturatedServers,
         Counter::OnlineCandidatesPruned,
+        Counter::OnlineHopBoundRejections,
+        Counter::OnlinePriceRejections,
         Counter::AdmissionCacheHits,
         Counter::AdmissionCacheRebuilds,
         Counter::SessionsDeparted,
@@ -191,6 +203,7 @@ impl Counter {
         Counter::Grafts,
         Counter::Prunes,
         Counter::Reoptimizations,
+        Counter::ArenaCellsScored,
         Counter::EventsDropped,
     ];
 
@@ -217,6 +230,8 @@ impl Counter {
             Counter::OnlineRejectedCapacity => "online_rejected_capacity",
             Counter::OnlineSaturatedServers => "online_saturated_servers",
             Counter::OnlineCandidatesPruned => "online_candidates_pruned",
+            Counter::OnlineHopBoundRejections => "online_hop_bound_rejections",
+            Counter::OnlinePriceRejections => "online_price_rejections",
             Counter::AdmissionCacheHits => "admission_cache_hits",
             Counter::AdmissionCacheRebuilds => "admission_cache_rebuilds",
             Counter::SessionsDeparted => "sessions_departed",
@@ -239,6 +254,7 @@ impl Counter {
             Counter::Grafts => "grafts",
             Counter::Prunes => "prunes",
             Counter::Reoptimizations => "reoptimizations",
+            Counter::ArenaCellsScored => "arena_cells_scored",
             Counter::EventsDropped => "events_dropped",
         }
     }

@@ -28,9 +28,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod adversarial;
 mod arrivals;
 mod churn;
 
+pub use adversarial::{
+    CapacityStarvedWorkload, DiurnalWorkload, FlashCrowdWorkload, HeavyTailWorkload,
+};
 pub use arrivals::{OpenLoopWorkload, PoissonWorkload, TimedSession};
 pub use churn::{ChurnAction, ChurnEvent, MembershipChurn};
 
